@@ -1,0 +1,100 @@
+//! Criterion micro-benches for the hash-table zoo (ablation 2) and the
+//! hash-function choice (ablation 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmjoin_hashtable::{
+    ArrayTable, ConciseHashTable, CrcHash, IdentityHash, JoinTable, MultiplicativeHash,
+    MurmurHash, StChainedTable, StLinearTable, TableSpec,
+};
+use mmjoin_util::rng::Xoshiro256;
+use mmjoin_util::Tuple;
+
+const N: usize = 1 << 18;
+
+fn build_tuples() -> Vec<Tuple> {
+    let mut rng = Xoshiro256::new(7);
+    let mut v: Vec<Tuple> = (1..=N as u32).map(|k| Tuple::new(k, k)).collect();
+    rng.shuffle(&mut v);
+    v
+}
+
+fn probe_keys() -> Vec<u32> {
+    let mut rng = Xoshiro256::new(8);
+    (0..N * 2).map(|_| rng.below(N as u64) as u32 + 1).collect()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let tuples = build_tuples();
+    let probes = probe_keys();
+    let mut g = c.benchmark_group("hashtable/build+probe");
+    g.throughput(Throughput::Elements((N * 3) as u64));
+
+    macro_rules! bench_join_table {
+        ($name:expr, $ty:ty, $spec:expr) => {
+            g.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut t = <$ty>::with_spec(&$spec);
+                    for &tup in &tuples {
+                        t.insert(tup);
+                    }
+                    let mut acc = 0u64;
+                    for &k in &probes {
+                        t.probe_unique(k, |p| acc = acc.wrapping_add(p as u64));
+                    }
+                    acc
+                })
+            });
+        };
+    }
+    bench_join_table!("chained", StChainedTable<IdentityHash>, TableSpec::hashed(N));
+    bench_join_table!("linear", StLinearTable<IdentityHash>, TableSpec::hashed(N));
+    bench_join_table!("array", ArrayTable, TableSpec::array(0, N));
+    g.bench_function("cht", |b| {
+        b.iter(|| {
+            let t = ConciseHashTable::<MultiplicativeHash>::build(&tuples, 1);
+            let mut acc = 0u64;
+            for &k in &probes {
+                t.probe(k, |p| acc = acc.wrapping_add(p as u64));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_hash_functions(c: &mut Criterion) {
+    let tuples = build_tuples();
+    let probes = probe_keys();
+    let mut g = c.benchmark_group("hashtable/hash-function");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+
+    macro_rules! bench_hash {
+        ($name:expr, $h:ty) => {
+            g.bench_with_input(BenchmarkId::from_parameter($name), &(), |b, _| {
+                let mut t = StLinearTable::<$h>::with_capacity(N);
+                for &tup in &tuples {
+                    t.insert(tup);
+                }
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &k in &probes {
+                        t.probe_first(k, |p| acc = acc.wrapping_add(p as u64));
+                    }
+                    acc
+                })
+            });
+        };
+    }
+    bench_hash!("identity", IdentityHash);
+    bench_hash!("multiplicative", MultiplicativeHash);
+    bench_hash!("murmur", MurmurHash);
+    bench_hash!("crc32c", CrcHash);
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables, bench_hash_functions
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end criterion benches: all thirteen joins on one canonical
+//! (scaled) workload, plus the scheduling ablation (ablation 3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mmjoin_core::{run_join, Algorithm, JoinConfig};
+use mmjoin_datagen::{gen_build_dense, gen_probe_fk};
+use mmjoin_util::Placement;
+
+fn bench_all_joins(c: &mut Criterion) {
+    let r_n = 1 << 19;
+    let s_n = r_n * 4;
+    let placement = Placement::Chunked { parts: 2 };
+    let r = gen_build_dense(r_n, 1, placement);
+    let s = gen_probe_fk(s_n, r_n, 2, placement);
+    let mut cfg = JoinConfig::new(2);
+    cfg.simulate = false; // pure wall-clock micro-bench
+
+    let mut g = c.benchmark_group("join/all-thirteen");
+    g.throughput(Throughput::Elements((r_n + s_n) as u64));
+    g.sample_size(10);
+    for alg in Algorithm::ALL {
+        g.bench_function(alg.name(), |b| b.iter(|| run_join(alg, &r, &s, &cfg)));
+    }
+    g.finish();
+}
+
+fn bench_scheduling_ablation(c: &mut Criterion) {
+    let r_n = 1 << 19;
+    let s_n = r_n * 4;
+    let placement = Placement::Chunked { parts: 2 };
+    let r = gen_build_dense(r_n, 3, placement);
+    let s = gen_probe_fk(s_n, r_n, 4, placement);
+    let mut cfg = JoinConfig::new(2);
+    cfg.simulate = false;
+
+    let mut g = c.benchmark_group("join/scheduling");
+    g.throughput(Throughput::Elements((r_n + s_n) as u64));
+    g.sample_size(10);
+    g.bench_function("PRL-sequential", |b| {
+        b.iter(|| run_join(Algorithm::Prl, &r, &s, &cfg))
+    });
+    g.bench_function("PRLiS-round-robin", |b| {
+        b.iter(|| run_join(Algorithm::PrlIs, &r, &s, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all_joins, bench_scheduling_ablation
+}
+criterion_main!(benches);

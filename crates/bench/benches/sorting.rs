@@ -1,0 +1,78 @@
+//! Criterion benches for the MWAY sorting substrate: networks vs std
+//! sort, and binary vs multiway merging (ablation 6's kin).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmjoin_sort::mergesort::sort_packed;
+use mmjoin_sort::multiway::merge_runs;
+use mmjoin_sort::network::{sort8, sort_network};
+use mmjoin_util::rng::Xoshiro256;
+
+fn rand_u64(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort/network-vs-std");
+    let data = rand_u64(1 << 16, 1);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("sort8-blocks", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            for chunk in d.chunks_exact_mut(8) {
+                sort8(chunk);
+            }
+            d
+        })
+    });
+    g.bench_function("batcher16-blocks", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            for chunk in d.chunks_exact_mut(16) {
+                sort_network(chunk);
+            }
+            d
+        })
+    });
+    g.bench_function("mergesort-full", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            let mut d = data.clone();
+            sort_packed(&mut d, &mut scratch);
+            d
+        })
+    });
+    g.bench_function("std-sort-full", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            d.sort_unstable();
+            d
+        })
+    });
+    g.finish();
+}
+
+fn bench_multiway(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort/multiway-merge");
+    for k in [2usize, 4, 16] {
+        let runs: Vec<Vec<u64>> = (0..k)
+            .map(|i| {
+                let mut r = rand_u64((1 << 18) / k, i as u64);
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        g.throughput(Throughput::Elements(1 << 18));
+        g.bench_with_input(BenchmarkId::new("loser-tree", k), &runs, |b, runs| {
+            b.iter(|| merge_runs(runs.iter().map(|r| r.as_slice()).collect()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_networks, bench_multiway
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 1: black-box comparison of the four fundamental join
+//! representatives — MWAY, CHTJ, PRB, NOP — with 32 (simulated) threads
+//! and |R| = 128 M, |S| = 1280 M.
+//!
+//! Paper expectation: NOP fastest, then PRB, CHTJ, MWAY — the black-box
+//! baseline whose contradiction with later figures motivates the study.
+
+use mmjoin_core::{run_join, Algorithm};
+
+use crate::harness::{mtps, HarnessOpts, Table};
+
+pub fn run(opts: &HarnessOpts) -> Vec<Table> {
+    let (r, s) = opts.workload(128, 1280, 0xF161);
+    let cfg = opts.cfg();
+    let mut table = Table::new(
+        format!(
+            "Figure 1 — black-box comparison (|R|={}, |S|={}, {} sim threads, scale 1/{})",
+            r.len(),
+            s.len(),
+            opts.sim_threads,
+            opts.scale
+        ),
+        &["algo", "throughput[Mtps,sim]", "wall[ms,host]", "matches"],
+    );
+    for alg in [
+        Algorithm::Mway,
+        Algorithm::Chtj,
+        Algorithm::Prb,
+        Algorithm::Nop,
+    ] {
+        let res = run_join(alg, &r, &s, &cfg);
+        table.row(vec![
+            alg.name().to_string(),
+            mtps(res.sim_throughput_mtps(r.len(), s.len())),
+            format!("{:.1}", res.total_wall().as_secs_f64() * 1e3),
+            res.matches.to_string(),
+        ]);
+    }
+    table.note("paper: NOP > PRB > CHTJ ≈ MWAY in this un-tuned, black-box setting");
+    vec![table]
+}

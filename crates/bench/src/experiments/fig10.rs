@@ -1,0 +1,70 @@
+//! Figure 10: throughput of the nine surviving joins when scaling the
+//! dataset size, for |S| = 10·|R| and |S| = |R|.
+//!
+//! Paper expectation: for tiny inputs (≤ 4 M tuples) everyone is
+//! similar and the NOP* family shines (build table fits the LLC); with
+//! growing |R| the NOP*/CHTJ throughput collapses once the global table
+//! outgrows the LLC while the PR*/CPR* algorithms hold steady; MWAY is
+//! stable but below the radix joins; CHTJ is the most size-sensitive.
+
+use mmjoin_core::{run_join, Algorithm};
+
+use crate::harness::{mtps, HarnessOpts, Table};
+
+const ALGOS: [Algorithm; 9] = [
+    Algorithm::Mway,
+    Algorithm::Chtj,
+    Algorithm::Nop,
+    Algorithm::Nopa,
+    Algorithm::Cprl,
+    Algorithm::Cpra,
+    Algorithm::ProIs,
+    Algorithm::PrlIs,
+    Algorithm::PraIs,
+];
+
+pub fn run(opts: &HarnessOpts) -> Vec<Table> {
+    let mut out = Vec::new();
+    for (panel, sizes_m, ratio) in [
+        ("(a) |S| = 10·|R|", vec![1usize, 4, 16, 64, 128, 256], 10usize),
+        (
+            "(b) |S| = |R|",
+            vec![1usize, 8, 64, 256, 1024, 2048],
+            1usize,
+        ),
+    ] {
+        let mut headers: Vec<String> = vec!["algo".into()];
+        headers.extend(sizes_m.iter().map(|m| format!("{m}M")));
+        let mut table = Table::new(
+            format!("Figure 10 {panel} — simulated throughput [Mtps] vs |R| (paper sizes)"),
+            &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        let workloads: Vec<_> = sizes_m
+            .iter()
+            .map(|&m| {
+                let r_n = opts.tuples(m);
+                let s_n = opts.tuples(m * ratio);
+                let r = mmjoin_datagen::gen_build_dense(r_n, m as u64 + 10, opts.placement());
+                let s = mmjoin_datagen::gen_probe_fk(
+                    s_n,
+                    r_n,
+                    m as u64 ^ 0xA0,
+                    opts.placement(),
+                );
+                (r, s)
+            })
+            .collect();
+        for alg in ALGOS {
+            let mut row = vec![alg.name().to_string()];
+            for (r, s) in &workloads {
+                let cfg = opts.cfg();
+                let res = run_join(alg, r, s, &cfg);
+                row.push(mtps(res.sim_throughput_mtps(r.len(), s.len())));
+            }
+            table.row(row);
+        }
+        table.note("paper: NOP*/CHTJ degrade beyond LLC-sized builds; PR*/CPR* dominate at scale");
+        out.push(table);
+    }
+    out
+}

@@ -1,0 +1,58 @@
+//! Figure 16 (Appendix B): scalability in the number of threads,
+//! 4 → 120, on the simulated 60-core/120-context machine.
+//!
+//! Paper expectation: all methods scale well to 60 physical cores;
+//! beyond that (SMT), the partition-based joins get *worse* (hyper-
+//! threads share the private caches) and even NOP* barely gains.
+
+use mmjoin_core::{run_join, Algorithm};
+
+use crate::harness::{mtps, HarnessOpts, Table};
+
+const ALGOS: [Algorithm; 9] = [
+    Algorithm::Mway,
+    Algorithm::Chtj,
+    Algorithm::Nop,
+    Algorithm::Nopa,
+    Algorithm::Cprl,
+    Algorithm::Cpra,
+    Algorithm::ProIs,
+    Algorithm::PrlIs,
+    Algorithm::PraIs,
+];
+
+pub const THREAD_STEPS: [usize; 6] = [4, 8, 16, 32, 60, 120];
+
+pub fn run(opts: &HarnessOpts) -> Vec<Table> {
+    let mut out = Vec::new();
+    for (panel, ratio) in [("(a) |S| = 10·|R|", 10usize), ("(b) |S| = |R|", 1usize)] {
+        let r_n = opts.tuples(128);
+        let s_n = opts.tuples(128 * ratio);
+        let r = mmjoin_datagen::gen_build_dense(r_n, 0xF161, opts.placement());
+        let s = mmjoin_datagen::gen_probe_fk(s_n, r_n, 0xF162, opts.placement());
+        let mut headers: Vec<String> = vec!["algo".into()];
+        headers.extend(THREAD_STEPS.iter().map(|t| format!("{t}thr")));
+        let mut table = Table::new(
+            format!("Figure 16 {panel} — simulated throughput [Mtps] vs thread count"),
+            &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        for alg in ALGOS {
+            // MWAY's original only runs with power-of-two threads ≤ 32.
+            let mut row = vec![alg.name().to_string()];
+            for &t in &THREAD_STEPS {
+                if alg == Algorithm::Mway && (t > 32 || !t.is_power_of_two()) {
+                    row.push("-".to_string());
+                    continue;
+                }
+                let mut cfg = opts.cfg();
+                cfg.sim_threads = Some(t);
+                let res = run_join(alg, &r, &s, &cfg);
+                row.push(mtps(res.sim_throughput_mtps(r.len(), s.len())));
+            }
+            table.row(row);
+        }
+        table.note("paper: near-linear to 60 threads; SMT (120) hurts partition-based joins");
+        out.push(table);
+    }
+    out
+}

@@ -1,0 +1,53 @@
+//! Figure 18 (Appendix E): Q19 with varying selectivity of the
+//! pushed-down Lineitem selection (original: 3.57%).
+//!
+//! Paper expectation: as the selection passes more rows, the join input
+//! grows and the partition-based joins overtake the no-partitioning
+//! joins inside the query too.
+
+use mmjoin_tpch::q19::{run_q19, Q19Join};
+use mmjoin_tpch::{generate_tables, GenParams};
+
+use crate::harness::{HarnessOpts, Table};
+
+pub fn run(opts: &HarnessOpts) -> Vec<Table> {
+    let sf = 100.0 / opts.scale as f64;
+    let sels = [0.0357, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut out = Vec::new();
+    for metric in ["build/partition [ms]", "probe/join [ms]", "total [ms]"] {
+        let mut headers: Vec<String> = vec!["join".into()];
+        headers.extend(sels.iter().map(|s| format!("{:.0}%", s * 100.0)));
+        out.push(Table::new(
+            format!("Figure 18 — Q19 vs selection selectivity, {metric} (SF {sf:.2})"),
+            &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        ));
+    }
+
+    // Generate per-selectivity tables once and fill all three metrics.
+    let mut cells: Vec<Vec<Vec<String>>> = vec![Vec::new(); 3]; // [metric][join] -> row
+    for join in Q19Join::ALL {
+        for m in &mut cells {
+            m.push(vec![join.name().to_string()]);
+        }
+    }
+    for &sel in &sels {
+        let (p, l) = generate_tables(&GenParams {
+            scale_factor: sf,
+            pre_selectivity: sel,
+            seed: 0xF181,
+        });
+        for (j, join) in Q19Join::ALL.iter().enumerate() {
+            let res = run_q19(*join, &p, &l, opts.threads);
+            cells[0][j].push(format!("{:.1}", res.build_wall.as_secs_f64() * 1e3));
+            cells[1][j].push(format!("{:.1}", res.probe_wall.as_secs_f64() * 1e3));
+            cells[2][j].push(format!("{:.1}", res.total_wall().as_secs_f64() * 1e3));
+        }
+    }
+    for (m, rows) in cells.into_iter().enumerate() {
+        for row in rows {
+            out[m].row(row);
+        }
+        out[m].note("paper: partitioned joins win once the probe side grows large");
+    }
+    out
+}

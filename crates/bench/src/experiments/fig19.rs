@@ -1,0 +1,37 @@
+//! Figure 19 (Appendix G): the five-step morph from the naked-join
+//! micro-benchmark to the full Q19, at two thread counts.
+//!
+//! Paper expectation: dynamic filtering — not tuple reconstruction — is
+//! the dominant overhead; at the lower thread count even the join-index
+//! variant beats the pipelined one, at 60 threads it flips.
+
+use mmjoin_tpch::morph::run_morph;
+use mmjoin_tpch::{generate_tables, GenParams};
+
+use crate::harness::{HarnessOpts, Table};
+
+pub fn run(opts: &HarnessOpts) -> Vec<Table> {
+    let sf = 100.0 / opts.scale as f64;
+    let (p, l) = generate_tables(&GenParams {
+        scale_factor: sf,
+        pre_selectivity: 0.0357,
+        seed: 0xF191,
+    });
+    let threads_lo = opts.threads;
+    let threads_hi = (opts.threads * 2).max(2);
+    let mut table = Table::new(
+        format!("Figure 19 — morphing the micro-benchmark into Q19 (SF {sf:.2}, host wall ms)"),
+        &["variant", &format!("{threads_lo} thr"), &format!("{threads_hi} thr")],
+    );
+    let lo = run_morph(&p, &l, threads_lo);
+    let hi = run_morph(&p, &l, threads_hi);
+    for (a, b) in lo.iter().zip(&hi) {
+        table.row(vec![
+            a.label.to_string(),
+            format!("{:.1}", a.wall.as_secs_f64() * 1e3),
+            format!("{:.1}", b.wall.as_secs_f64() * 1e3),
+        ]);
+    }
+    table.note("paper: filtering the input rows eats most of the added time; join index pays off only at lower thread counts");
+    vec![table]
+}

@@ -1,0 +1,54 @@
+//! Figure 4: the NUMA write patterns of PRO vs CPRL, quantified as
+//! node-to-node traffic matrices for the scatter (write) portion of the
+//! partition phase.
+//!
+//! The paper shows these as schematic arrows; here we print the actual
+//! byte matrices the cost model attributes: PRO writes to *all* nodes
+//! (3/4 of scatter bytes remote on 4 sockets), CPRL writes only locally.
+
+use mmjoin_numamodel::traffic::{AccessClass, TrafficMatrix};
+
+use crate::harness::{HarnessOpts, Table};
+
+pub fn run(opts: &HarnessOpts) -> Vec<Table> {
+    let cfg = opts.cfg();
+    let nodes = cfg.topology.nodes;
+    let r_bytes = opts.tuples(128) as f64 * 8.0;
+    let threads = opts.sim_threads;
+    let per_thread = r_bytes / threads as f64;
+
+    let mut out = Vec::new();
+    for (label, local) in [("PRO (Figure 4(b))", false), ("CPRL (Figure 4(d))", true)] {
+        let mut m = TrafficMatrix::new(nodes);
+        for t in 0..threads {
+            let home = cfg.topology.node_of_thread(t);
+            if local {
+                m.add(AccessClass::SeqWrite, home, home, per_thread);
+            } else {
+                for n in 0..nodes {
+                    m.add(AccessClass::RandWrite, home, n, per_thread / nodes as f64);
+                }
+            }
+        }
+        let mut table = Table::new(
+            format!("Figure 4 — scatter write traffic, {label} [MB]"),
+            &["from\\to", "node0", "node1", "node2", "node3"],
+        );
+        for from in 0..nodes {
+            let mut row = vec![format!("node{from}")];
+            for to in 0..nodes {
+                let b = m.get(AccessClass::SeqWrite, from, to)
+                    + m.get(AccessClass::RandWrite, from, to);
+                row.push(format!("{:.1}", b / 1e6));
+            }
+            table.row(row);
+        }
+        table.note(format!(
+            "remote write bytes: {:.1} MB of {:.1} MB total",
+            m.remote_write_bytes() / 1e6,
+            m.total_bytes() / 1e6
+        ));
+        out.push(table);
+    }
+    out
+}

@@ -1,0 +1,45 @@
+//! Figure 6: per-node bandwidth profiles of the join phase for PRO,
+//! PROiS and CPRL (the VTune bandwidth plots of Section 6.2).
+//!
+//! Paper expectation: PRO's sequential task order saturates one memory
+//! controller at a time (a "staircase" across nodes); PROiS and CPRL
+//! drive all four nodes simultaneously.
+
+use mmjoin_core::{run_join, Algorithm};
+
+use crate::harness::{HarnessOpts, Table};
+
+const BUCKETS: usize = 16;
+
+pub fn run(opts: &HarnessOpts) -> Vec<Table> {
+    let (r, s) = opts.workload(128, 1280, 0xF166);
+    let mut cfg = opts.cfg();
+    cfg.keep_timelines = true;
+
+    let mut out = Vec::new();
+    for alg in [Algorithm::Pro, Algorithm::ProIs, Algorithm::Cprl] {
+        let res = run_join(alg, &r, &s, &cfg);
+        let Some((_, sim)) = res.timelines.iter().find(|(name, _)| *name == "join") else {
+            continue;
+        };
+        let buckets = sim.bucketed_utilization(BUCKETS);
+        let mut table = Table::new(
+            format!("Figure 6 — join-phase bandwidth profile, {} (% of node bw)", alg.name()),
+            &["time", "node0", "node1", "node2", "node3"],
+        );
+        for (i, b) in buckets.iter().enumerate() {
+            let mut row = vec![format!("{:>3}%", i * 100 / BUCKETS)];
+            for n in 0..cfg.topology.nodes {
+                row.push(format!("{:.0}", b[n] * 100.0));
+            }
+            table.row(row);
+        }
+        if alg == Algorithm::Pro {
+            table.note("paper: one hot node at a time (staircase)");
+        } else {
+            table.note("paper: all nodes utilized simultaneously");
+        }
+        out.push(table);
+    }
+    out
+}

@@ -1,0 +1,109 @@
+//! Figure 9: average total time per tuple (partition + join) when
+//! varying the radix bits, across build sizes, for the five partitioned
+//! joins PROiS/PRAiS/PRLiS/CPRL/CPRA — both the "hash table fits L2"
+//! heuristic and the empirically optimal bits.
+//!
+//! Paper expectation: the L2 heuristic matches the optimum until SWWCB
+//! state outgrows the LLC share, then partitioning costs explode and
+//! fewer bits win (columns (b) vs (d) diverge for |R| ≥ 512 M).
+
+use mmjoin_core::config::TableKind;
+use mmjoin_core::pro::{join_cpr, join_pro};
+use mmjoin_core::stats::JoinResult;
+use mmjoin_util::Relation;
+
+use crate::harness::{HarnessOpts, Table};
+
+const ALGOS: [(&str, TableKind, Mode); 5] = [
+    ("PROiS", TableKind::Chained, Mode::ProIs),
+    ("PRAiS", TableKind::Array, Mode::ProIs),
+    ("PRLiS", TableKind::Linear, Mode::ProIs),
+    ("CPRL", TableKind::Linear, Mode::Cpr),
+    ("CPRA", TableKind::Array, Mode::Cpr),
+];
+
+#[derive(Copy, Clone, PartialEq)]
+enum Mode {
+    ProIs,
+    Cpr,
+}
+
+fn run_algo(
+    mode: Mode,
+    kind: TableKind,
+    r: &Relation,
+    s: &Relation,
+    opts: &HarnessOpts,
+    bits: u32,
+) -> JoinResult {
+    let mut cfg = opts.cfg();
+    cfg.radix_bits = Some(bits);
+    match mode {
+        Mode::ProIs => join_pro(r, s, &cfg, kind, true),
+        Mode::Cpr => join_cpr(r, s, &cfg, kind),
+    }
+}
+
+fn ns_per_tuple(res: &JoinResult, tuples: usize) -> f64 {
+    res.total_sim() * 1e9 / tuples as f64
+}
+
+pub fn run(opts: &HarnessOpts) -> Vec<Table> {
+    let mut out = Vec::new();
+    // Paper sizes 16M..256M for |S|=10|R| and 16M..2048M for |S|=|R|.
+    for (panel, sizes_m, ratio) in [
+        ("(a/c) |S| = 10·|R|", vec![16usize, 64, 256], 10usize),
+        ("(b/d) |S| = |R|", vec![16usize, 128, 1024, 2048], 1usize),
+    ] {
+        let mut table = Table::new(
+            format!("Figure 9 {panel} — avg total sim time per tuple [ns]"),
+            &["algo", "|R|[paper M]", "L2-fit bits", "ns@L2-fit", "best bits", "ns@best"],
+        );
+        for &r_m in &sizes_m {
+            let r_n = opts.tuples(r_m);
+            let s_n = opts.tuples(r_m * ratio);
+            let r = mmjoin_datagen::gen_build_dense(r_n, r_m as u64, opts.placement());
+            let s =
+                mmjoin_datagen::gen_probe_fk(s_n, r_n, r_m as u64 ^ 0x99, opts.placement());
+            let tuples = r_n + s_n;
+            for (name, kind, mode) in ALGOS {
+                let cfg = opts.cfg();
+                let l2fit_bits = match kind {
+                    TableKind::Array => cfg.bits_for_array_tables(r_n),
+                    _ => {
+                        // Pure L2 branch of Equation (1), ignoring the
+                        // LLC cap — the assumption panels (a)/(b) test.
+                        let target = r_n as f64 * 8.0 / (0.5 * cfg.topology.l2_bytes() as f64);
+                        (target.log2().ceil().max(1.0) as u32).clamp(1, 18)
+                    }
+                };
+                let res = run_algo(mode, kind, &r, &s, opts, l2fit_bits);
+                let at_l2 = ns_per_tuple(&res, tuples);
+                // Search ±2 bits around the heuristic for the optimum.
+                let mut best = (l2fit_bits, at_l2);
+                for delta in [-2i32, -1, 1, 2] {
+                    let b = l2fit_bits as i32 + delta;
+                    if !(1..=18).contains(&b) {
+                        continue;
+                    }
+                    let res = run_algo(mode, kind, &r, &s, opts, b as u32);
+                    let ns = ns_per_tuple(&res, tuples);
+                    if ns < best.1 {
+                        best = (b as u32, ns);
+                    }
+                }
+                table.row(vec![
+                    name.to_string(),
+                    r_m.to_string(),
+                    l2fit_bits.to_string(),
+                    format!("{:.3}", at_l2),
+                    best.0.to_string(),
+                    format!("{:.3}", best.1),
+                ]);
+            }
+        }
+        table.note("paper: best bits < L2-fit bits once SWWCB state outgrows the LLC share");
+        out.push(table);
+    }
+    out
+}

@@ -1,0 +1,65 @@
+//! Table 3: relative speedup when scaling from 4 to 60 threads, total
+//! and per phase, for both workload shapes.
+//!
+//! Paper expectation: no method reaches the perfect 15×; CPRL/CPRA come
+//! closest (~12×), the NOP family lands around 10–11×.
+
+use mmjoin_core::{run_join, Algorithm};
+
+use crate::harness::{HarnessOpts, Table};
+
+const ALGOS: [Algorithm; 8] = [
+    Algorithm::Chtj,
+    Algorithm::Nop,
+    Algorithm::Nopa,
+    Algorithm::Cprl,
+    Algorithm::Cpra,
+    Algorithm::ProIs,
+    Algorithm::PrlIs,
+    Algorithm::PraIs,
+];
+
+pub fn run(opts: &HarnessOpts) -> Vec<Table> {
+    let mut out = Vec::new();
+    for (panel, s_m) in [("(a) |S| = 10·|R|", 1280usize), ("(b) |S| = |R|", 128usize)] {
+        let r_n = opts.tuples(128);
+        let s_n = opts.tuples(s_m);
+        let r = mmjoin_datagen::gen_build_dense(r_n, 0x7AB3, opts.placement());
+        let s = mmjoin_datagen::gen_probe_fk(s_n, r_n, 0x7AB4, opts.placement());
+        let mut table = Table::new(
+            format!("Table 3 {panel} — relative speedup 4 → 60 simulated threads"),
+            &[
+                "join",
+                "4thr[Mtps]",
+                "60thr[Mtps]",
+                "total x",
+                "build/part x",
+                "probe/join x",
+            ],
+        );
+        for alg in ALGOS {
+            let run_at = |t: usize| {
+                let mut cfg = opts.cfg();
+                cfg.sim_threads = Some(t);
+                run_join(alg, &r, &s, &cfg)
+            };
+            let r4 = run_at(4);
+            let r60 = run_at(60);
+            let first = |res: &mmjoin_core::JoinResult| {
+                res.sim_of("partition") + res.sim_of("build") + res.sim_of("sort")
+            };
+            let second = |res: &mmjoin_core::JoinResult| res.sim_of("join") + res.sim_of("probe");
+            table.row(vec![
+                alg.name().to_string(),
+                format!("{:.0}", r4.sim_throughput_mtps(r.len(), s.len())),
+                format!("{:.0}", r60.sim_throughput_mtps(r.len(), s.len())),
+                format!("{:.1}", r4.total_sim() / r60.total_sim().max(1e-12)),
+                format!("{:.1}", first(&r4) / first(&r60).max(1e-12)),
+                format!("{:.1}", second(&r4) / second(&r60).max(1e-12)),
+            ]);
+        }
+        table.note("perfect speedup would be 15.0; paper: CPR* ~12, NOP* ~10.5");
+        out.push(table);
+    }
+    out
+}

@@ -1,0 +1,65 @@
+//! Table 4: micro-architectural counters per join phase — L2/L3 misses,
+//! hit rates, "instructions retired" (traced op counts) and the IPC
+//! proxy — obtained from the trace-driven cache simulator instead of
+//! VTune (see DESIGN.md, substitution 3).
+//!
+//! Paper expectation: partition-based joins trade more instructions for
+//! ~99% join-phase hit rates and high IPC; NOP's probe misses on nearly
+//! every access; CHTJ roughly doubles NOP's probe misses; NOPA needs the
+//! fewest instructions of all.
+
+use mmjoin_core::instrumented::{instrument, PageConfig};
+use mmjoin_core::Algorithm;
+use mmjoin_memsim::Counters;
+
+use crate::harness::{HarnessOpts, Table};
+
+fn fmt(c: &Counters) -> Vec<String> {
+    vec![
+        format!("{:.1}", c.l2_misses as f64 / 1e6),
+        format!("{:.1}", c.l3_misses as f64 / 1e6),
+        format!("{:.2}", c.l2_hit_rate()),
+        format!("{:.2}", c.l3_hit_rate()),
+        format!("{:.2}", c.ops as f64 / 1e9),
+        format!("{:.2}", c.ipc()),
+    ]
+}
+
+pub fn run(opts: &HarnessOpts) -> Vec<Table> {
+    // Instrumented runs are single-threaded trace replays; keep them an
+    // order of magnitude smaller than the timing runs.
+    let scale = (opts.scale * 16).max(512);
+    let r_n = (128_000_000 / scale).max(4_096);
+    let s_n = r_n * 10;
+    let r = mmjoin_datagen::gen_build_dense(r_n, 0x7AB4, opts.placement());
+    let s = mmjoin_datagen::gen_probe_fk(s_n, r_n, 0x7AB5, opts.placement());
+    let page = PageConfig::huge(scale);
+
+    let mut cfg = opts.cfg();
+    cfg.topology.capacity_scale = scale;
+    let bits = cfg.bits_for_hash_tables(r_n);
+
+    let mut out = Vec::new();
+    for (phase_name, pick) in [
+        ("Sort or Build or Partition Phase", 0usize),
+        ("Probe or Join Phase", 1usize),
+    ] {
+        let mut table = Table::new(
+            format!("Table 4 — {phase_name} (simulated counters, |R|={r_n}, |S|={s_n})"),
+            &["join", "L2 miss[M]", "L3 miss[M]", "L2 hit", "L3 hit", "IR[B]", "IPC"],
+        );
+        for alg in Algorithm::ALL {
+            let b = if alg == Algorithm::Prb { 14.min(bits * 2) } else { bits };
+            let run = instrument(alg, &r, &s, scale, page, b);
+            let c = if pick == 0 { &run.first } else { &run.second };
+            let mut row = vec![alg.name().to_string()];
+            row.extend(fmt(c));
+            table.row(row);
+        }
+        if pick == 1 {
+            table.note("paper: PR*/CPR* join phases ~99% hit rates & IPC ~2; NOP ~0.39 IPC; CHTJ ~2x NOP misses");
+        }
+        out.push(table);
+    }
+    out
+}

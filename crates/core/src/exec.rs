@@ -1,0 +1,92 @@
+//! Thread-parallel execution helpers shared by all joins.
+
+use mmjoin_util::checksum::JoinChecksum;
+use mmjoin_util::chunk_range;
+use mmjoin_util::tuple::Tuple;
+
+/// Run `f(thread_idx, chunk)` over equal chunks of `items` on `threads`
+/// scoped threads; collect the per-thread results in thread order.
+///
+/// The scope join is the phase barrier that publishes all writes — the
+/// happens-before edge the lock-free tables' relaxed probes rely on.
+pub fn parallel_chunks<R, F>(items: &[Tuple], threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &[Tuple]) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let chunk = &items[chunk_range(items.len(), threads, t)];
+                let f = &f;
+                s.spawn(move || f(t, chunk))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Merge per-thread checksums.
+pub fn merge_checksums(parts: Vec<JoinChecksum>) -> JoinChecksum {
+    let mut total = JoinChecksum::new();
+    for p in parts {
+        total.merge(p);
+    }
+    total
+}
+
+/// Run `worker(thread_idx)` on `threads` scoped threads and merge their
+/// checksums — the shape of every task-queue join phase.
+pub fn parallel_workers<F>(threads: usize, worker: F) -> JoinChecksum
+where
+    F: Fn(usize) -> JoinChecksum + Sync,
+{
+    let threads = threads.max(1);
+    let parts: Vec<JoinChecksum> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let worker = &worker;
+                s.spawn(move || worker(t))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    merge_checksums(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_all_items() {
+        let items: Vec<Tuple> = (0..1000).map(|i| Tuple::new(i + 1, i)).collect();
+        let counts = parallel_chunks(&items, 7, |_, chunk| chunk.len());
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        assert_eq!(counts.len(), 7);
+    }
+
+    #[test]
+    fn results_in_thread_order() {
+        let items: Vec<Tuple> = (0..100).map(|i| Tuple::new(i + 1, i)).collect();
+        let firsts = parallel_chunks(&items, 4, |_, chunk| chunk[0].key);
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn workers_merge() {
+        let total = parallel_workers(8, |t| {
+            let mut c = JoinChecksum::new();
+            c.add(t as u32 + 1, 0, 0);
+            c
+        });
+        assert_eq!(total.count, 8);
+    }
+
+    #[test]
+    fn empty_items() {
+        let out = parallel_chunks(&[], 4, |_, chunk| chunk.len());
+        assert_eq!(out, vec![0]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Reference join for correctness verification.
+//!
+//! A deliberately boring single-threaded hash join over `std` collections:
+//! every one of the thirteen algorithms must produce exactly this
+//! checksum and match count on every workload.
+
+use std::collections::HashMap;
+
+use mmjoin_util::checksum::JoinChecksum;
+use mmjoin_util::Relation;
+
+/// Join `r ⋈ s` on key and return the verification checksum.
+pub fn reference_join(r: &Relation, s: &Relation) -> JoinChecksum {
+    let mut table: HashMap<u32, Vec<u32>> = HashMap::with_capacity(r.len());
+    for t in r.tuples() {
+        table.entry(t.key).or_default().push(t.payload);
+    }
+    let mut c = JoinChecksum::new();
+    for t in s.tuples() {
+        if let Some(payloads) = table.get(&t.key) {
+            for &bp in payloads {
+                c.add(t.key, bp, t.payload);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_util::{Placement, Tuple};
+
+    #[test]
+    fn counts_cross_products() {
+        let r = Relation::from_tuples(
+            &[Tuple::new(1, 10), Tuple::new(1, 11), Tuple::new(2, 20)],
+            Placement::Interleaved,
+        );
+        let s = Relation::from_tuples(
+            &[Tuple::new(1, 100), Tuple::new(1, 101), Tuple::new(3, 300)],
+            Placement::Interleaved,
+        );
+        let c = reference_join(&r, &s);
+        assert_eq!(c.count, 4); // 2 build × 2 probe matches on key 1
+    }
+
+    #[test]
+    fn empty_sides() {
+        let empty = Relation::from_tuples(&[], Placement::Interleaved);
+        let r = Relation::from_tuples(&[Tuple::new(1, 0)], Placement::Interleaved);
+        assert_eq!(reference_join(&empty, &r).count, 0);
+        assert_eq!(reference_join(&r, &empty).count, 0);
+    }
+}

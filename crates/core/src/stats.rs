@@ -1,0 +1,132 @@
+//! Join results: verification data + per-phase measured and simulated
+//! times.
+
+use std::time::Duration;
+
+use mmjoin_numamodel::PhaseSim;
+use mmjoin_util::checksum::JoinChecksum;
+
+use crate::Algorithm;
+
+/// One barrier-delimited phase of a join.
+#[derive(Clone, Debug)]
+pub struct PhaseStat {
+    pub name: &'static str,
+    /// Wall-clock time on this host.
+    pub wall: Duration,
+    /// Simulated time on the configured topology (0 if simulation off).
+    pub sim_seconds: f64,
+}
+
+/// Result of one join execution.
+#[derive(Debug)]
+pub struct JoinResult {
+    pub algorithm: Algorithm,
+    /// Number of output matches.
+    pub matches: u64,
+    /// Order-independent digest over all matches.
+    pub checksum: u64,
+    pub phases: Vec<PhaseStat>,
+    /// Radix bits actually used (partitioned joins).
+    pub radix_bits: Option<u32>,
+    /// Per-phase simulator outputs, kept only when
+    /// `JoinConfig::keep_timelines` is set (Figure 6).
+    pub timelines: Vec<(&'static str, PhaseSim)>,
+}
+
+impl JoinResult {
+    pub fn new(algorithm: Algorithm) -> Self {
+        JoinResult {
+            algorithm,
+            matches: 0,
+            checksum: 0,
+            phases: Vec::new(),
+            radix_bits: None,
+            timelines: Vec::new(),
+        }
+    }
+
+    pub fn set_checksum(&mut self, c: JoinChecksum) {
+        self.matches = c.count;
+        self.checksum = c.digest;
+    }
+
+    pub fn push_phase(&mut self, name: &'static str, wall: Duration, sim_seconds: f64) {
+        self.phases.push(PhaseStat {
+            name,
+            wall,
+            sim_seconds,
+        });
+    }
+
+    /// Total measured wall time.
+    pub fn total_wall(&self) -> Duration {
+        self.phases.iter().map(|p| p.wall).sum()
+    }
+
+    /// Total simulated time on the modeled machine.
+    pub fn total_sim(&self) -> f64 {
+        self.phases.iter().map(|p| p.sim_seconds).sum()
+    }
+
+    /// Sum of phases whose name contains `needle` (e.g. "partition").
+    pub fn sim_of(&self, needle: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name.contains(needle))
+            .map(|p| p.sim_seconds)
+            .sum()
+    }
+
+    pub fn wall_of(&self, needle: &str) -> Duration {
+        self.phases
+            .iter()
+            .filter(|p| p.name.contains(needle))
+            .map(|p| p.wall)
+            .sum()
+    }
+
+    /// Paper throughput metric `(|R|+|S|) / time` in Mtuples/s over the
+    /// *simulated* time.
+    pub fn sim_throughput_mtps(&self, r_len: usize, s_len: usize) -> f64 {
+        let t = self.total_sim();
+        if t <= 0.0 {
+            return f64::INFINITY;
+        }
+        (r_len + s_len) as f64 / t / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_filters() {
+        let mut r = JoinResult::new(Algorithm::Pro);
+        r.push_phase("partition", Duration::from_millis(10), 0.5);
+        r.push_phase("join", Duration::from_millis(20), 1.0);
+        assert_eq!(r.total_wall(), Duration::from_millis(30));
+        assert!((r.total_sim() - 1.5).abs() < 1e-12);
+        assert!((r.sim_of("join") - 1.0).abs() < 1e-12);
+        assert_eq!(r.wall_of("partition"), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn checksum_transfer() {
+        let mut c = JoinChecksum::new();
+        c.add(1, 2, 3);
+        let mut r = JoinResult::new(Algorithm::Nop);
+        r.set_checksum(c);
+        assert_eq!(r.matches, 1);
+        assert_ne!(r.checksum, 0);
+    }
+
+    #[test]
+    fn throughput_uses_sim_time() {
+        let mut r = JoinResult::new(Algorithm::Cprl);
+        r.push_phase("join", Duration::ZERO, 2.0);
+        let mt = r.sim_throughput_mtps(1_000_000, 1_000_000);
+        assert!((mt - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,236 @@
+//! Array "hash tables" (Section 5.2, "Arrays").
+//!
+//! For dense, unique key domains (`ID INTEGER PRIMARY KEY AUTOINCREMENT`)
+//! the key itself can index an array holding only the payload — no keys
+//! stored, no collisions, one cache line touched per probe. This yields
+//! the NOPA/PRA/CPRA/PRAiS variants.
+//!
+//! Presence is encoded with the payload sentinel [`EMPTY`]; payloads in
+//! the study are row ids `< 2^31`, so `u32::MAX` is free. Appendix C
+//! ("holes in the key range") uses the same structure over a domain `k`
+//! times larger than the relation.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use mmjoin_util::tuple::{Key, Payload, Tuple};
+
+use crate::{JoinTable, TableSpec};
+
+/// Sentinel payload marking an unoccupied slot.
+pub const EMPTY: u32 = u32::MAX;
+
+/// Single-threaded array table for one co-partition join (PRA/CPRA).
+///
+/// Keys of a radix partition share their low `key_shift` bits, so
+/// `key >> key_shift` indexes densely.
+pub struct ArrayTable {
+    payloads: Vec<u32>,
+    key_shift: u32,
+}
+
+impl ArrayTable {
+    pub fn new(array_len: usize, key_shift: u32) -> Self {
+        ArrayTable {
+            payloads: vec![EMPTY; array_len],
+            key_shift,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, key: Key) -> usize {
+        (key >> self.key_shift) as usize
+    }
+
+    #[inline]
+    pub fn insert(&mut self, t: Tuple) {
+        debug_assert_ne!(t.payload, EMPTY, "payload sentinel collision");
+        let s = self.slot(t.key);
+        debug_assert_eq!(
+            self.payloads[s], EMPTY,
+            "array join requires unique keys (slot {s} taken)"
+        );
+        self.payloads[s] = t.payload;
+    }
+
+    #[inline]
+    pub fn probe<F: FnMut(Payload)>(&self, key: Key, mut f: F) {
+        if let Some(&p) = self.payloads.get(self.slot(key)) {
+            if p != EMPTY {
+                f(p);
+            }
+        }
+    }
+
+    /// [`ArrayTable::insert`] with memory-access tracing (Table 4).
+    pub fn insert_traced<T: mmjoin_util::trace::MemTracer>(&mut self, t: Tuple, tr: &mut T) {
+        let s = self.slot(t.key);
+        tr.ops(2);
+        tr.write(&self.payloads[s] as *const u32 as usize, 4);
+        self.payloads[s] = t.payload;
+    }
+
+    /// [`ArrayTable::probe`] with memory-access tracing (Table 4).
+    pub fn probe_traced<T: mmjoin_util::trace::MemTracer, F: FnMut(Payload)>(
+        &self,
+        key: Key,
+        tr: &mut T,
+        mut f: F,
+    ) {
+        tr.ops(2);
+        let s = self.slot(key);
+        if let Some(&p) = self.payloads.get(s) {
+            tr.read(&self.payloads[s] as *const u32 as usize, 4);
+            if p != EMPTY {
+                f(p);
+            }
+        }
+    }
+}
+
+impl JoinTable for ArrayTable {
+    fn with_spec(spec: &TableSpec) -> Self {
+        ArrayTable::new(spec.array_len, spec.key_shift)
+    }
+
+    #[inline]
+    fn insert(&mut self, t: Tuple) {
+        ArrayTable::insert(self, t)
+    }
+
+    #[inline]
+    fn probe<F: FnMut(Payload)>(&self, key: Key, f: F) {
+        ArrayTable::probe(self, key, f)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.payloads.len() * 4
+    }
+}
+
+/// Concurrent global array table (NOPA).
+///
+/// The build relation's keys are unique, so concurrent inserts target
+/// distinct slots; relaxed atomic stores suffice (the build/probe barrier
+/// publishes them).
+pub struct ConcurrentArrayTable {
+    payloads: Box<[AtomicU32]>,
+    /// Smallest key in the domain (1 for the canonical workload).
+    base: Key,
+}
+
+impl ConcurrentArrayTable {
+    /// Table over the key domain `[base, base + len)`.
+    pub fn new(len: usize, base: Key) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || AtomicU32::new(EMPTY));
+        ConcurrentArrayTable {
+            payloads: v.into_boxed_slice(),
+            base,
+        }
+    }
+
+    #[inline]
+    pub fn insert(&self, t: Tuple) {
+        debug_assert_ne!(t.payload, EMPTY);
+        let slot = (t.key - self.base) as usize;
+        self.payloads[slot].store(t.payload, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn probe<F: FnMut(Payload)>(&self, key: Key, mut f: F) {
+        let Some(slot) = key.checked_sub(self.base).map(|s| s as usize) else {
+            return;
+        };
+        if let Some(p) = self.payloads.get(slot) {
+            let p = p.load(Ordering::Relaxed);
+            if p != EMPTY {
+                f(p);
+            }
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.payloads.len()
+    }
+
+    pub fn memory_bytes(&self) -> usize {
+        self.payloads.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn st_insert_probe() {
+        let mut t = ArrayTable::new(101, 0);
+        for k in 1..=100u32 {
+            t.insert(Tuple::new(k, k + 7));
+        }
+        for k in 1..=100u32 {
+            let mut hits = Vec::new();
+            t.probe(k, |p| hits.push(p));
+            assert_eq!(hits, vec![k + 7]);
+        }
+    }
+
+    #[test]
+    fn st_miss_on_hole_and_out_of_range() {
+        let mut t = ArrayTable::new(10, 0);
+        t.insert(Tuple::new(3, 30));
+        let mut hits = Vec::new();
+        t.probe(4, |p| hits.push(p)); // hole
+        t.probe(4000, |p| hits.push(p)); // out of range
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn st_shifted_partition_keys() {
+        // Radix partition with 4 low bits = 0b0101: keys 5, 21, 37 ...
+        let shift = 4;
+        let mut t = ArrayTable::new(16, shift);
+        for i in 0..10u32 {
+            let key = (i << shift) | 0b0101;
+            t.insert(Tuple::new(key, i));
+        }
+        for i in 0..10u32 {
+            let key = (i << shift) | 0b0101;
+            let mut hits = Vec::new();
+            t.probe(key, |p| hits.push(p));
+            assert_eq!(hits, vec![i]);
+        }
+    }
+
+    #[test]
+    fn concurrent_parallel_build_probe() {
+        let n = 10_000;
+        let t = ConcurrentArrayTable::new(n, 1);
+        std::thread::scope(|s| {
+            for th in 0..4 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in (th..n).step_by(4) {
+                        t.insert(Tuple::new(i as u32 + 1, i as u32));
+                    }
+                });
+            }
+        });
+        for k in 1..=n as u32 {
+            let mut hits = Vec::new();
+            t.probe(k, |p| hits.push(p));
+            assert_eq!(hits, vec![k - 1]);
+        }
+    }
+
+    #[test]
+    fn concurrent_probe_below_base_is_miss() {
+        let t = ConcurrentArrayTable::new(10, 5);
+        t.insert(Tuple::new(5, 0));
+        let mut hits = Vec::new();
+        t.probe(2, |p| hits.push(p));
+        assert!(hits.is_empty());
+        t.probe(5, |p| hits.push(p));
+        assert_eq!(hits, vec![0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! The hash-table zoo of the join study.
+//!
+//! Section 5.2 of the paper ("Choice of Hash Method") shows that the
+//! *same* join skeleton with different tables (chained vs. linear probing
+//! vs. concise vs. plain array) produces the PRO/PRL/PRA and NOP/NOPA
+//! variants. This crate provides all of them:
+//!
+//! | Type | Used by | Concurrency |
+//! |------|---------|-------------|
+//! | [`StChainedTable`] | PRB/PRO join phase (per partition) | single writer |
+//! | [`StLinearTable`] | PRL/CPRL join phase | single writer |
+//! | [`ArrayTable`] | PRA/CPRA join phase | single writer |
+//! | [`ConcurrentLinearTable`] | NOP global table | lock-free CAS inserts |
+//! | [`ConcurrentArrayTable`] | NOPA global table | atomic stores |
+//! | [`ConciseHashTable`] | CHTJ | bulkloaded, then read-only |
+//!
+//! Per-partition tables implement [`JoinTable`], which is what makes the
+//! partitioned join phase generic over the hash method.
+//!
+//! Hash functions live in [`hashfn`]; like the paper (Section 7.1) the
+//! default for dense primary keys is the identity function modulo table
+//! size.
+
+pub mod array;
+pub mod chained;
+pub mod cht;
+pub mod hashfn;
+pub mod linear;
+
+pub use array::{ArrayTable, ConcurrentArrayTable};
+pub use chained::StChainedTable;
+pub use cht::ConciseHashTable;
+pub use hashfn::{CrcHash, IdentityHash, KeyHash, MultiplicativeHash, MurmurHash};
+pub use linear::{ConcurrentLinearTable, StLinearTable};
+
+use mmjoin_util::tuple::{Key, Payload, Tuple};
+
+/// Construction parameters for per-partition join tables.
+#[derive(Copy, Clone, Debug)]
+pub struct TableSpec {
+    /// Number of tuples the table must hold.
+    pub capacity: usize,
+    /// Keys in a radix partition share their low `key_shift` bits; tables
+    /// must hash/index on `key >> key_shift` or every key collides into
+    /// one bucket (the original radix-join code's HASH_BIT_MODULO uses
+    /// exactly this shift). Arrays index densely with it.
+    pub key_shift: u32,
+    /// For [`ArrayTable`]: number of addressable slots.
+    pub array_len: usize,
+}
+
+impl TableSpec {
+    /// Spec for hash-based tables over un-partitioned input.
+    pub fn hashed(capacity: usize) -> Self {
+        TableSpec {
+            capacity,
+            key_shift: 0,
+            array_len: 0,
+        }
+    }
+
+    /// Spec for hash-based tables over one radix partition of
+    /// `radix_bits` low bits.
+    pub fn hashed_partition(capacity: usize, radix_bits: u32) -> Self {
+        TableSpec {
+            capacity,
+            key_shift: radix_bits,
+            array_len: 0,
+        }
+    }
+
+    /// Spec for array tables over a radix partition: keys of partition `p`
+    /// under `radix_bits` low bits satisfy `key & mask == p`, so
+    /// `key >> radix_bits` is dense within the partition.
+    pub fn array(radix_bits: u32, domain: usize) -> Self {
+        let array_len = (domain >> radix_bits) + 2;
+        TableSpec {
+            capacity: array_len,
+            key_shift: radix_bits,
+            array_len,
+        }
+    }
+}
+
+/// A single-threaded build/probe table for one co-partition join.
+pub trait JoinTable: Sized {
+    /// Allocate an empty table per `spec`.
+    fn with_spec(spec: &TableSpec) -> Self;
+
+    /// Insert one build tuple.
+    fn insert(&mut self, t: Tuple);
+
+    /// Invoke `f` with the payload of every build tuple matching `key`.
+    fn probe<F: FnMut(Payload)>(&self, key: Key, f: F);
+
+    /// Probe under the study's unique-build-key assumption: may stop at
+    /// the first match. Defaults to [`JoinTable::probe`]; linear probing
+    /// overrides it (scanning a dense partition's whole collision run
+    /// for duplicates that cannot exist costs O(partition) per probe).
+    fn probe_unique<F: FnMut(Payload)>(&self, key: Key, f: F) {
+        self.probe(key, f)
+    }
+
+    /// Bytes of memory held (for the memory-footprint comparisons).
+    fn memory_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use mmjoin_util::rng::Xoshiro256;
+
+    /// Reference semantics: multiset of payloads per key.
+    pub fn reference_probe(tuples: &[Tuple], key: Key) -> Vec<Payload> {
+        let mut v: Vec<Payload> = tuples
+            .iter()
+            .filter(|t| t.key == key)
+            .map(|t| t.payload)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Exercise any `JoinTable` against reference semantics with random
+    /// (possibly duplicate) keys.
+    pub fn check_join_table<T: JoinTable>(spec: &TableSpec, tuples: &[Tuple], probes: &[Key]) {
+        let mut table = T::with_spec(spec);
+        for &t in tuples {
+            table.insert(t);
+        }
+        for &k in probes {
+            let mut got = Vec::new();
+            table.probe(k, |p| got.push(p));
+            got.sort_unstable();
+            assert_eq!(got, reference_probe(tuples, k), "key {k}");
+        }
+    }
+
+    pub fn random_tuples(n: usize, key_range: u32, seed: u64) -> Vec<Tuple> {
+        let mut rng = Xoshiro256::new(seed);
+        (0..n)
+            .map(|i| Tuple::new(rng.below(key_range as u64) as u32 + 1, i as u32))
+            .collect()
+    }
+}

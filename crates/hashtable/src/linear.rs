@@ -1,0 +1,433 @@
+//! Linear-probing hash tables.
+//!
+//! * [`StLinearTable`] — the single-threaded open-addressing table used in
+//!   the join phase of PRL/PRLiS/CPRL ("CPRL uses the same linear probing
+//!   hash table as PRL", Section 6.1).
+//! * [`ConcurrentLinearTable`] — the lock-free table of the NOP join (Lang
+//!   et al.): inserts claim slots with a compare-and-swap, probes are
+//!   entirely synchronization-free.
+//!
+//! Both reserve the packed value 0 (key 0) as the EMPTY sentinel, exactly
+//! like the original NOP implementation; the workload generators produce
+//! keys ≥ 1.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mmjoin_util::tuple::{Key, Payload, Tuple};
+use mmjoin_util::{next_pow2, CACHE_LINE};
+
+use crate::hashfn::{IdentityHash, KeyHash};
+use crate::{JoinTable, TableSpec};
+
+/// Slots per tuple: capacity = next_pow2(2 * n) gives a load factor ≤ 50%,
+/// the configuration used by Lang et al.'s NOP.
+const OVERALLOC: usize = 2;
+
+/// Single-threaded linear-probing table (join phase of the PR*/CPR*
+/// linear variants).
+pub struct StLinearTable<H: KeyHash = IdentityHash> {
+    slots: Vec<u64>,
+    mask: u32,
+    hash: H,
+    len: usize,
+    /// Keys are hashed as `key >> shift` (radix-partition tables pass the
+    /// partition bits here so identity hashing spreads again).
+    shift: u32,
+}
+
+impl<H: KeyHash + Default> StLinearTable<H> {
+    pub fn with_capacity(n: usize) -> Self {
+        Self::with_capacity_shift(n, 0)
+    }
+
+    /// Table whose keys share their low `shift` bits (one radix
+    /// partition): hash on the distinguishing high bits.
+    pub fn with_capacity_shift(n: usize, shift: u32) -> Self {
+        let size = next_pow2(n * OVERALLOC);
+        StLinearTable {
+            slots: vec![0u64; size],
+            mask: (size - 1) as u32,
+            hash: H::default(),
+            len: 0,
+            shift,
+        }
+    }
+}
+
+impl<H: KeyHash> StLinearTable<H> {
+    #[inline]
+    fn home(&self, key: Key) -> usize {
+        self.hash.index(key >> self.shift, self.mask) as usize
+    }
+
+    #[inline]
+    pub fn insert(&mut self, t: Tuple) {
+        debug_assert_ne!(t.key, 0, "key 0 is the EMPTY sentinel");
+        assert!(self.len < self.slots.len(), "table full");
+        let mut idx = self.home(t.key);
+        loop {
+            if self.slots[idx] == 0 {
+                self.slots[idx] = t.pack();
+                self.len += 1;
+                return;
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+    }
+
+    #[inline]
+    pub fn probe<F: FnMut(Payload)>(&self, key: Key, mut f: F) {
+        let mut idx = self.home(key);
+        loop {
+            let slot = self.slots[idx];
+            if slot == 0 {
+                return;
+            }
+            let t = Tuple::unpack(slot);
+            if t.key == key {
+                f(t.payload);
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+    }
+
+    /// Probe assuming *unique* build keys (the study's PK assumption):
+    /// stops at the first match instead of scanning the whole collision
+    /// run for duplicates.
+    #[inline]
+    pub fn probe_first<F: FnMut(Payload)>(&self, key: Key, mut f: F) {
+        let mut idx = self.home(key);
+        loop {
+            let slot = self.slots[idx];
+            if slot == 0 {
+                return;
+            }
+            let t = Tuple::unpack(slot);
+            if t.key == key {
+                f(t.payload);
+                return;
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// [`StLinearTable::insert`] with memory-access tracing (Table 4).
+    pub fn insert_traced<T: mmjoin_util::trace::MemTracer>(&mut self, t: Tuple, tr: &mut T) {
+        debug_assert_ne!(t.key, 0);
+        let mut idx = self.home(t.key);
+        tr.ops(3);
+        loop {
+            tr.read(&self.slots[idx] as *const u64 as usize, 8);
+            if self.slots[idx] == 0 {
+                tr.write(&self.slots[idx] as *const u64 as usize, 8);
+                tr.ops(2);
+                self.slots[idx] = t.pack();
+                self.len += 1;
+                return;
+            }
+            tr.ops(1);
+            idx = (idx + 1) & self.mask as usize;
+        }
+    }
+
+    /// [`StLinearTable::probe`] with memory-access tracing (Table 4).
+    pub fn probe_traced<T: mmjoin_util::trace::MemTracer, F: FnMut(Payload)>(
+        &self,
+        key: Key,
+        tr: &mut T,
+        mut f: F,
+    ) {
+        let mut idx = self.home(key);
+        tr.ops(3);
+        loop {
+            tr.read(&self.slots[idx] as *const u64 as usize, 8);
+            let slot = self.slots[idx];
+            if slot == 0 {
+                return;
+            }
+            let t = Tuple::unpack(slot);
+            tr.ops(2);
+            if t.key == key {
+                f(t.payload);
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+    }
+
+    /// [`StLinearTable::probe_first`] with memory-access tracing.
+    pub fn probe_first_traced<T: mmjoin_util::trace::MemTracer, F: FnMut(Payload)>(
+        &self,
+        key: Key,
+        tr: &mut T,
+        mut f: F,
+    ) {
+        let mut idx = self.home(key);
+        tr.ops(3);
+        loop {
+            tr.read(&self.slots[idx] as *const u64 as usize, 8);
+            let slot = self.slots[idx];
+            if slot == 0 {
+                return;
+            }
+            let t = Tuple::unpack(slot);
+            tr.ops(2);
+            if t.key == key {
+                f(t.payload);
+                return;
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+    }
+}
+
+impl<H: KeyHash + Default> JoinTable for StLinearTable<H> {
+    fn with_spec(spec: &TableSpec) -> Self {
+        Self::with_capacity_shift(spec.capacity, spec.key_shift)
+    }
+
+    #[inline]
+    fn insert(&mut self, t: Tuple) {
+        StLinearTable::insert(self, t)
+    }
+
+    #[inline]
+    fn probe<F: FnMut(Payload)>(&self, key: Key, f: F) {
+        StLinearTable::probe(self, key, f)
+    }
+
+    #[inline]
+    fn probe_unique<F: FnMut(Payload)>(&self, key: Key, f: F) {
+        StLinearTable::probe_first(self, key, f)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.slots.len() * 8
+    }
+}
+
+/// Lock-free concurrent linear-probing table (the NOP global table).
+///
+/// Inserts CAS the whole packed `<key,payload>` word into an empty slot —
+/// equivalent to (and race-free like) the original's CAS-on-key followed
+/// by a plain payload store, because the packed word is claimed and
+/// published in a single atomic operation.
+///
+/// Probes use `Relaxed` loads: the join driver separates build and probe
+/// phases with a barrier (thread join / `std::sync::Barrier`), which
+/// provides the necessary happens-before edge for all inserted entries.
+pub struct ConcurrentLinearTable<H: KeyHash = IdentityHash> {
+    slots: Box<[AtomicU64]>,
+    mask: u32,
+    hash: H,
+}
+
+impl<H: KeyHash + Default> ConcurrentLinearTable<H> {
+    pub fn with_capacity(n: usize) -> Self {
+        let size = next_pow2(n * OVERALLOC);
+        let mut v = Vec::with_capacity(size);
+        v.resize_with(size, || AtomicU64::new(0));
+        ConcurrentLinearTable {
+            slots: v.into_boxed_slice(),
+            mask: (size - 1) as u32,
+            hash: H::default(),
+        }
+    }
+}
+
+impl<H: KeyHash> ConcurrentLinearTable<H> {
+    /// Insert from any thread.
+    #[inline]
+    pub fn insert(&self, t: Tuple) {
+        debug_assert_ne!(t.key, 0, "key 0 is the EMPTY sentinel");
+        let packed = t.pack();
+        let mut idx = self.hash.index(t.key, self.mask) as usize;
+        let mut wrapped = false;
+        loop {
+            let slot = &self.slots[idx];
+            if slot.load(Ordering::Relaxed) == 0 {
+                match slot.compare_exchange(0, packed, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => return,
+                    Err(_) => { /* lost the race for this slot; keep probing */ }
+                }
+            }
+            idx = (idx + 1) & self.mask as usize;
+            if idx == self.hash.index(t.key, self.mask) as usize {
+                assert!(!wrapped, "concurrent linear table full");
+                wrapped = true;
+            }
+        }
+    }
+
+    /// Probe after the build barrier, scanning the full collision run
+    /// (supports duplicate build keys). With *dense unique* keys and
+    /// identity hashing the occupied slots form one giant run, making
+    /// this O(|R|) per probe — use [`Self::probe_first`] for the study's
+    /// unique-PK workloads.
+    #[inline]
+    pub fn probe<F: FnMut(Payload)>(&self, key: Key, mut f: F) {
+        let mut idx = self.hash.index(key, self.mask) as usize;
+        loop {
+            let slot = self.slots[idx].load(Ordering::Relaxed);
+            if slot == 0 {
+                return;
+            }
+            let t = Tuple::unpack(slot);
+            if t.key == key {
+                f(t.payload);
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+    }
+
+    /// Probe assuming unique build keys: stop at the first match (the
+    /// original NOP's lookup semantics for primary-key builds).
+    #[inline]
+    pub fn probe_first<F: FnMut(Payload)>(&self, key: Key, mut f: F) {
+        let mut idx = self.hash.index(key, self.mask) as usize;
+        loop {
+            let slot = self.slots[idx].load(Ordering::Relaxed);
+            if slot == 0 {
+                return;
+            }
+            let t = Tuple::unpack(slot);
+            if t.key == key {
+                f(t.payload);
+                return;
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+    }
+
+    /// Number of slots (for traffic accounting).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * 8
+    }
+
+    /// Cache lines touched per random probe — 1 for a ≤50% loaded table
+    /// hit within a line; used by the cost model.
+    pub fn lines_per_probe(&self) -> f64 {
+        1.0 + 8.0 / CACHE_LINE as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{check_join_table, random_tuples};
+
+    #[test]
+    fn st_insert_probe_unique_keys() {
+        let mut t = StLinearTable::<IdentityHash>::with_capacity(100);
+        for k in 1..=100u32 {
+            t.insert(Tuple::new(k, k * 10));
+        }
+        for k in 1..=100u32 {
+            let mut hits = Vec::new();
+            t.probe(k, |p| hits.push(p));
+            assert_eq!(hits, vec![k * 10]);
+        }
+        let mut miss = Vec::new();
+        t.probe(101, |p| miss.push(p));
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn st_duplicates_all_found() {
+        let mut t = StLinearTable::<IdentityHash>::with_capacity(10);
+        t.insert(Tuple::new(5, 1));
+        t.insert(Tuple::new(5, 2));
+        t.insert(Tuple::new(5, 3));
+        let mut hits = Vec::new();
+        t.probe(5, |p| hits.push(p));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn st_matches_reference_on_random_input() {
+        let tuples = random_tuples(500, 100, 42);
+        let probes: Vec<u32> = (1..=120).collect();
+        let spec = TableSpec::hashed(tuples.len());
+        check_join_table::<StLinearTable<IdentityHash>>(&spec, &tuples, &probes);
+        check_join_table::<StLinearTable<crate::MurmurHash>>(&spec, &tuples, &probes);
+    }
+
+    #[test]
+    fn concurrent_single_thread_semantics() {
+        let t = ConcurrentLinearTable::<IdentityHash>::with_capacity(100);
+        for k in 1..=100u32 {
+            t.insert(Tuple::new(k, k));
+        }
+        for k in 1..=100u32 {
+            let mut hits = Vec::new();
+            t.probe(k, |p| hits.push(p));
+            assert_eq!(hits, vec![k]);
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads() {
+        let n = 10_000usize;
+        let table = ConcurrentLinearTable::<IdentityHash>::with_capacity(n);
+        let threads = 8;
+        std::thread::scope(|s| {
+            for th in 0..threads {
+                let table = &table;
+                s.spawn(move || {
+                    for i in (th..n).step_by(threads) {
+                        table.insert(Tuple::new(i as u32 + 1, i as u32));
+                    }
+                });
+            }
+        });
+        // Every key present exactly once.
+        for k in 1..=n as u32 {
+            let mut hits = Vec::new();
+            table.probe(k, |p| hits.push(p));
+            assert_eq!(hits, vec![k - 1], "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_contended_duplicate_keys() {
+        // All threads insert the SAME key: every insert must land.
+        let table = ConcurrentLinearTable::<IdentityHash>::with_capacity(1000);
+        std::thread::scope(|s| {
+            for th in 0..8u32 {
+                let table = &table;
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        table.insert(Tuple::new(7, th * 1000 + i));
+                    }
+                });
+            }
+        });
+        let mut hits = Vec::new();
+        table.probe(7, |p| hits.push(p));
+        assert_eq!(hits.len(), 800);
+        hits.sort_unstable();
+        hits.dedup();
+        assert_eq!(hits.len(), 800, "all payloads distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "table full")]
+    fn st_overflow_panics() {
+        let mut t = StLinearTable::<IdentityHash>::with_capacity(1);
+        for k in 1..=10u32 {
+            t.insert(Tuple::new(k, 0));
+        }
+    }
+}

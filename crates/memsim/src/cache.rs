@@ -1,0 +1,126 @@
+//! A set-associative, LRU, write-allocate cache level.
+
+use mmjoin_util::CACHE_LINE;
+
+/// Geometry of one cache level.
+#[derive(Copy, Clone, Debug)]
+pub struct CacheConfig {
+    /// Total bytes.
+    pub size: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    pub fn new(size: usize, assoc: usize) -> Self {
+        assert!(size >= CACHE_LINE * assoc, "cache smaller than one set");
+        CacheConfig { size, assoc }
+    }
+
+    pub fn sets(&self) -> usize {
+        (self.size / CACHE_LINE / self.assoc).next_power_of_two()
+    }
+}
+
+/// One cache level. Tags are line numbers; each set is kept in LRU order
+/// (index 0 = most recent).
+pub struct Cache {
+    /// `sets * assoc` tags; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    assoc: usize,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            tags: vec![u64::MAX; sets * config.assoc],
+            assoc: config.assoc,
+            set_mask: (sets - 1) as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access one cache line (by line number). Returns `true` on hit.
+    /// Misses allocate (LRU eviction).
+    #[inline]
+    pub fn access(&mut self, line: u64) -> bool {
+        let set = (line & self.set_mask) as usize;
+        let ways = &mut self.tags[set * self.assoc..(set + 1) * self.assoc];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // Move to front (most recently used).
+            ways[..=pos].rotate_right(1);
+            self.hits += 1;
+            true
+        } else {
+            // Evict LRU (last), insert at front.
+            ways.rotate_right(1);
+            ways[0] = line;
+            self.misses += 1;
+            false
+        }
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(CacheConfig::new(64 * 8, 2));
+        assert!(!c.access(5));
+        assert!(c.access(5));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 2-way, 4 sets: lines 0, 4, 8 all map to set 0.
+        let mut c = Cache::new(CacheConfig::new(64 * 8, 2));
+        c.access(0);
+        c.access(4);
+        c.access(0); // 0 is now MRU
+        assert!(!c.access(8)); // evicts 4
+        assert!(c.access(0), "0 survived");
+        assert!(!c.access(4), "4 was evicted");
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = Cache::new(CacheConfig::new(64 * 8, 2));
+        for line in 0..4u64 {
+            c.access(line);
+        }
+        for line in 0..4u64 {
+            assert!(c.access(line), "line {line}");
+        }
+    }
+
+    #[test]
+    fn full_associativity_capacity() {
+        // 8 lines total, 8-way = 1 set: holds exactly 8 lines.
+        let mut c = Cache::new(CacheConfig::new(64 * 8, 8));
+        for line in 0..8u64 {
+            c.access(line);
+        }
+        for line in 0..8u64 {
+            assert!(c.access(line));
+        }
+        c.access(100); // evicts LRU = line 0 (accessed longest ago)
+        assert!(!c.access(0));
+    }
+}

@@ -1,0 +1,89 @@
+//! First-order NUMA cost parameters.
+//!
+//! Numbers are representative of the paper's platform class (Ivy Bridge EX,
+//! QPI interconnect); the *ratios* (remote/local bandwidth and latency) are
+//! what drive every qualitative result, and those ratios are taken from the
+//! platform's published characteristics.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost-model parameters for the simulated machine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Peak DRAM bandwidth of one node's memory controller, bytes/s.
+    pub node_bandwidth: f64,
+    /// Total interconnect (QPI) bandwidth of one socket, bytes/s — shared
+    /// by all of that socket's concurrent remote streams.
+    pub link_bandwidth: f64,
+    /// Local DRAM random-access latency, seconds.
+    pub local_latency: f64,
+    /// Remote DRAM random-access latency, seconds.
+    pub remote_latency: f64,
+    /// Memory-level parallelism: how many outstanding random misses the
+    /// out-of-order core overlaps (divides effective random-access cost).
+    pub mlp: f64,
+    /// CPU cost per simple per-tuple operation (hash, compare, copy),
+    /// seconds. Used for the compute component of task costs.
+    pub cpu_op: f64,
+    /// Multiplier on effective per-core compute throughput when two SMT
+    /// threads share a core (>1 means slower per thread).
+    pub smt_penalty: f64,
+    /// Extra cost per TLB miss, seconds (page-walk).
+    pub tlb_miss: f64,
+}
+
+impl CostModel {
+    /// Defaults for the paper-class 4-socket Ivy Bridge EX machine.
+    pub fn paper_machine() -> Self {
+        CostModel {
+            node_bandwidth: 55e9,
+            link_bandwidth: 28e9,
+            local_latency: 90e-9,
+            remote_latency: 160e-9,
+            mlp: 6.0,
+            // ~2–3 simple ops per cycle at 2.3 GHz (the join kernels
+            // retire ~20 instructions/tuple at IPC ≈ 2, Table 4).
+            cpu_op: 0.25e-9,
+            smt_penalty: 1.6,
+            tlb_miss: 35e-9,
+        }
+    }
+
+    /// Effective time for `n` random accesses at `latency`, overlapped by
+    /// the MLP factor.
+    #[inline]
+    pub fn random_access_time(&self, n: f64, remote: bool) -> f64 {
+        let lat = if remote {
+            self.remote_latency
+        } else {
+            self.local_latency
+        };
+        n * lat / self.mlp
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper_machine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_is_slower() {
+        let m = CostModel::paper_machine();
+        assert!(m.remote_latency > m.local_latency);
+        assert!(m.link_bandwidth < m.node_bandwidth);
+        assert!(m.random_access_time(1e6, true) > m.random_access_time(1e6, false));
+    }
+
+    #[test]
+    fn mlp_overlaps_latency() {
+        let m = CostModel::paper_machine();
+        let serial = 1e6 * m.local_latency;
+        assert!(m.random_access_time(1e6, false) < serial);
+    }
+}

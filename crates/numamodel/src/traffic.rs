@@ -1,0 +1,122 @@
+//! Node-to-node traffic matrices.
+//!
+//! Figure 4 of the paper shows the NUMA *write patterns* of PRO (every
+//! thread writes to every node — many random remote writes) versus CPRL
+//! (every thread writes only to its local node). `TrafficMatrix` is the
+//! quantified version: bytes moved from the node of the initiating thread
+//! to the node of the touched memory, split by access class.
+
+use serde::{Deserialize, Serialize};
+
+/// Access classes tracked per (initiator node, target node) pair.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessClass {
+    SeqRead,
+    SeqWrite,
+    RandRead,
+    RandWrite,
+}
+
+/// Bytes moved between nodes, per access class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    nodes: usize,
+    /// `[class][from][to]` in bytes, class indexed by `AccessClass as usize`.
+    bytes: Vec<Vec<Vec<f64>>>,
+}
+
+impl TrafficMatrix {
+    pub fn new(nodes: usize) -> Self {
+        TrafficMatrix {
+            nodes,
+            bytes: vec![vec![vec![0.0; nodes]; nodes]; 4],
+        }
+    }
+
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    pub fn add(&mut self, class: AccessClass, from: usize, to: usize, bytes: f64) {
+        self.bytes[class as usize][from][to] += bytes;
+    }
+
+    pub fn get(&self, class: AccessClass, from: usize, to: usize) -> f64 {
+        self.bytes[class as usize][from][to]
+    }
+
+    pub fn merge(&mut self, other: &TrafficMatrix) {
+        assert_eq!(self.nodes, other.nodes);
+        for c in 0..4 {
+            for f in 0..self.nodes {
+                for t in 0..self.nodes {
+                    self.bytes[c][f][t] += other.bytes[c][f][t];
+                }
+            }
+        }
+    }
+
+    /// Total bytes written to memory on a *different* node than the
+    /// initiating thread — the quantity CPRL eliminates.
+    pub fn remote_write_bytes(&self) -> f64 {
+        let mut sum = 0.0;
+        for c in [AccessClass::SeqWrite, AccessClass::RandWrite] {
+            for f in 0..self.nodes {
+                for t in 0..self.nodes {
+                    if f != t {
+                        sum += self.bytes[c as usize][f][t];
+                    }
+                }
+            }
+        }
+        sum
+    }
+
+    /// Total bytes read from remote nodes.
+    pub fn remote_read_bytes(&self) -> f64 {
+        let mut sum = 0.0;
+        for c in [AccessClass::SeqRead, AccessClass::RandRead] {
+            for f in 0..self.nodes {
+                for t in 0..self.nodes {
+                    if f != t {
+                        sum += self.bytes[c as usize][f][t];
+                    }
+                }
+            }
+        }
+        sum
+    }
+
+    /// Total bytes in all classes.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes.iter().flatten().flatten().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_split() {
+        let mut m = TrafficMatrix::new(4);
+        m.add(AccessClass::SeqWrite, 0, 0, 100.0); // local write
+        m.add(AccessClass::SeqWrite, 0, 1, 50.0); // remote write
+        m.add(AccessClass::RandWrite, 2, 3, 25.0); // remote write
+        m.add(AccessClass::SeqRead, 1, 0, 10.0); // remote read
+        assert_eq!(m.remote_write_bytes(), 75.0);
+        assert_eq!(m.remote_read_bytes(), 10.0);
+        assert_eq!(m.total_bytes(), 185.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = TrafficMatrix::new(2);
+        a.add(AccessClass::SeqRead, 0, 1, 5.0);
+        let mut b = TrafficMatrix::new(2);
+        b.add(AccessClass::SeqRead, 0, 1, 7.0);
+        a.merge(&b);
+        assert_eq!(a.get(AccessClass::SeqRead, 0, 1), 12.0);
+    }
+}

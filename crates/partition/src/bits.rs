@@ -1,0 +1,167 @@
+//! Equation (1): predicting the optimal number of radix bits.
+//!
+//! Section 7.3 derives the sweet spot for the partitioning fanout: use
+//! the smallest partitions whose per-partition hash table fits in L2 — as
+//! long as all software write-combine buffers still fit in this thread's
+//! share of the LLC; beyond that, stop at LLC-sized partitions, because
+//! ballooning SWWCB state makes partitioning costs explode faster than
+//! join costs shrink (Figures 9 and 11).
+//!
+//! ```text
+//!          ⎧ log2(|R|·st / (l·L2)),    if |R|·sb·st/(L2·l) < LLCt
+//! np(|R|) =⎨
+//!          ⎩ log2(|R|·st / (l·LLCt)),  otherwise
+//! ```
+
+/// Inputs to the radix-bit predictor.
+#[derive(Copy, Clone, Debug)]
+pub struct BitsInput {
+    /// |R|: build-relation cardinality in tuples.
+    pub r_tuples: usize,
+    /// st: bytes per tuple as stored in the per-partition hash table.
+    pub tuple_bytes: usize,
+    /// l: intended hash-table load factor (tables are st·|part|/l bytes).
+    pub load_factor: f64,
+    /// sb: SWWCB state bytes per partition (one cache line + bookkeeping).
+    pub buffer_bytes: usize,
+    /// L2 data cache per core, bytes.
+    pub l2_bytes: usize,
+    /// This thread's share of the LLC, bytes (LLC / threads-per-socket).
+    pub llc_per_thread_bytes: usize,
+}
+
+impl BitsInput {
+    /// The study's defaults: 8-byte tuples, 50% load factor, one cache
+    /// line of buffer state, 256 KB L2.
+    pub fn paper_defaults(r_tuples: usize, llc_per_thread_bytes: usize) -> Self {
+        BitsInput {
+            r_tuples,
+            tuple_bytes: 8,
+            load_factor: 0.5,
+            buffer_bytes: 64 + 16,
+            l2_bytes: 256 * 1024,
+            llc_per_thread_bytes,
+        }
+    }
+}
+
+/// Equation (1). Returns the number of radix bits, clamped to `[1, 18]`
+/// (the range explored by the paper's sweeps).
+pub fn predict_radix_bits(input: &BitsInput) -> u32 {
+    let r = input.r_tuples.max(1) as f64;
+    let st = input.tuple_bytes as f64;
+    let l = input.load_factor;
+    let sb = input.buffer_bytes as f64;
+    let l2 = input.l2_bytes as f64;
+    let llct = input.llc_per_thread_bytes.max(1) as f64;
+
+    let buffers_fit = r * sb * st / (l2 * l) < llct;
+    let target = if buffers_fit {
+        r * st / (l * l2)
+    } else {
+        r * st / (l * llct)
+    };
+    let np = target.log2().ceil();
+    (np.max(1.0) as u32).clamp(1, 18)
+}
+
+/// Adjusted predictor for array tables over a sparse key domain
+/// (Appendix C, dashed lines of Figure 17): the array over a partition has
+/// `domain >> bits` slots of 4 bytes each, and must fit in L2/LLCt like a
+/// hash table would. Solves for the bits that shrink the per-partition
+/// array to the cache budget.
+pub fn predict_radix_bits_for_domain(domain: usize, input: &BitsInput) -> u32 {
+    let slot_bytes = 4.0;
+    let l2 = input.l2_bytes as f64;
+    let llct = input.llc_per_thread_bytes.max(1) as f64;
+    let d = domain.max(1) as f64;
+    // Bits so the per-partition array fits L2.
+    let bits_l2 = (d * slot_bytes / l2).log2().ceil();
+    let sb = input.buffer_bytes as f64;
+    let buffers = 2.0f64.powf(bits_l2) * sb;
+    let np = if buffers < llct {
+        bits_l2
+    } else {
+        (d * slot_bytes / llct).log2().ceil()
+    };
+    (np.max(1.0) as u32).clamp(1, 18)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LLCT: usize = 30 * 1024 * 1024 / 8; // 32 threads over 4 sockets
+
+    #[test]
+    fn small_relation_uses_l2_branch() {
+        // |R| = 16M tuples, 8 B: tables 128MB/0.5 => fanout over L2:
+        // 16M·8/(0.5·256K) = 1024 partitions = 10 bits.
+        let i = BitsInput::paper_defaults(16 << 20, LLCT);
+        assert_eq!(predict_radix_bits(&i), 10);
+    }
+
+    #[test]
+    fn bits_grow_one_per_doubling_until_llc_bound() {
+        let mut prev = 0;
+        for shift in 20..25 {
+            let i = BitsInput::paper_defaults(16usize << shift, LLCT);
+            let b = predict_radix_bits(&i);
+            if prev != 0 {
+                assert!(b == prev || b == prev + 1, "{prev} -> {b}");
+            }
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn large_relation_switches_to_llc_branch() {
+        // Very large |R|: the L2 branch would demand buffers far beyond
+        // LLCt, so the LLC branch must cap the fanout below the L2
+        // branch's answer.
+        let big = BitsInput::paper_defaults(2048 << 20, LLCT);
+        let l2_answer = ((big.r_tuples as f64 * 8.0) / (0.5 * 256.0 * 1024.0))
+            .log2()
+            .ceil() as u32;
+        let predicted = predict_radix_bits(&big);
+        assert!(predicted < l2_answer, "{predicted} !< {l2_answer}");
+    }
+
+    #[test]
+    fn crossover_drops_bits_not_raises_them() {
+        // Equation (1) is non-monotone by design: at the point where
+        // SWWCB state outgrows the per-thread LLC share, it switches from
+        // L2-sized to LLC-sized partitions, i.e. *fewer* bits than the L2
+        // branch would pick (Figure 9(b) vs 9(d)).
+        for m in [1usize, 4, 16, 64, 256, 1024, 2048] {
+            let input = BitsInput::paper_defaults(m << 20, LLCT);
+            let b = predict_radix_bits(&input);
+            let l2_branch = ((input.r_tuples as f64 * 8.0) / (0.5 * 256.0 * 1024.0))
+                .log2()
+                .ceil()
+                .max(1.0) as u32;
+            assert!(b <= l2_branch.clamp(1, 18), "size {m}M: {b} > {l2_branch}");
+        }
+        // Within each branch, bits are monotone in |R|.
+        let small: Vec<u32> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&m| predict_radix_bits(&BitsInput::paper_defaults(m << 20, LLCT)))
+            .collect();
+        assert!(small.windows(2).all(|w| w[0] <= w[1]), "{small:?}");
+    }
+
+    #[test]
+    fn clamped_range() {
+        assert_eq!(predict_radix_bits(&BitsInput::paper_defaults(1, LLCT)), 1);
+        let b = predict_radix_bits(&BitsInput::paper_defaults(usize::MAX >> 8, LLCT));
+        assert_eq!(b, 18);
+    }
+
+    #[test]
+    fn domain_adaptive_bits_grow_with_domain() {
+        let i = BitsInput::paper_defaults(16 << 20, LLCT);
+        let b1 = predict_radix_bits_for_domain(16 << 20, &i);
+        let b8 = predict_radix_bits_for_domain(8 * (16 << 20), &i);
+        assert!(b8 > b1);
+    }
+}

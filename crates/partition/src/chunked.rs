@@ -1,0 +1,216 @@
+//! Chunked parallel radix partitioning — the CPR* partitioning this paper
+//! proposes (Section 6.1, Figure 4(c)).
+//!
+//! There is no global histogram and no phase (2): every thread runs a
+//! single-threaded histogram-based radix partitioning *inside its own
+//! chunk*, writing only to thread-local (hence NUMA-local) memory. The
+//! price: partition `p` is no longer contiguous — it is the concatenation
+//! of every chunk's `p`-th sub-partition, which the join phase gathers
+//! with large *sequential* (possibly remote) reads instead of the random
+//! remote writes of PRO.
+
+use mmjoin_util::alloc::AlignedBuf;
+use mmjoin_util::chunk_range;
+use mmjoin_util::tuple::Tuple;
+
+use crate::contiguous::ScatterMode;
+use crate::histogram::{histogram, prefix_sum};
+use crate::radix::RadixFn;
+use crate::swwcb::SwwcBank;
+
+/// One thread's locally partitioned chunk.
+pub struct ChunkPart {
+    data: AlignedBuf<Tuple>,
+    /// `parts + 1` offsets into `data`.
+    offsets: Vec<usize>,
+}
+
+impl ChunkPart {
+    #[inline]
+    pub fn partition(&self, p: usize) -> &[Tuple] {
+        &self.data.as_slice()[self.offsets[p]..self.offsets[p + 1]]
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A relation partitioned chunk-locally: `chunks[t].partition(p)` holds
+/// thread `t`'s share of partition `p`.
+pub struct ChunkedPartitions {
+    chunks: Vec<ChunkPart>,
+    parts: usize,
+}
+
+impl ChunkedPartitions {
+    #[inline]
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    #[inline]
+    pub fn chunks(&self) -> &[ChunkPart] {
+        &self.chunks
+    }
+
+    /// Total tuples in partition `p` across all chunks.
+    pub fn part_len(&self, p: usize) -> usize {
+        self.chunks.iter().map(|c| c.partition(p).len()).sum()
+    }
+
+    /// Visit every chunk's slice of partition `p` in chunk order.
+    #[inline]
+    pub fn for_each_slice<F: FnMut(&[Tuple])>(&self, p: usize, mut f: F) {
+        for c in &self.chunks {
+            let s = c.partition(p);
+            if !s.is_empty() {
+                f(s);
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(ChunkPart::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Partition `input` chunk-locally with `threads` threads.
+pub fn chunked_partition(
+    input: &[Tuple],
+    f: RadixFn,
+    threads: usize,
+    mode: ScatterMode,
+) -> ChunkedPartitions {
+    let threads = threads.clamp(1, input.len().max(1));
+    let chunks: Vec<ChunkPart> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let chunk = &input[chunk_range(input.len(), threads, t)];
+                s.spawn(move || partition_chunk_local(chunk, f, mode))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    ChunkedPartitions {
+        chunks,
+        parts: f.fanout(),
+    }
+}
+
+/// Single-threaded histogram-based radix partitioning of one chunk into a
+/// fresh local buffer.
+fn partition_chunk_local(chunk: &[Tuple], f: RadixFn, mode: ScatterMode) -> ChunkPart {
+    let hist = histogram(chunk, f);
+    let offsets = prefix_sum(&hist);
+    let mut data = AlignedBuf::<Tuple>::zeroed(chunk.len());
+    let out = data.as_mut_ptr();
+    // SAFETY: cursor ranges come straight from this chunk's histogram;
+    // single-threaded, in-bounds by construction.
+    unsafe {
+        match mode {
+            ScatterMode::Direct => {
+                let mut cur = offsets[..f.fanout()].to_vec();
+                for &t in chunk {
+                    let p = f.part(t.key);
+                    out.add(cur[p]).write(t);
+                    cur[p] += 1;
+                }
+            }
+            ScatterMode::Swwcb => {
+                let mut bank = SwwcBank::new(&offsets[..f.fanout()]);
+                for &t in chunk {
+                    bank.push(f.part(t.key), t, out);
+                }
+                bank.flush_all(out);
+            }
+        }
+    }
+    ChunkPart { data, offsets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_util::rng::Xoshiro256;
+
+    fn random_input(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut rng = Xoshiro256::new(seed);
+        (0..n)
+            .map(|i| Tuple::new(rng.next_u32() | 1, i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn partitions_hold_matching_digits() {
+        let input = random_input(10_000, 1);
+        let f = RadixFn::new(5);
+        for threads in [1, 2, 4, 7] {
+            let cp = chunked_partition(&input, f, threads, ScatterMode::Swwcb);
+            assert_eq!(cp.parts(), 32);
+            assert_eq!(cp.len(), input.len());
+            for p in 0..cp.parts() {
+                cp.for_each_slice(p, |s| {
+                    assert!(s.iter().all(|t| f.part(t.key) == p));
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn union_is_a_permutation_of_input() {
+        let input = random_input(7_777, 2);
+        let cp = chunked_partition(&input, RadixFn::new(4), 5, ScatterMode::Direct);
+        let mut collected: Vec<u64> = Vec::with_capacity(input.len());
+        for p in 0..cp.parts() {
+            cp.for_each_slice(p, |s| collected.extend(s.iter().map(|t| t.pack())));
+        }
+        let mut a: Vec<u64> = input.iter().map(|t| t.pack()).collect();
+        collected.sort_unstable();
+        a.sort_unstable();
+        assert_eq!(a, collected);
+    }
+
+    #[test]
+    fn part_len_sums_chunks() {
+        let input = random_input(4_000, 3);
+        let f = RadixFn::new(3);
+        let cp = chunked_partition(&input, f, 4, ScatterMode::Swwcb);
+        let total: usize = (0..cp.parts()).map(|p| cp.part_len(p)).sum();
+        assert_eq!(total, input.len());
+        // Cross-check one partition against a direct count.
+        let expect = input.iter().filter(|t| f.part(t.key) == 3).count();
+        assert_eq!(cp.part_len(3), expect);
+    }
+
+    #[test]
+    fn swwcb_equals_direct_chunked() {
+        let input = random_input(3_000, 4);
+        let a = chunked_partition(&input, RadixFn::new(4), 3, ScatterMode::Direct);
+        let b = chunked_partition(&input, RadixFn::new(4), 3, ScatterMode::Swwcb);
+        for (ca, cb) in a.chunks().iter().zip(b.chunks()) {
+            assert_eq!(ca.offsets, cb.offsets);
+            assert_eq!(ca.data.as_slice(), cb.data.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let cp = chunked_partition(&[], RadixFn::new(4), 8, ScatterMode::Swwcb);
+        assert_eq!(cp.len(), 0);
+        let one = [Tuple::new(5, 0)];
+        let cp = chunked_partition(&one, RadixFn::new(4), 8, ScatterMode::Swwcb);
+        assert_eq!(cp.len(), 1);
+        assert_eq!(cp.part_len(5), 1);
+    }
+}

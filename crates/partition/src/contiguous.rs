@@ -1,0 +1,392 @@
+//! Parallel radix partitioning into one contiguous buffer (Figure 4(a)).
+//!
+//! Phases: (1) every thread builds a local histogram over its input
+//! chunk; (2) local histograms are merged into per-thread output cursors
+//! (after this, no further synchronization is needed); (3) every thread
+//! scatters its chunk to the precomputed destinations — either directly
+//! (PRB) or through software write-combine buffers (PRO and friends).
+//!
+//! `two_pass_partition` composes two passes with the fanout split evenly,
+//! the original PRB configuration (2 × 7 bits by default), where pass 2
+//! processes whole pass-1 partitions pulled from a task queue.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mmjoin_util::alloc::AlignedBuf;
+use mmjoin_util::tuple::Tuple;
+use mmjoin_util::{chunk_range, CACHE_LINE};
+
+use crate::histogram::{global_offsets, histogram};
+use crate::radix::RadixFn;
+use crate::swwcb::SwwcBank;
+
+/// How phase (3) writes tuples to their destination.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ScatterMode {
+    /// One write per tuple straight to the destination (PRB).
+    Direct,
+    /// Software write-combine buffers + cache-line flushes (PRO...).
+    Swwcb,
+}
+
+/// A relation partitioned into a contiguous buffer.
+pub struct PartitionedRelation {
+    data: AlignedBuf<Tuple>,
+    /// `parts + 1` offsets into `data`.
+    offsets: Vec<usize>,
+}
+
+impl PartitionedRelation {
+    #[inline]
+    pub fn parts(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    pub fn partition(&self, p: usize) -> &[Tuple] {
+        &self.data.as_slice()[self.offsets[p]..self.offsets[p + 1]]
+    }
+
+    #[inline]
+    pub fn part_len(&self, p: usize) -> usize {
+        self.offsets[p + 1] - self.offsets[p]
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Starting byte offset of partition `p` — partitions are laid out in
+    /// ascending virtual addresses, the property the task-scheduling
+    /// analysis of Section 6.2 builds on.
+    pub fn byte_offset(&self, p: usize) -> usize {
+        self.offsets[p] * std::mem::size_of::<Tuple>()
+    }
+
+    pub fn all_tuples(&self) -> &[Tuple] {
+        self.data.as_slice()
+    }
+}
+
+/// Shared mutable output pointer for the disjoint-region scatter.
+#[derive(Copy, Clone)]
+struct SyncPtr(*mut Tuple);
+// SAFETY: every thread writes a disjoint index range, established by the
+// global-histogram phase; see scatter_chunk.
+unsafe impl Sync for SyncPtr {}
+unsafe impl Send for SyncPtr {}
+
+/// Single-pass parallel radix partitioning.
+pub fn partition_parallel(
+    input: &[Tuple],
+    f: RadixFn,
+    threads: usize,
+    mode: ScatterMode,
+) -> PartitionedRelation {
+    let threads = threads.clamp(1, input.len().max(1));
+    // Phase 1: local histograms.
+    let locals: Vec<Vec<usize>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let chunk = &input[chunk_range(input.len(), threads, t)];
+                s.spawn(move || histogram(chunk, f))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Phase 2: merge into per-thread cursors.
+    let (dst, offsets) = global_offsets(&locals);
+    // Phase 3: scatter.
+    let mut out = AlignedBuf::<Tuple>::zeroed(input.len());
+    let out_ptr = SyncPtr(out.as_mut_ptr());
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let chunk = &input[chunk_range(input.len(), threads, t)];
+            let cursors = dst[t].clone();
+            s.spawn(move || {
+                let out_ptr = out_ptr;
+                // SAFETY: this thread's cursor ranges are disjoint from
+                // every other thread's by construction of global_offsets,
+                // and in-bounds because the histogram counted this chunk.
+                unsafe { scatter_chunk(chunk, f, &cursors, out_ptr.0, mode) }
+            });
+        }
+    });
+    PartitionedRelation { data: out, offsets }
+}
+
+/// Scatter one chunk to precomputed destinations.
+///
+/// # Safety
+/// `cursors[p] .. cursors[p] + count(chunk, p)` must be in-bounds of `out`
+/// and disjoint from every concurrent scatter.
+unsafe fn scatter_chunk(
+    chunk: &[Tuple],
+    f: RadixFn,
+    cursors: &[usize],
+    out: *mut Tuple,
+    mode: ScatterMode,
+) {
+    match mode {
+        ScatterMode::Direct => {
+            let mut cur = cursors.to_vec();
+            for &t in chunk {
+                let p = f.part(t.key);
+                out.add(cur[p]).write(t);
+                cur[p] += 1;
+            }
+        }
+        ScatterMode::Swwcb => {
+            let mut bank = SwwcBank::new(cursors);
+            for &t in chunk {
+                bank.push(f.part(t.key), t, out);
+            }
+            bank.flush_all(out);
+        }
+    }
+}
+
+/// Two-pass radix partitioning (PRB): pass 1 over the low `bits1` bits in
+/// parallel over chunks; pass 2 over the next `bits2` bits, with whole
+/// pass-1 partitions processed as tasks pulled from a shared queue.
+///
+/// The global partition id of a tuple is `p1 * 2^bits2 + p2` (region-major
+/// so offsets stay address-ordered).
+pub fn two_pass_partition(
+    input: &[Tuple],
+    bits1: u32,
+    bits2: u32,
+    threads: usize,
+    mode: ScatterMode,
+) -> PartitionedRelation {
+    let pass1 = partition_parallel(input, RadixFn::new(bits1), threads, mode);
+    let f2 = RadixFn::pass(bits2, bits1);
+    let fan1 = 1usize << bits1;
+    let fan2 = 1usize << bits2;
+
+    // Per-pass-1-partition second-pass histograms, computed inside the
+    // tasks below; offsets are derived afterwards. To keep phase (3) free
+    // of synchronization we compute the histograms first (task-parallel),
+    // then derive global offsets, then scatter (task-parallel again).
+    let mut hists: Vec<Vec<usize>> = vec![Vec::new(); fan1];
+    {
+        let next = AtomicUsize::new(0);
+        let produced: Vec<Vec<(usize, Vec<usize>)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads.max(1))
+                .map(|_| {
+                    let next = &next;
+                    let pass1 = &pass1;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let p1 = next.fetch_add(1, Ordering::Relaxed);
+                            if p1 >= fan1 {
+                                break;
+                            }
+                            mine.push((p1, histogram(pass1.partition(p1), f2)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (p1, h) in produced.into_iter().flatten() {
+            hists[p1] = h;
+        }
+    }
+
+    // Global offsets: region-major layout.
+    let mut offsets = Vec::with_capacity(fan1 * fan2 + 1);
+    offsets.push(0usize);
+    for h in &hists {
+        debug_assert_eq!(h.len(), fan2);
+        for &c in h {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+    }
+    debug_assert_eq!(*offsets.last().unwrap(), input.len());
+
+    // Pass-2 scatter, one task per pass-1 partition.
+    let mut out = AlignedBuf::<Tuple>::zeroed(input.len());
+    let out_ptr = SyncPtr(out.as_mut_ptr());
+    {
+        let next = AtomicUsize::new(0);
+        let offsets = &offsets;
+        std::thread::scope(|s| {
+            for _ in 0..threads.max(1) {
+                let next = &next;
+                let pass1 = &pass1;
+                s.spawn(move || {
+                    let out_ptr = out_ptr;
+                    loop {
+                        let p1 = next.fetch_add(1, Ordering::Relaxed);
+                        if p1 >= fan1 {
+                            break;
+                        }
+                        let base = p1 * fan2;
+                        let cursors: Vec<usize> = (0..fan2).map(|p2| offsets[base + p2]).collect();
+                        // SAFETY: cursor ranges of distinct p1 tasks are
+                        // disjoint (offsets are exact counts); only one
+                        // task processes each p1.
+                        unsafe {
+                            scatter_chunk(pass1.partition(p1), f2, &cursors, out_ptr.0, mode)
+                        }
+                    }
+                });
+            }
+        });
+    }
+    PartitionedRelation { data: out, offsets }
+}
+
+/// Sanity helper shared by tests and the harness: every tuple must land
+/// in the partition its radix digit names, and the output must be a
+/// permutation of the input.
+pub fn validate_partitioning(input: &[Tuple], pr: &PartitionedRelation, digit_bits: u32) -> bool {
+    if pr.len() != input.len() {
+        return false;
+    }
+    let full = RadixFn::new(digit_bits);
+    for p in 0..pr.parts() {
+        for t in pr.partition(p) {
+            if full.part(t.key) != p {
+                return false;
+            }
+        }
+    }
+    let mut a: Vec<u64> = input.iter().map(|t| t.pack()).collect();
+    let mut b: Vec<u64> = pr.all_tuples().iter().map(|t| t.pack()).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    a == b
+}
+
+/// Number of SWWCB state bytes for a given fanout — used by Figure 11's
+/// analysis (all banks of all threads must fit in the shared LLC).
+pub fn swwcb_state_bytes(fanout: usize, threads: usize) -> usize {
+    fanout * threads * (CACHE_LINE + 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_util::rng::Xoshiro256;
+
+    fn random_input(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut rng = Xoshiro256::new(seed);
+        (0..n)
+            .map(|i| Tuple::new(rng.next_u32() | 1, i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn single_pass_direct_correct() {
+        let input = random_input(10_000, 1);
+        for threads in [1, 2, 4, 7] {
+            let pr = partition_parallel(&input, RadixFn::new(6), threads, ScatterMode::Direct);
+            assert!(validate_partitioning(&input, &pr, 6), "threads={threads}");
+            assert_eq!(pr.parts(), 64);
+        }
+    }
+
+    #[test]
+    fn single_pass_swwcb_correct() {
+        let input = random_input(10_000, 2);
+        for threads in [1, 3, 8] {
+            let pr = partition_parallel(&input, RadixFn::new(5), threads, ScatterMode::Swwcb);
+            assert!(validate_partitioning(&input, &pr, 5), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn swwcb_equals_direct() {
+        let input = random_input(5_000, 3);
+        let a = partition_parallel(&input, RadixFn::new(4), 4, ScatterMode::Direct);
+        let b = partition_parallel(&input, RadixFn::new(4), 4, ScatterMode::Swwcb);
+        assert_eq!(a.offsets(), b.offsets());
+        // Within-partition order may differ only if thread chunking
+        // differed — it doesn't, so outputs are identical.
+        assert_eq!(a.all_tuples(), b.all_tuples());
+    }
+
+    #[test]
+    fn two_pass_correct() {
+        let input = random_input(20_000, 4);
+        for threads in [1, 4] {
+            let pr = two_pass_partition(&input, 4, 3, threads, ScatterMode::Direct);
+            assert_eq!(pr.parts(), 128);
+            assert_eq!(pr.len(), input.len());
+            // Keys within a global partition share their low 7 bits...
+            for p in 0..pr.parts() {
+                let slice = pr.partition(p);
+                if let Some(first) = slice.first() {
+                    assert!(slice.iter().all(|t| t.key & 0x7F == first.key & 0x7F));
+                }
+            }
+            // ...and the output is a permutation of the input.
+            let mut a: Vec<u64> = input.iter().map(|t| t.pack()).collect();
+            let mut b: Vec<u64> = pr.all_tuples().iter().map(|t| t.pack()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn two_pass_co_partitions_align_across_relations() {
+        // Same global partition id must capture the same key digits in
+        // both relations (the co-partition join requirement).
+        let r = random_input(3_000, 5);
+        let s = random_input(9_000, 6);
+        let pr = two_pass_partition(&r, 3, 3, 2, ScatterMode::Swwcb);
+        let ps = two_pass_partition(&s, 3, 3, 2, ScatterMode::Swwcb);
+        for p in 0..64 {
+            let digit_of = |t: &Tuple| (t.key & 0x3F) as usize;
+            let rd: Vec<usize> = pr.partition(p).iter().map(digit_of).collect();
+            let sd: Vec<usize> = ps.partition(p).iter().map(digit_of).collect();
+            if let (Some(&a), Some(&b)) = (rd.first(), sd.first()) {
+                assert_eq!(a, b, "partition {p}");
+            }
+            assert!(rd.iter().all(|&d| rd[0] == d));
+            assert!(sd.iter().all(|&d| sd[0] == d));
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let pr = partition_parallel(&[], RadixFn::new(4), 4, ScatterMode::Swwcb);
+        assert_eq!(pr.parts(), 16);
+        assert_eq!(pr.len(), 0);
+        let pr2 = two_pass_partition(&[], 2, 2, 4, ScatterMode::Direct);
+        assert_eq!(pr2.parts(), 16);
+    }
+
+    #[test]
+    fn skewed_single_partition() {
+        // All keys identical: one partition gets everything.
+        let input: Vec<Tuple> = (0..1000).map(|i| Tuple::new(42, i)).collect();
+        let pr = partition_parallel(&input, RadixFn::new(4), 4, ScatterMode::Swwcb);
+        assert_eq!(pr.part_len(42 & 0xF), 1000);
+        assert_eq!(pr.len(), 1000);
+    }
+
+    #[test]
+    fn offsets_are_monotone_addresses() {
+        let input = random_input(8_000, 7);
+        let pr = two_pass_partition(&input, 3, 3, 4, ScatterMode::Direct);
+        assert!(pr.offsets().windows(2).all(|w| w[0] <= w[1]));
+        assert!(pr.byte_offset(10) >= pr.byte_offset(9));
+    }
+}

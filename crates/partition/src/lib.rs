@@ -1,0 +1,37 @@
+//! Radix partitioning — the substrate of every PR*/CPR* join.
+//!
+//! The crate provides the two partitioning families the paper studies:
+//!
+//! * [`contiguous`] — the classic parallel radix partitioning of Kim et
+//!   al. / Balkesen et al.: local histograms → global histogram → every
+//!   thread scatters into *one contiguous output buffer* (Figure 4(a)).
+//!   Optional software write-combine buffers + streaming flushes
+//!   ([`swwcb`], Algorithm 1 of the paper), one- or two-pass.
+//! * [`chunked`] — this paper's CPR* partitioning (Figure 4(c)): no
+//!   global histogram; every thread radix-partitions its chunk *locally*,
+//!   eliminating remote writes at the price of non-contiguous partitions.
+//!
+//! Plus the surrounding machinery:
+//!
+//! * [`radix::RadixFn`] — the partitioning function (low key bits).
+//! * [`histogram`] — per-chunk histograms and exclusive prefix sums.
+//! * [`task`] — co-partition task queues with the sequential order used
+//!   by the original code and the NUMA-round-robin order of the *iS
+//!   variants (Section 6.2).
+//! * [`bits`] — Equation (1): the radix-bit predictor.
+
+pub mod bits;
+pub mod chunked;
+pub mod generic;
+pub mod contiguous;
+pub mod histogram;
+pub mod radix;
+pub mod swwcb;
+pub mod task;
+
+pub use bits::{predict_radix_bits, BitsInput};
+pub use chunked::{chunked_partition, ChunkedPartitions};
+pub use generic::{chunked_partition_by, GenericChunkedPartitions};
+pub use contiguous::{partition_parallel, two_pass_partition, PartitionedRelation, ScatterMode};
+pub use radix::RadixFn;
+pub use task::{task_order, ConcurrentTaskQueue, ScheduleOrder};

@@ -1,0 +1,92 @@
+//! The radix partitioning function.
+//!
+//! All radix joins in the study partition on the *low bits of the key*
+//! (the identity hash of Section 7.1): pass 1 uses bits `[0, b1)`, pass 2
+//! bits `[b1, b1+b2)`. For dense primary keys this spreads tuples
+//! perfectly evenly.
+
+use mmjoin_util::tuple::Key;
+
+/// A radix digit extractor: `bits` bits starting at `shift`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RadixFn {
+    pub bits: u32,
+    pub shift: u32,
+}
+
+impl RadixFn {
+    /// Pass-1 function over the low `bits` bits.
+    #[inline]
+    pub fn new(bits: u32) -> Self {
+        RadixFn { bits, shift: 0 }
+    }
+
+    /// Function for a subsequent pass, starting above `prev` consumed bits.
+    #[inline]
+    pub fn pass(bits: u32, prev_bits: u32) -> Self {
+        RadixFn {
+            bits,
+            shift: prev_bits,
+        }
+    }
+
+    /// Number of partitions this function produces.
+    #[inline]
+    pub fn fanout(self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Partition index of `key`.
+    #[inline(always)]
+    pub fn part(self, key: Key) -> usize {
+        ((key >> self.shift) & ((1u32 << self.bits) - 1)) as usize
+    }
+
+    /// Combined fanout of a two-pass split (`self` then `second`).
+    #[inline]
+    pub fn combined(self, second: RadixFn) -> usize {
+        self.fanout() * second.fanout()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_bits() {
+        let f = RadixFn::new(4);
+        assert_eq!(f.fanout(), 16);
+        assert_eq!(f.part(0b1011_0101), 0b0101);
+        assert_eq!(f.part(16), 0);
+    }
+
+    #[test]
+    fn second_pass_bits() {
+        let f = RadixFn::pass(3, 4);
+        assert_eq!(f.fanout(), 8);
+        assert_eq!(f.part(0b101_0110_1111), 0b110);
+    }
+
+    #[test]
+    fn dense_keys_spread_evenly() {
+        let f = RadixFn::new(4);
+        let mut counts = [0usize; 16];
+        for k in 1..=1600u32 {
+            counts[f.part(k)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn two_pass_composition_is_a_bijection_of_digits() {
+        // part1 + part2<<b1 recovers the low b1+b2 bits.
+        let p1 = RadixFn::new(4);
+        let p2 = RadixFn::pass(3, 4);
+        for k in [0u32, 1, 0x7F, 0xFF, 12345] {
+            let combined = p1.part(k) | (p2.part(k) << 4);
+            assert_eq!(combined, (k & 0x7F) as usize);
+        }
+        assert_eq!(p1.combined(p2), 128);
+    }
+}

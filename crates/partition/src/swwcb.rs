@@ -1,0 +1,165 @@
+//! Software write-combine buffers (Algorithm 1 of the paper).
+//!
+//! Scattering tuples to hundreds of partitions touches hundreds of pages;
+//! without buffering every write risks a TLB miss. A SWWCB keeps one
+//! cache line of pending tuples per partition *in cache* and flushes full
+//! lines to the destination with (in the original) non-temporal stores.
+//! With a buffer of `N` tuples, TLB pressure drops by a factor of `N`.
+//!
+//! This implementation keeps the per-partition line + output cursor and
+//! flushes whole lines with `copy_nonoverlapping` (the portable stand-in
+//! for `_mm_stream_si128`; the algorithmic effect the paper studies —
+//! write combining — is in the buffering, which is identical).
+
+use mmjoin_util::tuple::Tuple;
+use mmjoin_util::{CACHE_LINE, TUPLES_PER_CACHELINE};
+
+/// One cache line of buffered tuples for one target partition.
+#[repr(C, align(64))]
+#[derive(Copy, Clone)]
+struct Line {
+    tuples: [Tuple; TUPLES_PER_CACHELINE],
+}
+
+const _: () = assert!(std::mem::size_of::<Line>() == CACHE_LINE);
+
+/// A bank of software write-combine buffers, one line per partition.
+pub struct SwwcBank {
+    lines: Vec<Line>,
+    /// Tuples currently buffered per partition.
+    fill: Vec<u8>,
+    /// Output cursor (tuple index in the destination buffer) per partition.
+    cursor: Vec<usize>,
+}
+
+impl SwwcBank {
+    /// Create a bank for `parts` partitions with the given initial output
+    /// cursors (one per partition).
+    pub fn new(cursors: &[usize]) -> Self {
+        SwwcBank {
+            lines: vec![
+                Line {
+                    tuples: [Tuple::new(0, 0); TUPLES_PER_CACHELINE]
+                };
+                cursors.len()
+            ],
+            fill: vec![0u8; cursors.len()],
+            cursor: cursors.to_vec(),
+        }
+    }
+
+    /// Buffer one tuple for `part`, flushing a full line to `out`.
+    ///
+    /// # Safety
+    /// `out` must be valid for writes at every cursor position this bank
+    /// was initialized with, for the number of tuples that will be pushed
+    /// (the caller's histogram guarantees this).
+    #[inline(always)]
+    pub unsafe fn push(&mut self, part: usize, t: Tuple, out: *mut Tuple) {
+        let fill = self.fill[part] as usize;
+        self.lines[part].tuples[fill] = t;
+        if fill + 1 == TUPLES_PER_CACHELINE {
+            let dst = out.add(self.cursor[part]);
+            std::ptr::copy_nonoverlapping(
+                self.lines[part].tuples.as_ptr(),
+                dst,
+                TUPLES_PER_CACHELINE,
+            );
+            self.cursor[part] += TUPLES_PER_CACHELINE;
+            self.fill[part] = 0;
+        } else {
+            self.fill[part] = fill as u8 + 1;
+        }
+    }
+
+    /// Flush all partially filled lines.
+    ///
+    /// # Safety
+    /// Same contract as [`SwwcBank::push`].
+    pub unsafe fn flush_all(&mut self, out: *mut Tuple) {
+        for part in 0..self.lines.len() {
+            let fill = self.fill[part] as usize;
+            if fill > 0 {
+                let dst = out.add(self.cursor[part]);
+                std::ptr::copy_nonoverlapping(self.lines[part].tuples.as_ptr(), dst, fill);
+                self.cursor[part] += fill;
+                self.fill[part] = 0;
+            }
+        }
+    }
+
+    /// Current cursor of `part` (after flushes).
+    pub fn cursor(&self, part: usize) -> usize {
+        self.cursor[part]
+    }
+
+    /// Bytes of buffer state per partition — the quantity that must fit
+    /// in the LLC for partitioning to stay fast (Section 7.3's analysis of
+    /// Figure 11).
+    pub const fn bytes_per_partition() -> usize {
+        CACHE_LINE + std::mem::size_of::<u8>() + std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_flush_exact_lines() {
+        let mut out = vec![Tuple::new(0, 0); 16];
+        let mut bank = SwwcBank::new(&[0, 8]);
+        unsafe {
+            for i in 0..8u32 {
+                bank.push(0, Tuple::new(i + 1, i), out.as_mut_ptr());
+            }
+            for i in 0..8u32 {
+                bank.push(1, Tuple::new(100 + i, i), out.as_mut_ptr());
+            }
+            bank.flush_all(out.as_mut_ptr());
+        }
+        for i in 0..8usize {
+            assert_eq!(out[i].key, i as u32 + 1);
+            assert_eq!(out[8 + i].key, 100 + i as u32);
+        }
+    }
+
+    #[test]
+    fn partial_lines_flush_remainder() {
+        let mut out = vec![Tuple::new(0, 0); 16];
+        let mut bank = SwwcBank::new(&[0, 11]);
+        unsafe {
+            for i in 0..11u32 {
+                bank.push(0, Tuple::new(i + 1, 0), out.as_mut_ptr());
+            }
+            for i in 0..3u32 {
+                bank.push(1, Tuple::new(200 + i, 0), out.as_mut_ptr());
+            }
+            bank.flush_all(out.as_mut_ptr());
+        }
+        let keys: Vec<u32> = out.iter().map(|t| t.key).collect();
+        assert_eq!(&keys[..11], &(1..=11).collect::<Vec<u32>>()[..]);
+        assert_eq!(&keys[11..14], &[200, 201, 202]);
+        assert_eq!(bank.cursor(0), 11);
+        assert_eq!(bank.cursor(1), 14);
+    }
+
+    #[test]
+    fn unaligned_start_cursor() {
+        // Destination region starting mid-line must still be written
+        // correctly (flushes are plain copies, not aligned stores).
+        let mut out = vec![Tuple::new(0, 0); 32];
+        let mut bank = SwwcBank::new(&[5]);
+        unsafe {
+            for i in 0..20u32 {
+                bank.push(0, Tuple::new(i + 1, 0), out.as_mut_ptr());
+            }
+            bank.flush_all(out.as_mut_ptr());
+        }
+        for i in 0..20usize {
+            assert_eq!(out[5 + i].key, i as u32 + 1);
+        }
+        assert_eq!(out[4].key, 0);
+        assert_eq!(out[25].key, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Sorting substrate for the multi-way sort-merge join (MWAY).
+//!
+//! Balkesen et al.'s m-way join sorts with AVX bitonic sort/merge
+//! networks and combines runs with a bandwidth-saving multiway merge.
+//! This crate reproduces that structure portably:
+//!
+//! * [`network`] — Batcher odd-even sorting networks over packed
+//!   `u64` tuples (key in the high 32 bits, so integer comparison orders
+//!   by key). Branch-free min/max compare-exchange pairs are exactly what
+//!   the SIMD versions vectorize; LLVM auto-vectorizes these.
+//! * [`mergesort`] — run formation with the networks + bottom-up merging.
+//! * [`multiway`] — a loser-tree k-way merge that replaces `log k` binary
+//!   merge passes over DRAM with a single pass.
+//!
+//! Tuples are packed with [`mmjoin_util::Tuple::pack`].
+
+pub mod mergesort;
+pub mod multiway;
+pub mod network;
+
+pub use mergesort::sort_packed;
+pub use multiway::LoserTree;

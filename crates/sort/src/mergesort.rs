@@ -1,0 +1,164 @@
+//! Run-formation + bottom-up mergesort over packed tuples.
+//!
+//! MWAY sorts each partition independently: form sorted runs of
+//! [`RUN`] elements with the sorting network, then merge pairs of runs
+//! bottom-up (the portable equivalent of the AVX merge kernels). The
+//! scratch buffer is caller-provided so repeated sorts reuse one
+//! allocation.
+
+use crate::network::sort8;
+pub use crate::network::sort_network as sort_block_network;
+
+/// Network run length for run formation.
+const RUN: usize = 8;
+
+/// Sort `data` ascending. `scratch` is resized as needed and clobbered.
+pub fn sort_packed(data: &mut [u64], scratch: &mut Vec<u64>) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    // Run formation with the 8-element network; the tail run (< 8) uses a
+    // tiny insertion sort.
+    let mut i = 0;
+    while i + RUN <= n {
+        sort8(&mut data[i..i + RUN]);
+        i += RUN;
+    }
+    insertion_sort(&mut data[i..]);
+
+    // Bottom-up merge passes, ping-ponging between data and scratch.
+    scratch.clear();
+    scratch.resize(n, 0);
+    let mut width = RUN;
+    let mut src_is_data = true;
+    while width < n {
+        {
+            let (src, dst): (&[u64], &mut [u64]) = if src_is_data {
+                (&*data, scratch.as_mut_slice())
+            } else {
+                (scratch.as_slice(), data)
+            };
+            let mut lo = 0;
+            while lo < n {
+                let mid = (lo + width).min(n);
+                let hi = (lo + 2 * width).min(n);
+                merge_into(&src[lo..mid], &src[mid..hi], &mut dst[lo..hi]);
+                lo = hi;
+            }
+        }
+        src_is_data = !src_is_data;
+        width *= 2;
+    }
+    if !src_is_data {
+        data.copy_from_slice(scratch);
+    }
+}
+
+/// Two-pointer merge of sorted `a` and `b` into `out`.
+#[inline]
+fn merge_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out[k] = a[i];
+            i += 1;
+        } else {
+            out[k] = b[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    out[k..k + a.len() - i].copy_from_slice(&a[i..]);
+    k += a.len() - i;
+    out[k..].copy_from_slice(&b[j..]);
+}
+
+#[inline]
+fn insertion_sort(d: &mut [u64]) {
+    for i in 1..d.len() {
+        let v = d[i];
+        let mut j = i;
+        while j > 0 && d[j - 1] > v {
+            d[j] = d[j - 1];
+            j -= 1;
+        }
+        d[j] = v;
+    }
+}
+
+/// Convenience: sort a fresh scratch.
+pub fn sort_packed_alloc(data: &mut [u64]) {
+    let mut scratch = Vec::new();
+    sort_packed(data, &mut scratch);
+}
+
+/// Re-export for callers wanting to sort exact power-of-two blocks purely
+/// with networks (micro-benches).
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_util::rng::Xoshiro256;
+
+    fn check(n: usize, seed: u64) {
+        let mut rng = Xoshiro256::new(seed);
+        let mut d: Vec<u64> = (0..n).map(|_| rng.next_u64() % 10_000).collect();
+        let mut expect = d.clone();
+        expect.sort_unstable();
+        sort_packed_alloc(&mut d);
+        assert_eq!(d, expect, "n={n}");
+    }
+
+    #[test]
+    fn sorts_many_sizes() {
+        for n in [0usize, 1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 100, 1000, 4097] {
+            check(n, n as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        for n in [100usize, 1000] {
+            // Descending.
+            let mut d: Vec<u64> = (0..n as u64).rev().collect();
+            sort_packed_alloc(&mut d);
+            assert_eq!(d, (0..n as u64).collect::<Vec<_>>());
+            // All equal.
+            let mut d = vec![7u64; n];
+            sort_packed_alloc(&mut d);
+            assert!(d.iter().all(|&x| x == 7));
+            // Sawtooth.
+            let mut d: Vec<u64> = (0..n as u64).map(|i| i % 10).collect();
+            let mut e = d.clone();
+            e.sort_unstable();
+            sort_packed_alloc(&mut d);
+            assert_eq!(d, e);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_safe() {
+        let mut scratch = Vec::new();
+        for seed in 0..20u64 {
+            let mut rng = Xoshiro256::new(seed);
+            let n = (rng.next_u64() % 500) as usize;
+            let mut d: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+            let mut e = d.clone();
+            e.sort_unstable();
+            sort_packed(&mut d, &mut scratch);
+            assert_eq!(d, e);
+        }
+    }
+
+    #[test]
+    fn merge_into_edges() {
+        let mut out = vec![0u64; 3];
+        merge_into(&[], &[1, 2, 3], &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        merge_into(&[1, 2, 3], &[], &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

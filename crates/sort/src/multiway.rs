@@ -1,0 +1,202 @@
+//! Loser-tree k-way merge.
+//!
+//! Merging k sorted runs in one pass reads and writes each tuple once —
+//! the "multi-way merging to save memory bandwidth" of MWAY — instead of
+//! `ceil(log2 k)` binary passes. The tournament (loser) tree does one
+//! comparison per level per emitted element.
+
+/// A k-way merging iterator over sorted `u64` runs.
+pub struct LoserTree<'a> {
+    runs: Vec<&'a [u64]>,
+    /// Cursor into each run.
+    pos: Vec<usize>,
+    /// Internal nodes hold the *loser* run index; `tree[0]` the winner.
+    tree: Vec<usize>,
+    /// Number of leaves (power of two ≥ runs).
+    k: usize,
+    remaining: usize,
+}
+
+const EXHAUSTED: u64 = u64::MAX;
+
+impl<'a> LoserTree<'a> {
+    pub fn new(runs: Vec<&'a [u64]>) -> Self {
+        let remaining = runs.iter().map(|r| r.len()).sum();
+        let k = runs.len().max(1).next_power_of_two();
+        let mut lt = LoserTree {
+            pos: vec![0; runs.len()],
+            runs,
+            tree: vec![usize::MAX; k],
+            k,
+            remaining,
+        };
+        lt.build();
+        lt
+    }
+
+    #[inline]
+    fn key_of(&self, run: usize) -> u64 {
+        if run >= self.runs.len() {
+            return EXHAUSTED;
+        }
+        match self.runs[run].get(self.pos[run]) {
+            Some(&v) => v,
+            // Exhausted runs sort last; ties with a real u64::MAX value
+            // are fine because `remaining` bounds the number of pops.
+            None => EXHAUSTED,
+        }
+    }
+
+    /// Initial tournament.
+    fn build(&mut self) {
+        // Play every leaf pair up the tree.
+        let mut winners: Vec<usize> = (0..self.k).collect();
+        let mut level = self.k;
+        while level > 1 {
+            level /= 2;
+            for i in 0..level {
+                let a = winners[2 * i];
+                let b = winners[2 * i + 1];
+                let (win, lose) = if self.key_of(a) <= self.key_of(b) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                self.tree[level + i] = lose;
+                winners[i] = win;
+            }
+        }
+        self.tree[0] = winners[0];
+    }
+
+    /// Replay the path from the winner's leaf to the root after advancing.
+    fn replay(&mut self) {
+        let mut winner = self.tree[0];
+        let mut node = (self.k + winner) / 2;
+        while node != 0 {
+            let challenger = self.tree[node];
+            if self.key_of(challenger) < self.key_of(winner) {
+                self.tree[node] = winner;
+                winner = challenger;
+            }
+            node /= 2;
+        }
+        self.tree[0] = winner;
+    }
+}
+
+impl Iterator for LoserTree<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let winner = self.tree[0];
+        let v = self.key_of(winner);
+        self.pos[winner] += 1;
+        self.remaining -= 1;
+        self.replay();
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for LoserTree<'_> {}
+
+/// Merge `runs` into a fresh vector.
+pub fn merge_runs(runs: Vec<&[u64]>) -> Vec<u64> {
+    let lt = LoserTree::new(runs);
+    let mut out = Vec::with_capacity(lt.len());
+    out.extend(lt);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_util::rng::Xoshiro256;
+
+    #[test]
+    fn merges_simple_runs() {
+        let a = [1u64, 4, 7];
+        let b = [2u64, 5, 8];
+        let c = [3u64, 6, 9];
+        assert_eq!(
+            merge_runs(vec![&a, &b, &c]),
+            (1..=9u64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn handles_non_power_of_two_run_counts() {
+        for k in 1usize..=9 {
+            let mut rng = Xoshiro256::new(k as u64);
+            let runs: Vec<Vec<u64>> = (0..k)
+                .map(|_| {
+                    let n = (rng.next_u64() % 50) as usize;
+                    let mut r: Vec<u64> = (0..n).map(|_| rng.next_u64() % 1000).collect();
+                    r.sort_unstable();
+                    r
+                })
+                .collect();
+            let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+            expect.sort_unstable();
+            let got = merge_runs(runs.iter().map(|r| r.as_slice()).collect());
+            assert_eq!(got, expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_runs_and_empty_input() {
+        assert_eq!(merge_runs(vec![]), Vec::<u64>::new());
+        let empty: &[u64] = &[];
+        let a = [1u64, 2];
+        assert_eq!(merge_runs(vec![empty, &a, empty]), vec![1, 2]);
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let a = [5u64, 5, 5];
+        let b = [5u64, 5];
+        assert_eq!(merge_runs(vec![&a, &b]), vec![5; 5]);
+    }
+
+    #[test]
+    fn max_values_survive() {
+        // Real u64::MAX data must not be confused with the exhausted
+        // sentinel thanks to the `remaining` counter.
+        let a = [1u64, u64::MAX];
+        let b = [u64::MAX];
+        assert_eq!(merge_runs(vec![&a, &b]), vec![1, u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn size_hint_exact() {
+        let a = [1u64, 3];
+        let b = [2u64];
+        let lt = LoserTree::new(vec![&a, &b]);
+        assert_eq!(lt.len(), 3);
+    }
+
+    #[test]
+    fn large_randomized_merge() {
+        let mut rng = Xoshiro256::new(77);
+        let runs: Vec<Vec<u64>> = (0..16)
+            .map(|_| {
+                let n = 1000 + (rng.next_u64() % 1000) as usize;
+                let mut r: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        let got = merge_runs(runs.iter().map(|r| r.as_slice()).collect());
+        assert_eq!(got, expect);
+    }
+}

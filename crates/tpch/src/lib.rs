@@ -1,0 +1,31 @@
+//! TPC-H Q19 substrate — Section 8 and Appendices E–G of the paper.
+//!
+//! The paper emulates a column store in C++ ("similar to MonetDB": one
+//! array per column, virtual oids, dictionary-compressed strings, floats
+//! instead of decimals) and runs the *unchanged* TPC-H query 19 with four
+//! different join algorithms plugged in (NOP, NOPA, CPRL, CPRA), showing
+//! that the join is only 10–15% of query time.
+//!
+//! This crate is that emulator:
+//!
+//! * [`data`] — struct-of-arrays `Lineitem` and `Part` tables with the
+//!   columns Q19 touches, generated at any scale factor with the Q19
+//!   constants' TPC-H frequencies (pre-join selectivity 3.57% by
+//!   default, sweepable for Appendix E).
+//! * [`dict`] — the string dictionary (brands, containers, ship modes,
+//!   ship instructions encode to `u8`).
+//! * [`q19`] — the executor: selection push-down on Lineitem, hash join
+//!   on `p_partkey = l_partkey`, post-join predicate on reconstructed
+//!   attributes, sum aggregation; late materialization throughout
+//!   (Figure 13's plan).
+//! * [`morph`] — Appendix G: the five-step morph from a naked join
+//!   micro-benchmark to the full query.
+
+pub mod data;
+pub mod dict;
+pub mod morph;
+pub mod q19;
+pub mod strategies;
+
+pub use data::{generate_tables, GenParams, LineitemTable, PartTable};
+pub use q19::{run_q19, Q19Join, Q19Result};

@@ -1,0 +1,149 @@
+//! Cache-line-aligned buffers.
+//!
+//! The original C implementations allocate partition buffers and hash
+//! tables with `posix_memalign` at cache-line granularity so SWWCB flushes
+//! copy exactly one aligned cache line. `AlignedBuf` reproduces that:
+//! every buffer starts on a 64-byte boundary.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::marker::PhantomData;
+use std::ptr::NonNull;
+
+use crate::CACHE_LINE;
+
+/// A heap buffer of `T` aligned to (at least) one cache line.
+///
+/// `T` must not need drop (we only store plain-old-data: tuples, counters,
+/// bucket structs); this is enforced at construction with a debug
+/// assertion on `std::mem::needs_drop`.
+pub struct AlignedBuf<T> {
+    ptr: NonNull<T>,
+    len: usize,
+    layout: Option<Layout>,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: the buffer uniquely owns its allocation; `T: Send/Sync` carries
+// over like for Vec<T>.
+unsafe impl<T: Send> Send for AlignedBuf<T> {}
+unsafe impl<T: Sync> Sync for AlignedBuf<T> {}
+
+impl<T> AlignedBuf<T> {
+    /// Allocate `n` zeroed elements aligned to a cache line.
+    pub fn zeroed(n: usize) -> Self {
+        debug_assert!(
+            !std::mem::needs_drop::<T>(),
+            "AlignedBuf only stores plain-old-data"
+        );
+        if n == 0 || std::mem::size_of::<T>() == 0 {
+            return AlignedBuf {
+                ptr: NonNull::dangling(),
+                len: n,
+                layout: None,
+                _marker: PhantomData,
+            };
+        }
+        let align = std::mem::align_of::<T>().max(CACHE_LINE);
+        let size = std::mem::size_of::<T>()
+            .checked_mul(n)
+            .expect("allocation size overflow");
+        let layout = Layout::from_size_align(size, align).expect("bad layout");
+        // SAFETY: layout has non-zero size (checked above).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout)
+        };
+        AlignedBuf {
+            ptr,
+            len: n,
+            layout: Some(layout),
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr/len describe a valid allocation of initialized
+        // (zeroed) Ts; T is POD.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: as above, plus &mut self guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    #[inline]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr.as_ptr()
+    }
+
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr.as_ptr()
+    }
+}
+
+impl<T> Drop for AlignedBuf<T> {
+    fn drop(&mut self) {
+        if let Some(layout) = self.layout {
+            // SAFETY: allocated with exactly this layout in `zeroed`.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), layout) };
+        }
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for AlignedBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedBuf(len={})", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero_and_aligned() {
+        let buf = AlignedBuf::<u64>::zeroed(1000);
+        assert_eq!(buf.len(), 1000);
+        assert!(buf.as_slice().iter().all(|&x| x == 0));
+        assert_eq!(buf.as_ptr() as usize % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn zero_len_ok() {
+        let buf = AlignedBuf::<u64>::zeroed(0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.as_slice(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn writes_persist() {
+        let mut buf = AlignedBuf::<u32>::zeroed(64);
+        for (i, v) in buf.as_mut_slice().iter_mut().enumerate() {
+            *v = i as u32;
+        }
+        assert_eq!(buf.as_slice()[63], 63);
+    }
+
+    #[test]
+    fn large_alignment_type() {
+        #[repr(align(64))]
+        #[derive(Copy, Clone)]
+        struct Line([u8; 64]);
+        let buf = AlignedBuf::<Line>::zeroed(8);
+        assert_eq!(buf.as_ptr() as usize % 64, 0);
+    }
+}

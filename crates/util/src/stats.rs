@@ -1,0 +1,88 @@
+//! Tiny descriptive-statistics helpers for the experiment harness
+//! (median-of-repeats reporting, throughput conversion).
+
+use std::time::Duration;
+
+/// Throughput in the paper's metric: `(|R| + |S|) / runtime`, in million
+/// input tuples per second. (The study deliberately uses the
+/// selectivity-independent *input* definition from Lang et al., not the
+/// output-tuple definition from Balkesen et al.)
+#[inline]
+pub fn throughput_mtps(r_len: usize, s_len: usize, runtime: Duration) -> f64 {
+    let secs = runtime.as_secs_f64();
+    if secs == 0.0 {
+        return f64::INFINITY;
+    }
+    (r_len + s_len) as f64 / secs / 1e6
+}
+
+/// Average time per processed input tuple in nanoseconds (Figure 9/11 metric).
+#[inline]
+pub fn ns_per_tuple(tuples: usize, runtime: Duration) -> f64 {
+    if tuples == 0 {
+        return 0.0;
+    }
+    runtime.as_nanos() as f64 / tuples as f64
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median (sorts a copy).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_basic() {
+        // 100M + 900M tuples in 1 s => 1000 M tuples/s.
+        let t = throughput_mtps(100_000_000, 900_000_000, Duration::from_secs(1));
+        assert!((t - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ns_per_tuple_basic() {
+        let v = ns_per_tuple(1_000_000, Duration::from_millis(1));
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn stddev_constant_is_zero() {
+        assert_eq!(stddev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Named-phase wall-clock timing.
+//!
+//! Every join in the study reports a partition/build/probe (or sort/merge)
+//! breakdown; `PhaseTimer` collects those named spans and the experiment
+//! harness turns them into the stacked bars of Figures 5, 7, 9 and 14.
+
+use std::time::{Duration, Instant};
+
+/// One completed, named phase.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    pub name: &'static str,
+    pub wall: Duration,
+}
+
+/// Collects named phases; phases with the same name accumulate.
+#[derive(Default, Debug)]
+pub struct PhaseTimer {
+    phases: Vec<Phase>,
+}
+
+impl PhaseTimer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time `f` and record its duration under `name`.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.record(name, start.elapsed());
+        r
+    }
+
+    /// Record an externally measured duration.
+    pub fn record(&mut self, name: &'static str, wall: Duration) {
+        if let Some(p) = self.phases.iter_mut().find(|p| p.name == name) {
+            p.wall += wall;
+        } else {
+            self.phases.push(Phase { name, wall });
+        }
+    }
+
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().find(|p| p.name == name).map(|p| p.wall)
+    }
+
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|p| p.wall).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_same_name() {
+        let mut t = PhaseTimer::new();
+        t.record("a", Duration::from_millis(5));
+        t.record("a", Duration::from_millis(7));
+        t.record("b", Duration::from_millis(1));
+        assert_eq!(t.get("a"), Some(Duration::from_millis(12)));
+        assert_eq!(t.total(), Duration::from_millis(13));
+        assert_eq!(t.phases().len(), 2);
+    }
+
+    #[test]
+    fn time_returns_value() {
+        let mut t = PhaseTimer::new();
+        let v = t.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t.get("work").is_some());
+    }
+}

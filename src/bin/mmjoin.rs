@@ -1,0 +1,184 @@
+//! `mmjoin` — command-line front end to the join library.
+//!
+//! ```text
+//! mmjoin join  --algo CPRL --build 1000000 --probe 10000000 [--threads N]
+//!              [--zipf THETA] [--bits B] [--skew-handling]
+//! mmjoin race  --build 1000000 --probe 10000000     # all 13, leaderboard
+//! mmjoin tpch  --sf 0.2 [--threads N]               # Q19 with 4 joins
+//! ```
+
+use mmjoin::core::{run_join, Algorithm, JoinConfig};
+use mmjoin::datagen::{gen_build_dense, gen_probe_fk, gen_probe_zipf};
+use mmjoin::util::Placement;
+
+struct Args {
+    map: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Self {
+        let mut map = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    map.push((name.to_string(), argv[i + 1].clone()));
+                    i += 2;
+                } else {
+                    flags.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                flags.push(a.clone());
+                i += 1;
+            }
+        }
+        Args { map, flags }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.map
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn get_str(&self, name: &str) -> Option<&str> {
+        self.map
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: mmjoin <join|race|tpch> [options]");
+    eprintln!("  join --algo NAME --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
+    eprintln!("  race --build N --probe N [--threads N] [--zipf T]");
+    eprintln!("  tpch --sf F [--threads N]");
+    eprintln!("algorithms: {}", Algorithm::ALL.map(|a| a.name()).join(" "));
+    std::process::exit(2);
+}
+
+fn workload(args: &Args) -> (mmjoin::util::Relation, mmjoin::util::Relation, f64) {
+    let build: usize = args.get("build", 1_000_000);
+    let probe: usize = args.get("probe", build * 10);
+    let threads: usize = args.get("threads", 4);
+    let theta: f64 = args.get("zipf", 0.0);
+    let placement = Placement::Chunked { parts: threads };
+    let r = gen_build_dense(build, 42, placement);
+    let s = if theta > 0.0 {
+        gen_probe_zipf(probe, build, theta, 43, placement)
+    } else {
+        gen_probe_fk(probe, build, 43, placement)
+    };
+    (r, s, theta)
+}
+
+fn config(args: &Args, theta: f64) -> JoinConfig {
+    let mut cfg = JoinConfig::new(args.get("threads", 4));
+    cfg.probe_theta = theta;
+    cfg.skew_handling = args.has("skew-handling");
+    if let Some(b) = args.get_str("bits") {
+        cfg.radix_bits = b.parse().ok();
+    }
+    cfg
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let cmd = argv[0].as_str();
+    let args = Args::parse(&argv[1..]);
+    match cmd {
+        "join" => {
+            let Some(name) = args.get_str("algo") else {
+                usage()
+            };
+            let Some(alg) = Algorithm::from_name(name) else {
+                eprintln!("unknown algorithm {name}");
+                usage()
+            };
+            let (r, s, theta) = workload(&args);
+            let cfg = config(&args, theta);
+            let res = run_join(alg, &r, &s, &cfg);
+            println!(
+                "{}: |R|={} |S|={} threads={}",
+                alg.name(),
+                r.len(),
+                s.len(),
+                cfg.threads
+            );
+            for p in &res.phases {
+                println!(
+                    "  {:<10} wall {:>9.2} ms   sim({} thr) {:>9.2} ms",
+                    p.name,
+                    p.wall.as_secs_f64() * 1e3,
+                    cfg.sim_threads(),
+                    p.sim_seconds * 1e3
+                );
+            }
+            println!(
+                "  total      wall {:>9.2} ms   matches {}   wall throughput {:.0} Mtps",
+                res.total_wall().as_secs_f64() * 1e3,
+                res.matches,
+                (r.len() + s.len()) as f64 / res.total_wall().as_secs_f64() / 1e6
+            );
+            if let Some(bits) = res.radix_bits {
+                println!("  radix bits: {bits}");
+            }
+        }
+        "race" => {
+            let (r, s, theta) = workload(&args);
+            let cfg = config(&args, theta);
+            let mut rows: Vec<(&str, f64, u64)> = Algorithm::ALL
+                .iter()
+                .map(|&alg| {
+                    let res = run_join(alg, &r, &s, &cfg);
+                    (
+                        alg.name(),
+                        res.total_wall().as_secs_f64() * 1e3,
+                        res.matches,
+                    )
+                })
+                .collect();
+            rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            println!("|R|={} |S|={} threads={} (host wall time)", r.len(), s.len(), cfg.threads);
+            for (i, (name, ms, matches)) in rows.iter().enumerate() {
+                println!("{:>2}. {name:<7} {ms:>9.2} ms  ({matches} matches)", i + 1);
+            }
+        }
+        "tpch" => {
+            let sf: f64 = args.get("sf", 0.1);
+            let threads: usize = args.get("threads", 4);
+            let (p, l) = mmjoin::tpch::generate_tables(&mmjoin::tpch::GenParams {
+                scale_factor: sf,
+                pre_selectivity: 0.0357,
+                seed: 0x9119,
+            });
+            println!("TPC-H Q19 @ SF {sf}: Part {} rows, Lineitem {} rows", p.len(), l.len());
+            for join in mmjoin::tpch::q19::Q19Join::ALL {
+                let res = mmjoin::tpch::run_q19(join, &p, &l, threads);
+                println!(
+                    "  {:<5} total {:>8.1} ms (build/part {:>7.1}, probe/join {:>7.1})  revenue {:.2}",
+                    join.name(),
+                    res.total_wall().as_secs_f64() * 1e3,
+                    res.build_wall.as_secs_f64() * 1e3,
+                    res.probe_wall.as_secs_f64() * 1e3,
+                    res.revenue
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,45 @@
+//! `mmjoin` — a Rust reproduction of Schuh, Chen & Dittrich,
+//! *"An Experimental Comparison of Thirteen Relational Equi-Joins in Main
+//! Memory"* (SIGMOD 2016).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`core`] — the thirteen join algorithms and the [`core::run_join`]
+//!   entry point.
+//! * [`datagen`] — workload generators (dense PK/FK, Zipf, sparse).
+//! * [`hashtable`] — chained / linear / concise / array tables.
+//! * [`partition`] — radix partitioning, SWWCB, task scheduling, Eq. (1).
+//! * [`sort`] — sorting networks and multiway merging (MWAY substrate).
+//! * [`numamodel`] — the simulated NUMA machine and cost model.
+//! * [`memsim`] — the trace-driven cache/TLB simulator (Table 4).
+//! * [`tpch`] — the column-store TPC-H Q19 substrate.
+//! * [`util`] — tuples, aligned buffers, RNG, checksums.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mmjoin::core::{run_join, Algorithm, JoinConfig};
+//! use mmjoin::datagen::{gen_build_dense, gen_probe_fk};
+//! use mmjoin::util::Placement;
+//!
+//! let placement = Placement::Chunked { parts: 4 };
+//! let r = gen_build_dense(100_000, 42, placement);
+//! let s = gen_probe_fk(1_000_000, 100_000, 43, placement);
+//!
+//! let result = run_join(Algorithm::Cpra, &r, &s, &JoinConfig::new(4));
+//! assert_eq!(result.matches, 1_000_000);
+//! println!(
+//!     "CPRA: {:.0} Mtps on the simulated 4-socket machine",
+//!     result.sim_throughput_mtps(r.len(), s.len())
+//! );
+//! ```
+
+pub use mmjoin_core as core;
+pub use mmjoin_datagen as datagen;
+pub use mmjoin_hashtable as hashtable;
+pub use mmjoin_memsim as memsim;
+pub use mmjoin_numamodel as numamodel;
+pub use mmjoin_partition as partition;
+pub use mmjoin_sort as sort;
+pub use mmjoin_tpch as tpch;
+pub use mmjoin_util as util;

@@ -1,0 +1,131 @@
+//! Integration: every one of the thirteen algorithms must produce the
+//! reference join's match count and checksum on every workload class the
+//! paper evaluates — uniform FK, skewed (Zipf), sparse domains, heavy
+//! duplicates — across thread counts.
+
+use mmjoin::core::reference::reference_join;
+use mmjoin::core::{run_join, Algorithm, JoinConfig};
+use mmjoin::datagen::{
+    gen_build_dense, gen_build_sparse, gen_probe_fk, gen_probe_of_keys, gen_probe_zipf,
+};
+use mmjoin::util::{Placement, Relation, Tuple};
+
+fn cfg(threads: usize) -> JoinConfig {
+    let mut c = JoinConfig::new(threads);
+    c.simulate = false;
+    c
+}
+
+fn check_all(r: &Relation, s: &Relation, threads: usize, domain: usize, label: &str) {
+    let expect = reference_join(r, s);
+    for alg in Algorithm::ALL {
+        let mut c = cfg(threads);
+        c.key_domain = domain;
+        let res = run_join(alg, r, s, &c);
+        assert_eq!(
+            res.matches,
+            expect.count,
+            "{label}: {} with {threads} threads: count",
+            alg.name()
+        );
+        assert_eq!(
+            res.checksum,
+            expect.digest,
+            "{label}: {} with {threads} threads: checksum",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn uniform_fk_workload_all_threads() {
+    let n = 6_000;
+    let placement = Placement::Chunked { parts: 4 };
+    let r = gen_build_dense(n, 1, placement);
+    let s = gen_probe_fk(n * 5, n, 2, placement);
+    for threads in [1, 2, 4, 8] {
+        check_all(&r, &s, threads, 0, "uniform");
+    }
+}
+
+#[test]
+fn skewed_zipf_workload() {
+    let n = 3_000;
+    let placement = Placement::Chunked { parts: 4 };
+    let r = gen_build_dense(n, 3, placement);
+    for theta in [0.51, 0.99] {
+        let s = gen_probe_zipf(15_000, n, theta, 4, placement);
+        check_all(&r, &s, 4, 0, &format!("zipf {theta}"));
+    }
+}
+
+#[test]
+fn sparse_domain_workload() {
+    let n = 2_000;
+    let k = 8;
+    let placement = Placement::Chunked { parts: 4 };
+    let (r, keys) = gen_build_sparse(n, k * n, 5, placement);
+    let s = gen_probe_of_keys(10_000, &keys, 6, placement);
+    check_all(&r, &s, 4, k * n, "sparse");
+}
+
+#[test]
+fn probe_smaller_than_build() {
+    // Worst-case-for-hash shape: |S| = |R| and even |S| < |R|.
+    let n = 4_000;
+    let placement = Placement::Chunked { parts: 2 };
+    let r = gen_build_dense(n, 7, placement);
+    let s = gen_probe_fk(n / 4, n, 8, placement);
+    check_all(&r, &s, 3, 0, "small probe");
+}
+
+#[test]
+fn single_tuple_relations() {
+    let placement = Placement::Interleaved;
+    let r = Relation::from_tuples(&[Tuple::new(1, 0)], placement);
+    let s = Relation::from_tuples(&[Tuple::new(1, 9), Tuple::new(1, 10)], placement);
+    check_all(&r, &s, 4, 0, "single");
+}
+
+#[test]
+fn probe_misses_everything() {
+    // Probe keys beyond the build domain: zero matches everywhere.
+    let placement = Placement::Chunked { parts: 2 };
+    let r = gen_build_dense(1_000, 9, placement);
+    let far: Vec<Tuple> = (0..500).map(|i| Tuple::new(1_000_000 + i, i)).collect();
+    let s = Relation::from_tuples(&far, placement);
+    for alg in Algorithm::ALL {
+        // Array joins need the domain to cover the probe keys.
+        let mut c = cfg(2);
+        c.key_domain = 1_100_000;
+        let res = run_join(alg, &r, &s, &c);
+        assert_eq!(res.matches, 0, "{}", alg.name());
+    }
+}
+
+#[test]
+fn radix_bits_sweep_stays_correct() {
+    // Partitioned joins must be correct for extreme fanouts.
+    let n = 3_000;
+    let placement = Placement::Chunked { parts: 4 };
+    let r = gen_build_dense(n, 11, placement);
+    let s = gen_probe_fk(9_000, n, 12, placement);
+    let expect = reference_join(&r, &s);
+    for bits in [1u32, 2, 8, 12] {
+        for alg in [Algorithm::Prb, Algorithm::ProIs, Algorithm::Cprl, Algorithm::Cpra] {
+            let mut c = cfg(4);
+            c.radix_bits = Some(bits);
+            let res = run_join(alg, &r, &s, &c);
+            assert_eq!(res.matches, expect.count, "{} bits={bits}", alg.name());
+            assert_eq!(res.checksum, expect.digest, "{} bits={bits}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn more_threads_than_tuples() {
+    let placement = Placement::Interleaved;
+    let r = gen_build_dense(10, 13, placement);
+    let s = gen_probe_fk(7, 10, 14, placement);
+    check_all(&r, &s, 32, 0, "tiny input, many threads");
+}

@@ -1,0 +1,61 @@
+//! Smoke-test the entire experiment harness: every registered
+//! table/figure reproduction must run to completion (at a tiny scale)
+//! and produce non-empty tables.
+
+use mmjoin_bench::experiments::registry;
+use mmjoin_bench::HarnessOpts;
+
+fn tiny_opts() -> HarnessOpts {
+    HarnessOpts {
+        scale: 65536, // tiny: 128M paper tuples -> ~2k tuples
+        threads: 2,
+        sim_threads: 8,
+        json: false,
+    }
+}
+
+#[test]
+fn every_experiment_runs_and_produces_rows() {
+    let opts = tiny_opts();
+    for (name, _, f) in registry() {
+        let tables = f(&opts);
+        assert!(!tables.is_empty(), "{name} produced no tables");
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{name}: table '{}' is empty", t.title);
+            for row in &t.rows {
+                assert_eq!(
+                    row.len(),
+                    t.headers.len(),
+                    "{name}: ragged row in '{}'",
+                    t.title
+                );
+            }
+            // Rendering must not panic and must contain the title.
+            let rendered = t.render();
+            assert!(rendered.contains(&t.title));
+        }
+    }
+}
+
+#[test]
+fn experiment_registry_covers_all_paper_artifacts() {
+    let names: Vec<&str> = registry().iter().map(|(n, _, _)| *n).collect();
+    for required in [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "tab3", "tab4",
+    ] {
+        assert!(names.contains(&required), "missing experiment {required}");
+    }
+}
+
+#[test]
+fn json_serialization_works() {
+    let opts = tiny_opts();
+    let (_, _, f) = registry()
+        .into_iter()
+        .find(|(n, _, _)| *n == "fig1")
+        .unwrap();
+    let tables = f(&opts);
+    let json = serde_json::to_string(&tables).expect("serializable");
+    assert!(json.contains("Figure 1"));
+}

@@ -1,0 +1,151 @@
+//! Failure-injection & adversarial-input tests: pathological workloads
+//! that stress the paper-relevant failure modes — extreme skew (one
+//! partition owns everything), boundary keys, degenerate fanouts,
+//! duplicate floods, and queue starvation shapes.
+
+use mmjoin::core::reference::reference_join;
+use mmjoin::core::{run_join, Algorithm, JoinConfig};
+use mmjoin::partition::{chunked_partition, partition_parallel, RadixFn, ScatterMode};
+use mmjoin::util::{Placement, Relation, Tuple};
+
+fn cfg(threads: usize, bits: Option<u32>) -> JoinConfig {
+    let mut c = JoinConfig::new(threads);
+    c.simulate = false;
+    c.radix_bits = bits;
+    // These tests feed duplicate build keys; disable the PK assumption.
+    c.unique_build_keys = false;
+    c
+}
+
+/// Algorithms that tolerate arbitrary key multisets (array joins need
+/// unique keys by contract).
+const MULTISET_ALGOS: [Algorithm; 9] = [
+    Algorithm::Nop,
+    Algorithm::Chtj,
+    Algorithm::Mway,
+    Algorithm::Prb,
+    Algorithm::Pro,
+    Algorithm::Prl,
+    Algorithm::ProIs,
+    Algorithm::PrlIs,
+    Algorithm::Cprl,
+];
+
+#[test]
+fn all_probe_tuples_hit_one_partition() {
+    // Every probe key identical: one co-partition task carries the whole
+    // probe side — the task-queue starvation shape of Appendix A.
+    let n = 2_000;
+    let r = mmjoin::datagen::gen_build_dense(n, 1, Placement::Chunked { parts: 4 });
+    let hot: Vec<Tuple> = (0..20_000).map(|i| Tuple::new(777, i)).collect();
+    let s = Relation::from_tuples(&hot, Placement::Chunked { parts: 4 });
+    let expect = reference_join(&r, &s);
+    assert_eq!(expect.count, 20_000);
+    for alg in MULTISET_ALGOS {
+        let res = run_join(alg, &r, &s, &cfg(4, Some(6)));
+        assert_eq!(res.matches, expect.count, "{}", alg.name());
+        assert_eq!(res.checksum, expect.digest, "{}", alg.name());
+    }
+}
+
+#[test]
+fn duplicate_flood_on_build_side() {
+    // 50 copies of each build key: every probe fans out 50×.
+    let mut build = Vec::new();
+    for key in 1..=40u32 {
+        for copy in 0..50u32 {
+            build.push(Tuple::new(key, key * 100 + copy));
+        }
+    }
+    let r = Relation::from_tuples(&build, Placement::Interleaved);
+    let probes: Vec<Tuple> = (1..=40u32).map(|k| Tuple::new(k, k)).collect();
+    let s = Relation::from_tuples(&probes, Placement::Interleaved);
+    let expect = reference_join(&r, &s);
+    assert_eq!(expect.count, 40 * 50);
+    for alg in MULTISET_ALGOS {
+        let res = run_join(alg, &r, &s, &cfg(3, Some(3)));
+        assert_eq!(res.matches, expect.count, "{}", alg.name());
+        assert_eq!(res.checksum, expect.digest, "{}", alg.name());
+    }
+}
+
+#[test]
+fn boundary_keys() {
+    // Keys at the top of the u32 domain (key 0 is the reserved EMPTY
+    // sentinel and is excluded by the generators' contract).
+    let tuples = [
+        Tuple::new(u32::MAX, 1),
+        Tuple::new(u32::MAX - 1, 2),
+        Tuple::new(1, 3),
+        Tuple::new(2, 4),
+    ];
+    let r = Relation::from_tuples(&tuples, Placement::Interleaved);
+    let s = Relation::from_tuples(&tuples, Placement::Interleaved);
+    let expect = reference_join(&r, &s);
+    for alg in MULTISET_ALGOS {
+        // Skip NOPA-style domains; hash/sort algorithms must cope.
+        let res = run_join(alg, &r, &s, &cfg(2, Some(2)));
+        assert_eq!(res.matches, expect.count, "{}", alg.name());
+        assert_eq!(res.checksum, expect.digest, "{}", alg.name());
+    }
+}
+
+#[test]
+fn zero_bit_partitioning_degenerates_gracefully() {
+    // fanout 2^1 = 2 with everything in one partition.
+    let tuples: Vec<Tuple> = (0..500).map(|i| Tuple::new(2 * i + 2, i)).collect(); // all even
+    let pr = partition_parallel(&tuples, RadixFn::new(1), 4, ScatterMode::Swwcb);
+    assert_eq!(pr.part_len(0), 500);
+    assert_eq!(pr.part_len(1), 0);
+    let cp = chunked_partition(&tuples, RadixFn::new(1), 4, ScatterMode::Swwcb);
+    assert_eq!(cp.part_len(0), 500);
+    assert_eq!(cp.part_len(1), 0);
+}
+
+#[test]
+fn fanout_larger_than_input() {
+    // 2^12 partitions for 100 tuples: almost all partitions empty.
+    let tuples: Vec<Tuple> = (1..=100).map(|k| Tuple::new(k, k)).collect();
+    let pr = partition_parallel(&tuples, RadixFn::new(12), 4, ScatterMode::Swwcb);
+    let total: usize = (0..pr.parts()).map(|p| pr.part_len(p)).sum();
+    assert_eq!(total, 100);
+    // And a join over that fanout still works.
+    let r = Relation::from_tuples(&tuples, Placement::Interleaved);
+    let s = Relation::from_tuples(&tuples, Placement::Interleaved);
+    let res = run_join(Algorithm::Cprl, &r, &s, &cfg(4, Some(12)));
+    assert_eq!(res.matches, 100);
+}
+
+#[test]
+fn asymmetric_extremes() {
+    // |R| = 1 vs large |S|, and the reverse.
+    let one = Relation::from_tuples(&[Tuple::new(5, 0)], Placement::Interleaved);
+    let many: Vec<Tuple> = (0..5_000).map(|i| Tuple::new(5, i)).collect();
+    let many = Relation::from_tuples(&many, Placement::Interleaved);
+    for alg in MULTISET_ALGOS {
+        let res = run_join(alg, &one, &many, &cfg(4, Some(4)));
+        assert_eq!(res.matches, 5_000, "{} 1xN", alg.name());
+        let res = run_join(alg, &many, &one, &cfg(4, Some(4)));
+        assert_eq!(res.matches, 5_000, "{} Nx1", alg.name());
+    }
+}
+
+#[test]
+fn simulation_plane_never_changes_results() {
+    // The cost model must be observational: toggling it cannot change
+    // the join output.
+    let r = mmjoin::datagen::gen_build_dense(3_000, 9, Placement::Chunked { parts: 4 });
+    let s = mmjoin::datagen::gen_probe_fk(12_000, 3_000, 10, Placement::Chunked { parts: 4 });
+    for alg in Algorithm::ALL {
+        let mut on = JoinConfig::new(4);
+        on.simulate = true;
+        let mut off = JoinConfig::new(4);
+        off.simulate = false;
+        let a = run_join(alg, &r, &s, &on);
+        let b = run_join(alg, &r, &s, &off);
+        assert_eq!(a.matches, b.matches, "{}", alg.name());
+        assert_eq!(a.checksum, b.checksum, "{}", alg.name());
+        assert!(a.total_sim() > 0.0, "{}", alg.name());
+        assert_eq!(b.total_sim(), 0.0, "{}", alg.name());
+    }
+}

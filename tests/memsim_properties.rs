@@ -1,0 +1,79 @@
+//! Property-based tests on the cache/TLB simulator: classic cache
+//! invariants that must hold for arbitrary access streams.
+
+use proptest::prelude::*;
+
+use mmjoin::memsim::{Cache, CacheConfig, MemSim, Tlb};
+use mmjoin::util::trace::MemTracer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn immediate_reaccess_always_hits(lines in prop::collection::vec(0u64..1024, 1..200)) {
+        let mut c = Cache::new(CacheConfig::new(64 * 64, 4));
+        for &l in &lines {
+            c.access(l);
+            prop_assert!(c.access(l), "line {l} missing right after access");
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_thrashes(
+        set_size in 1usize..16,
+        rounds in 1usize..20,
+    ) {
+        // 16 lines capacity (4 sets x 4 ways); any set of distinct lines
+        // mapping uniformly cannot exceed per-set associativity if we
+        // choose consecutive lines (one per set, round-robin).
+        let mut c = Cache::new(CacheConfig::new(16 * 64, 4));
+        let lines: Vec<u64> = (0..set_size as u64).collect();
+        for &l in &lines {
+            c.access(l);
+        }
+        let misses_before = c.misses();
+        for _ in 0..rounds {
+            for &l in &lines {
+                c.access(l);
+            }
+        }
+        prop_assert_eq!(c.misses(), misses_before, "resident set missed");
+    }
+
+    #[test]
+    fn miss_count_bounded_by_accesses(lines in prop::collection::vec(0u64..64, 0..500)) {
+        let mut c = Cache::new(CacheConfig::new(8 * 64, 2));
+        for &l in &lines {
+            c.access(l);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), lines.len() as u64);
+        // Distinct lines lower-bound the misses (cold misses).
+        let distinct: std::collections::HashSet<u64> = lines.iter().copied().collect();
+        prop_assert!(c.misses() >= distinct.len().min(8) as u64);
+    }
+
+    #[test]
+    fn tlb_sequential_scan_misses_once_per_page(pages in 1usize..50) {
+        let mut t = Tlb::new(64, 4096);
+        for addr in (0..pages * 4096).step_by(512) {
+            t.access(addr);
+        }
+        prop_assert_eq!(t.misses(), pages as u64);
+    }
+
+    #[test]
+    fn memsim_counters_are_consistent(
+        addrs in prop::collection::vec(0usize..(1 << 20), 1..300),
+    ) {
+        let mut ms = MemSim::paper_machine(4096, 64);
+        for &a in &addrs {
+            ms.read(a, 8);
+        }
+        let c = ms.counters();
+        // Every L2 access is an L1 miss; every L3 access is an L2 miss.
+        prop_assert_eq!(c.l2_accesses, c.l1_misses);
+        prop_assert_eq!(c.l3_accesses, c.l2_misses);
+        prop_assert!(c.l3_misses <= c.l3_accesses);
+        prop_assert!(c.tlb_accesses >= c.accesses);
+    }
+}

@@ -1,0 +1,77 @@
+//! Integration: the TPC-H Q19 pipeline end to end — all four pluggable
+//! joins and all five morph variants must agree, across thread counts
+//! and selectivities.
+
+use mmjoin::tpch::data::{generate_tables, GenParams};
+use mmjoin::tpch::morph::run_morph;
+use mmjoin::tpch::q19::{reference_q19, run_q19, Q19Join};
+
+fn tables(sel: f64) -> (mmjoin::tpch::PartTable, mmjoin::tpch::LineitemTable) {
+    // SF 0.05 = 300k Lineitem rows: the Q19 post-join predicate is very
+    // selective (~5e-4 of pre-filtered rows), so smaller SFs can
+    // legitimately produce zero matches for an unlucky seed.
+    generate_tables(&GenParams {
+        scale_factor: 0.05,
+        pre_selectivity: sel,
+        seed: 0xABCD,
+    })
+}
+
+#[test]
+fn q19_joins_agree_across_threads() {
+    let (p, l) = tables(0.0357);
+    let expect = reference_q19(&p, &l);
+    assert!(expect > 0.0);
+    for join in Q19Join::ALL {
+        for threads in [1, 2, 8] {
+            let res = run_q19(join, &p, &l, threads);
+            let rel = (res.revenue - expect).abs() / expect;
+            assert!(rel < 1e-6, "{} t={threads}: {}", join.name(), res.revenue);
+        }
+    }
+}
+
+#[test]
+fn q19_selectivity_sweep_consistency() {
+    for sel in [0.0357, 0.5, 1.0] {
+        let (p, l) = tables(sel);
+        let expect = reference_q19(&p, &l);
+        let nop = run_q19(Q19Join::Nop, &p, &l, 4);
+        let cpra = run_q19(Q19Join::Cpra, &p, &l, 4);
+        for res in [&nop, &cpra] {
+            let rel = (res.revenue - expect).abs() / expect.max(1.0);
+            assert!(rel < 1e-6, "sel={sel}");
+        }
+        // Higher selectivity must feed more rows into the join.
+        let frac = nop.filtered_rows as f64 / l.len() as f64;
+        assert!((frac - sel).abs() < 0.05, "sel={sel} got {frac}");
+    }
+}
+
+#[test]
+fn morph_chain_consistency() {
+    let (p, l) = tables(0.0357);
+    let expect = reference_q19(&p, &l);
+    for threads in [1, 4] {
+        let steps = run_morph(&p, &l, threads);
+        assert_eq!(steps.len(), 5);
+        // Match counts agree across variants 1-3.
+        assert_eq!(steps[0].outcome, steps[1].outcome);
+        assert_eq!(steps[1].outcome, steps[2].outcome);
+        // Revenue agrees with the reference in variants 4-5.
+        for i in [3, 4] {
+            let rel = (steps[i].outcome - expect).abs() / expect;
+            assert!(rel < 1e-6, "threads={threads} variant {}", i + 1);
+        }
+    }
+}
+
+#[test]
+fn q19_matches_microbenchmark_semantics() {
+    // The number of pre-filter survivors equals what the micro-benchmark
+    // path (morph variant 1's input) sees.
+    let (p, l) = tables(0.0357);
+    let filtered = (0..l.len()).filter(|&i| l.pre_join(i)).count();
+    let res = run_q19(Q19Join::Nopa, &p, &l, 2);
+    assert_eq!(res.filtered_rows, filtered);
+}
