@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mmjoin_hashtable::{
-    ArrayTable, ConciseHashTable, CrcHash, IdentityHash, JoinTable, MultiplicativeHash,
-    MurmurHash, StChainedTable, StLinearTable, TableSpec,
+    ArrayTable, ConciseHashTable, CrcHash, IdentityHash, JoinTable, MultiplicativeHash, MurmurHash,
+    StChainedTable, StLinearTable, TableSpec,
 };
 use mmjoin_util::rng::Xoshiro256;
 use mmjoin_util::Tuple;
@@ -46,7 +46,11 @@ fn bench_tables(c: &mut Criterion) {
             });
         };
     }
-    bench_join_table!("chained", StChainedTable<IdentityHash>, TableSpec::hashed(N));
+    bench_join_table!(
+        "chained",
+        StChainedTable<IdentityHash>,
+        TableSpec::hashed(N)
+    );
     bench_join_table!("linear", StLinearTable<IdentityHash>, TableSpec::hashed(N));
     bench_join_table!("array", ArrayTable, TableSpec::array(0, N));
     g.bench_function("cht", |b| {

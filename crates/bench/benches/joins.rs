@@ -1,6 +1,8 @@
 //! End-to-end criterion benches: all thirteen joins on one canonical
 //! (scaled) workload, plus the scheduling ablation (ablation 3).
 
+#![allow(deprecated)] // benches time the raw kernels via the run_join shim
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mmjoin_core::{run_join, Algorithm, JoinConfig};
 use mmjoin_datagen::{gen_build_dense, gen_probe_fk};

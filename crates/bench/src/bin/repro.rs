@@ -20,7 +20,11 @@ fn main() {
     };
     let reg = registry();
 
-    if rest.is_empty() || rest.iter().any(|a| a == "list" || a == "--help" || a == "-h") {
+    if rest.is_empty()
+        || rest
+            .iter()
+            .any(|a| a == "list" || a == "--help" || a == "-h")
+    {
         eprintln!(
             "usage: repro <experiment>... [--scale N] [--threads N] [--sim-threads N] [--json]"
         );
@@ -58,9 +62,6 @@ fn main() {
         all_tables.extend(tables);
     }
     if opts.json {
-        match serde_json::to_string_pretty(&all_tables) {
-            Ok(s) => println!("{s}"),
-            Err(e) => eprintln!("json error: {e}"),
-        }
+        println!("{}", mmjoin_bench::harness::tables_to_json(&all_tables));
     }
 }

@@ -26,7 +26,11 @@ const ALGOS: [Algorithm; 9] = [
 pub fn run(opts: &HarnessOpts) -> Vec<Table> {
     let mut out = Vec::new();
     for (panel, sizes_m, ratio) in [
-        ("(a) |S| = 10·|R|", vec![1usize, 4, 16, 64, 128, 256], 10usize),
+        (
+            "(a) |S| = 10·|R|",
+            vec![1usize, 4, 16, 64, 128, 256],
+            10usize,
+        ),
         (
             "(b) |S| = |R|",
             vec![1usize, 8, 64, 256, 1024, 2048],
@@ -45,12 +49,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
                 let r_n = opts.tuples(m);
                 let s_n = opts.tuples(m * ratio);
                 let r = mmjoin_datagen::gen_build_dense(r_n, m as u64 + 10, opts.placement());
-                let s = mmjoin_datagen::gen_probe_fk(
-                    s_n,
-                    r_n,
-                    m as u64 ^ 0xA0,
-                    opts.placement(),
-                );
+                let s = mmjoin_datagen::gen_probe_fk(s_n, r_n, m as u64 ^ 0xA0, opts.placement());
                 (r, s)
             })
             .collect();

@@ -27,7 +27,10 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         ],
     );
     // Paper: |R| = 16M..2048M with 2^11..2^18 partitions.
-    for (i, r_m) in [16usize, 32, 64, 128, 256, 512, 1024, 2048].iter().enumerate() {
+    for (i, r_m) in [16usize, 32, 64, 128, 256, 512, 1024, 2048]
+        .iter()
+        .enumerate()
+    {
         let bits = 11 + i as u32;
         let r_n = opts.tuples(*r_m);
         let input = mmjoin_datagen::gen_build_dense(r_n, *r_m as u64, opts.placement());
@@ -43,14 +46,8 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
 
         let mut sim_ns = Vec::new();
         for writes in [PartitionWrites::Local, PartitionWrites::GlobalInterleaved] {
-            let specs = spec::partition_pass_specs(
-                &cfg,
-                r_n,
-                input.placement(),
-                f.fanout(),
-                true,
-                writes,
-            );
+            let specs =
+                spec::partition_pass_specs(&cfg, r_n, input.placement(), f.fanout(), true, writes);
             let order: Vec<usize> = (0..specs.len()).collect();
             let (t, _) = spec::run_phase(&cfg, &specs, &order);
             sim_ns.push(t * 1e9 / r_n as f64);

@@ -36,9 +36,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         let thetas = [0.51, 0.90, 0.99];
         let probes: Vec<_> = thetas
             .iter()
-            .map(|&theta| {
-                mmjoin_datagen::gen_probe_zipf(s_n, r_n, theta, 0xF152, opts.placement())
-            })
+            .map(|&theta| mmjoin_datagen::gen_probe_zipf(s_n, r_n, theta, 0xF152, opts.placement()))
             .collect();
         for alg in ALGOS {
             let mut row = vec![alg.name().to_string()];

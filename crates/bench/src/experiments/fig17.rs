@@ -36,18 +36,10 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
     let workloads: Vec<_> = ks
         .iter()
         .map(|&k| {
-            let (r, keys) = mmjoin_datagen::gen_build_sparse(
-                r_n,
-                k * r_n,
-                0xF171 + k as u64,
-                opts.placement(),
-            );
-            let s = mmjoin_datagen::gen_probe_of_keys(
-                s_n,
-                &keys,
-                0xF172 ^ k as u64,
-                opts.placement(),
-            );
+            let (r, keys) =
+                mmjoin_datagen::gen_build_sparse(r_n, k * r_n, 0xF171 + k as u64, opts.placement());
+            let s =
+                mmjoin_datagen::gen_probe_of_keys(s_n, &keys, 0xF172 ^ k as u64, opts.placement());
             (k, r, s)
         })
         .collect();

@@ -21,7 +21,11 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
     let threads_hi = (opts.threads * 2).max(2);
     let mut table = Table::new(
         format!("Figure 19 — morphing the micro-benchmark into Q19 (SF {sf:.2}, host wall ms)"),
-        &["variant", &format!("{threads_lo} thr"), &format!("{threads_hi} thr")],
+        &[
+            "variant",
+            &format!("{threads_lo} thr"),
+            &format!("{threads_hi} thr"),
+        ],
     );
     let lo = run_morph(&p, &l, threads_lo);
     let hi = run_morph(&p, &l, threads_hi);

@@ -14,7 +14,13 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
     let cfg = opts.cfg();
     let mut table = Table::new(
         "Figure 5 — runtime of PR* vs CPR* (simulated ms; partition + join)",
-        &["algo", "partition[ms]", "join[ms]", "total[ms]", "wall[ms,host]"],
+        &[
+            "algo",
+            "partition[ms]",
+            "join[ms]",
+            "total[ms]",
+            "wall[ms,host]",
+        ],
     );
     for alg in [
         Algorithm::Pro,

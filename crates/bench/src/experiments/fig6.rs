@@ -24,13 +24,16 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         };
         let buckets = sim.bucketed_utilization(BUCKETS);
         let mut table = Table::new(
-            format!("Figure 6 — join-phase bandwidth profile, {} (% of node bw)", alg.name()),
+            format!(
+                "Figure 6 — join-phase bandwidth profile, {} (% of node bw)",
+                alg.name()
+            ),
             &["time", "node0", "node1", "node2", "node3"],
         );
         for (i, b) in buckets.iter().enumerate() {
             let mut row = vec![format!("{:>3}%", i * 100 / BUCKETS)];
-            for n in 0..cfg.topology.nodes {
-                row.push(format!("{:.0}", b[n] * 100.0));
+            for util in b.iter().take(cfg.topology.nodes) {
+                row.push(format!("{:.0}", util * 100.0));
             }
             table.row(row);
         }

@@ -36,6 +36,8 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
             ms(res.total_sim()),
         ]);
     }
-    table.note("paper: *iS join phases >2x faster than unscheduled PR*; CPR* still fastest in total");
+    table.note(
+        "paper: *iS join phases >2x faster than unscheduled PR*; CPR* still fastest in total",
+    );
     vec![table]
 }

@@ -57,14 +57,20 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
     ] {
         let mut table = Table::new(
             format!("Figure 9 {panel} — avg total sim time per tuple [ns]"),
-            &["algo", "|R|[paper M]", "L2-fit bits", "ns@L2-fit", "best bits", "ns@best"],
+            &[
+                "algo",
+                "|R|[paper M]",
+                "L2-fit bits",
+                "ns@L2-fit",
+                "best bits",
+                "ns@best",
+            ],
         );
         for &r_m in &sizes_m {
             let r_n = opts.tuples(r_m);
             let s_n = opts.tuples(r_m * ratio);
             let r = mmjoin_datagen::gen_build_dense(r_n, r_m as u64, opts.placement());
-            let s =
-                mmjoin_datagen::gen_probe_fk(s_n, r_n, r_m as u64 ^ 0x99, opts.placement());
+            let s = mmjoin_datagen::gen_probe_fk(s_n, r_n, r_m as u64 ^ 0x99, opts.placement());
             let tuples = r_n + s_n;
             for (name, kind, mode) in ALGOS {
                 let cfg = opts.cfg();

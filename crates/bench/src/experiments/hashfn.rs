@@ -38,11 +38,19 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
     let (t, c) = bench_hash::<IdentityHash>(n, probes);
     table.row(vec!["identity".into(), format!("{t:.2}"), c.to_string()]);
     let (t, c) = bench_hash::<MultiplicativeHash>(n, probes);
-    table.row(vec!["multiplicative".into(), format!("{t:.2}"), c.to_string()]);
+    table.row(vec![
+        "multiplicative".into(),
+        format!("{t:.2}"),
+        c.to_string(),
+    ]);
     let (t, c) = bench_hash::<MurmurHash>(n, probes);
     table.row(vec!["murmur".into(), format!("{t:.2}"), c.to_string()]);
     let (t, c) = bench_hash::<CrcHash>(n, probes);
-    table.row(vec!["crc32c (bitwise)".into(), format!("{t:.2}"), c.to_string()]);
+    table.row(vec![
+        "crc32c (bitwise)".into(),
+        format!("{t:.2}"),
+        c.to_string(),
+    ]);
     table.note("identity is fastest on dense keys (no mixing, no collisions)");
     vec![table]
 }

@@ -46,10 +46,22 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
     ] {
         let mut table = Table::new(
             format!("Table 4 — {phase_name} (simulated counters, |R|={r_n}, |S|={s_n})"),
-            &["join", "L2 miss[M]", "L3 miss[M]", "L2 hit", "L3 hit", "IR[B]", "IPC"],
+            &[
+                "join",
+                "L2 miss[M]",
+                "L3 miss[M]",
+                "L2 hit",
+                "L3 hit",
+                "IR[B]",
+                "IPC",
+            ],
         );
         for alg in Algorithm::ALL {
-            let b = if alg == Algorithm::Prb { 14.min(bits * 2) } else { bits };
+            let b = if alg == Algorithm::Prb {
+                14.min(bits * 2)
+            } else {
+                bits
+            };
             let run = instrument(alg, &r, &s, scale, page, b);
             let c = if pick == 0 { &run.first } else { &run.second };
             let mut row = vec![alg.name().to_string()];

@@ -46,7 +46,8 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         ]);
     }
     table.note("early pays ~2x probe-side partition bytes; late pays random reconstruction reads;");
-    table.note("with Q19's two reconstructed columns, late wins at high selectivity on this host —");
+    table
+        .note("with Q19's two reconstructed columns, late wins at high selectivity on this host —");
     table.note("the break-even shifts toward early as more attributes must be reconstructed");
     vec![table]
 }

@@ -3,7 +3,6 @@
 use mmjoin_core::JoinConfig;
 use mmjoin_numamodel::Topology;
 use mmjoin_util::{Placement, Relation};
-use serde::Serialize;
 
 /// Options shared by every experiment.
 #[derive(Clone, Debug)]
@@ -91,7 +90,7 @@ impl HarnessOpts {
 }
 
 /// A printable result table (one per figure panel).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     pub title: String,
     pub headers: Vec<String>,
@@ -154,6 +153,47 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// JSON object for `--json` output (hand-rolled; no serde offline).
+    pub fn to_json(&self) -> String {
+        let str_arr = |items: &[String]| {
+            let cells: Vec<String> = items.iter().map(|s| json_escape(s)).collect();
+            format!("[{}]", cells.join(", "))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| str_arr(r)).collect();
+        format!(
+            "{{\"title\": {}, \"headers\": {}, \"rows\": [{}], \"notes\": {}}}",
+            json_escape(&self.title),
+            str_arr(&self.headers),
+            rows.join(", "),
+            str_arr(&self.notes)
+        )
+    }
+}
+
+/// JSON array over many tables (the `repro --json` payload).
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let items: Vec<String> = tables.iter().map(Table::to_json).collect();
+    format!("[{}]", items.join(",\n "))
+}
+
+/// Quote and escape `s` as a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format seconds as milliseconds with 2 decimals.
@@ -191,8 +231,10 @@ mod tests {
 
     #[test]
     fn tuples_scaling() {
-        let mut o = HarnessOpts::default();
-        o.scale = 128;
+        let o = HarnessOpts {
+            scale: 128,
+            ..Default::default()
+        };
         assert_eq!(o.tuples(128), 1_000_000);
         assert_eq!(o.tuples(1280), 10_000_000);
         assert_eq!(o.tuples(0), 1024, "floor applies");
@@ -210,8 +252,10 @@ mod tests {
 
     #[test]
     fn workload_shapes() {
-        let mut o = HarnessOpts::default();
-        o.scale = 1000;
+        let o = HarnessOpts {
+            scale: 1000,
+            ..Default::default()
+        };
         let (r, s) = o.workload(128, 1280, 1);
         assert_eq!(r.len(), 128_000);
         assert_eq!(s.len(), 1_280_000);

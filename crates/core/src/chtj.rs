@@ -20,10 +20,15 @@ use crate::Algorithm;
 /// CHTJ: bulkloaded concise hash table + chunk-parallel probe.
 pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     let mut result = JoinResult::new(Algorithm::Chtj);
+    let pool = cfg.executor();
+    pool.drain_counters();
 
     // Build (region-parallel bulkload inside).
     let start = Instant::now();
-    let cht = ConciseHashTable::<mmjoin_hashtable::MultiplicativeHash>::build(r.tuples(), cfg.threads);
+    let cht = ConciseHashTable::<mmjoin_hashtable::MultiplicativeHash>::build_on(
+        r.tuples(),
+        pool.as_ref(),
+    );
     let build_wall = start.elapsed();
     let table_bytes = cht.memory_bytes() as f64;
     // Build = scan + radix scatter by hash prefix + bulkload writes.
@@ -31,14 +36,14 @@ pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
         spec::global_build_specs(cfg, r.len(), r.placement(), table_bytes, ops::BUILD + 2.0);
     let order: Vec<usize> = (0..build_specs.len()).collect();
     let (build_sim, _) = spec::run_phase(cfg, &build_specs, &order);
-    result.push_phase("build", build_wall, build_sim);
+    result.push_phase_exec("build", build_wall, build_sim, pool.drain_counters());
 
     // Probe: every lookup touches the bitmap word *and* the dense array —
     // the "at least two random accesses for every operation" that makes
     // CHTJ the most data-size-sensitive NOP*-algorithm (Section 7.3,
     // Table 4).
     let start = Instant::now();
-    let checksums = parallel_chunks(s.tuples(), cfg.threads, |_, chunk| {
+    let checksums = parallel_chunks(pool.as_ref(), s.tuples(), |_, chunk| {
         let mut c = JoinChecksum::new();
         for &t in chunk {
             cht.probe(t.key, |bp| c.add(t.key, bp, t.payload));
@@ -57,7 +62,7 @@ pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     );
     let order: Vec<usize> = (0..probe_specs.len()).collect();
     let (probe_sim, _) = spec::run_phase(cfg, &probe_specs, &order);
-    result.push_phase("probe", probe_wall, probe_sim);
+    result.push_phase_exec("probe", probe_wall, probe_sim, pool.drain_counters());
     result
 }
 

@@ -1,7 +1,11 @@
 //! Join execution configuration.
 
+use std::sync::{Arc, OnceLock};
+
 use mmjoin_numamodel::{CostModel, Topology};
 use mmjoin_partition::{predict_radix_bits, BitsInput};
+
+use crate::executor::Executor;
 
 /// Per-partition hash-table choice — the "Choice of Hash Method"
 /// dimension of Section 5.2.
@@ -52,6 +56,9 @@ pub struct JoinConfig {
     /// linear probes stop at the first match; set to false for general
     /// multiset builds (probes then scan the full collision run).
     pub unique_build_keys: bool,
+    /// The persistent worker pool all phases of a join run on, resolved
+    /// lazily from `threads` on first use (see [`JoinConfig::executor`]).
+    exec: OnceLock<Arc<Executor>>,
 }
 
 impl JoinConfig {
@@ -69,7 +76,15 @@ impl JoinConfig {
             probe_theta: 0.0,
             skew_handling: false,
             unique_build_keys: true,
+            exec: OnceLock::new(),
         }
+    }
+
+    /// The persistent executor this configuration's joins run on: the
+    /// process-wide pool for `threads` workers, created on first use and
+    /// shared across configs and joins with the same thread count.
+    pub fn executor(&self) -> Arc<Executor> {
+        Arc::clone(self.exec.get_or_init(|| Executor::shared(self.threads)))
     }
 
     /// Threads used by the cost model.

@@ -1,33 +1,41 @@
 //! Thread-parallel execution helpers shared by all joins.
+//!
+//! Every helper here runs on a [`WorkerPool`] — in practice the
+//! persistent [`Executor`](crate::executor::Executor) obtained from
+//! [`JoinConfig::executor`](crate::config::JoinConfig::executor) — so a
+//! join's phases share one set of worker threads instead of spawning
+//! their own.
+//!
+//! The pool's `broadcast` return is the **phase barrier**: it carries
+//! release/acquire semantics, so all writes performed inside a phase
+//! happen-before anything the caller does afterwards. The lock-free
+//! tables' relaxed probes are correct only under that edge (build phase
+//! barrier before probe phase); see `mmjoin_core::executor` for how the
+//! persistent pool provides it without a thread join.
+
+use std::sync::Mutex;
 
 use mmjoin_util::checksum::JoinChecksum;
 use mmjoin_util::chunk_range;
+use mmjoin_util::pool::{broadcast_map, WorkerPool};
 use mmjoin_util::tuple::Tuple;
 
-/// Run `f(thread_idx, chunk)` over equal chunks of `items` on `threads`
-/// scoped threads; collect the per-thread results in thread order.
-///
-/// The scope join is the phase barrier that publishes all writes — the
-/// happens-before edge the lock-free tables' relaxed probes rely on.
-pub fn parallel_chunks<R, F>(items: &[Tuple], threads: usize, f: F) -> Vec<R>
+use crate::executor::{build_queues, Executor, QueuePolicy};
+
+/// Run `f(worker_idx, chunk)` over equal chunks of `items` on the pool;
+/// collect the per-worker results in worker order.
+pub fn parallel_chunks<R, F>(pool: &dyn WorkerPool, items: &[Tuple], f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize, &[Tuple]) -> R + Sync,
 {
-    let threads = threads.clamp(1, items.len().max(1));
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let chunk = &items[chunk_range(items.len(), threads, t)];
-                let f = &f;
-                s.spawn(move || f(t, chunk))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    let active = pool.workers().clamp(1, items.len().max(1));
+    broadcast_map(pool, active, |t| {
+        f(t, &items[chunk_range(items.len(), active, t)])
     })
 }
 
-/// Merge per-thread checksums.
+/// Merge per-worker checksums.
 pub fn merge_checksums(parts: Vec<JoinChecksum>) -> JoinChecksum {
     let mut total = JoinChecksum::new();
     for p in parts {
@@ -36,33 +44,82 @@ pub fn merge_checksums(parts: Vec<JoinChecksum>) -> JoinChecksum {
     total
 }
 
-/// Run `worker(thread_idx)` on `threads` scoped threads and merge their
+/// Run `worker(worker_idx)` on every pool worker and merge their
 /// checksums — the shape of every task-queue join phase.
-pub fn parallel_workers<F>(threads: usize, worker: F) -> JoinChecksum
+pub fn parallel_workers<F>(pool: &dyn WorkerPool, worker: F) -> JoinChecksum
 where
     F: Fn(usize) -> JoinChecksum + Sync,
 {
-    let threads = threads.max(1);
-    let parts: Vec<JoinChecksum> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let worker = &worker;
-                s.spawn(move || worker(t))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    merge_checksums(broadcast_map(pool, pool.workers(), worker))
+}
+
+/// Run a co-partition join phase as a morsel queue on the executor:
+/// `order` lists the partitions to join (already filtered of skewed
+/// ones), `parts` is the total fanout (for NUMA-node mapping), and
+/// `f(p)` joins one partition and returns its checksum. `policy` decides
+/// queue assignment — [`QueuePolicy::Shared`] reproduces the original
+/// sequential scheduling, [`QueuePolicy::NumaLocal`] the *iS variants'
+/// NUMA-aware scheduling with work stealing.
+pub fn join_morsels<F>(
+    pool: &Executor,
+    order: &[usize],
+    parts: usize,
+    policy: QueuePolicy,
+    f: F,
+) -> JoinChecksum
+where
+    F: Fn(usize) -> JoinChecksum + Sync,
+{
+    let queues = build_queues(order, parts, policy);
+    let slots: Vec<Mutex<JoinChecksum>> = (0..pool.workers())
+        .map(|_| Mutex::new(JoinChecksum::new()))
+        .collect();
+    pool.run_morsels(&queues, &|w, p| {
+        let c = f(p);
+        slots[w].lock().unwrap().merge(c);
     });
-    merge_checksums(parts)
+    merge_checksums(slots.into_iter().map(|m| m.into_inner().unwrap()).collect())
+}
+
+/// Morsel-queue phase collecting one arbitrary result per task (used by
+/// phases that materialize per-partition data, e.g. MWAY's sort phase).
+/// Result order is unspecified — callers sort by partition id.
+pub fn morsel_map<R, F>(
+    pool: &Executor,
+    order: &[usize],
+    parts: usize,
+    policy: QueuePolicy,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let queues = build_queues(order, parts, policy);
+    let slots: Vec<Mutex<Vec<R>>> = (0..pool.workers())
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
+    pool.run_morsels(&queues, &|w, p| {
+        let r = f(p);
+        slots[w].lock().unwrap().push(r);
+    });
+    slots
+        .into_iter()
+        .flat_map(|m| m.into_inner().unwrap())
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::Executor;
+    use mmjoin_util::pool::ScopedPool;
 
     #[test]
     fn chunks_cover_all_items() {
         let items: Vec<Tuple> = (0..1000).map(|i| Tuple::new(i + 1, i)).collect();
-        let counts = parallel_chunks(&items, 7, |_, chunk| chunk.len());
+        let exec = Executor::new(7);
+        let counts = parallel_chunks(&exec, &items, |_, chunk| chunk.len());
         assert_eq!(counts.iter().sum::<usize>(), 1000);
         assert_eq!(counts.len(), 7);
     }
@@ -70,13 +127,15 @@ mod tests {
     #[test]
     fn results_in_thread_order() {
         let items: Vec<Tuple> = (0..100).map(|i| Tuple::new(i + 1, i)).collect();
-        let firsts = parallel_chunks(&items, 4, |_, chunk| chunk[0].key);
+        let pool = ScopedPool::new(4);
+        let firsts = parallel_chunks(&pool, &items, |_, chunk| chunk[0].key);
         assert!(firsts.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
     fn workers_merge() {
-        let total = parallel_workers(8, |t| {
+        let exec = Executor::new(8);
+        let total = parallel_workers(&exec, |t| {
             let mut c = JoinChecksum::new();
             c.add(t as u32 + 1, 0, 0);
             c
@@ -86,7 +145,37 @@ mod tests {
 
     #[test]
     fn empty_items() {
-        let out = parallel_chunks(&[], 4, |_, chunk| chunk.len());
+        let exec = Executor::new(4);
+        let out = parallel_chunks(&exec, &[], |_, chunk| chunk.len());
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn morsels_join_every_partition_once() {
+        let exec = Executor::new(4);
+        let order: Vec<usize> = (0..37).collect();
+        for policy in [QueuePolicy::Shared, QueuePolicy::NumaLocal { nodes: 4 }] {
+            let total = join_morsels(&exec, &order, 37, policy, |p| {
+                let mut c = JoinChecksum::new();
+                c.add(p as u32 + 1, 0, 0);
+                c
+            });
+            assert_eq!(total.count, 37, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn morsel_map_collects_all() {
+        let exec = Executor::new(3);
+        let order: Vec<usize> = (0..20).collect();
+        let mut got = morsel_map(
+            &exec,
+            &order,
+            20,
+            QueuePolicy::NumaLocal { nodes: 2 },
+            |p| p,
+        );
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,479 @@
+//! Persistent NUMA-aware morsel executor.
+//!
+//! Every thread-parallel phase of every join used to spawn its own scoped
+//! threads — cheap on a laptop, but it charges thread creation to every
+//! phase and makes NUMA-aware scheduling an ad-hoc property of task
+//! ordering. This module replaces that with one long-lived worker pool:
+//!
+//! * **Workers are spawned once** per thread count (see
+//!   [`Executor::shared`]) and parked on a condvar between phases. A run
+//!   over all thirteen algorithms creates at most `threads` worker
+//!   threads total.
+//! * **One task queue per simulated NUMA node** ([`QueuePolicy`]): a
+//!   morsel phase assigns each task to the queue of the node that owns
+//!   its data; workers drain their home node's queue first and *steal*
+//!   from remote nodes only when it runs dry. The NUMA-round-robin
+//!   scheduling of the *iS join variants is thereby a queue-assignment
+//!   policy of the executor, not a property of task insertion order.
+//! * **Per-phase counters** ([`ExecCounters`]): tasks executed, steals,
+//!   and per-worker idle time at the phase barrier, drained by the join
+//!   drivers into each [`crate::stats::PhaseStat`].
+//!
+//! # The phase barrier
+//!
+//! The lock-free tables (`ConcurrentLinearTable`, CHT bulkload) publish
+//! their writes through the *phase barrier*: probes use relaxed loads and
+//! are correct only because every build write happens-before every probe.
+//! With scoped threads that edge came from `std::thread::scope`'s join.
+//! Here it comes from the control mutex: a worker finishes its closure,
+//! locks the mutex, and decrements `remaining` (releasing its writes when
+//! the mutex unlocks); [`Executor::broadcast`] returns only after
+//! re-acquiring that mutex and observing `remaining == 0`, which makes
+//! every worker's writes visible to the caller — the same happens-before
+//! edge, without the thread spawn/join.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use mmjoin_partition::task::node_of_partition;
+use mmjoin_util::pool::{ExecCounters, WorkerPool};
+
+/// How a morsel phase distributes its tasks over queues.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// One queue shared by all workers, drained in submission order —
+    /// the original PR*/CPR* sequential scheduling.
+    Shared,
+    /// One queue per simulated NUMA node. Each task goes to the queue of
+    /// the node owning its partition (block allocation, see
+    /// [`node_of_partition`]); workers drain their home node first and
+    /// steal from remote nodes only when home is dry. This is the
+    /// improved scheduling of PROiS/PRLiS/PRAiS.
+    NumaLocal {
+        /// Simulated NUMA nodes (queues).
+        nodes: usize,
+    },
+}
+
+/// Assign `order` (a filtered, ordered list of partition indices out of
+/// `parts` total) to queues according to `policy`.
+pub fn build_queues(order: &[usize], parts: usize, policy: QueuePolicy) -> Vec<Vec<usize>> {
+    match policy {
+        QueuePolicy::Shared => vec![order.to_vec()],
+        QueuePolicy::NumaLocal { nodes } => {
+            let nodes = nodes.max(1);
+            let mut queues: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+            for &p in order {
+                queues[node_of_partition(p, parts, nodes)].push(p);
+            }
+            queues
+        }
+    }
+}
+
+/// Worker threads ever spawned by any [`Executor`] in this process —
+/// lets tests assert that repeated joins reuse pools instead of
+/// respawning.
+static TOTAL_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set inside executor worker threads; a broadcast issued from one
+    /// (which would deadlock on the single-phase control) runs inline
+    /// instead.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Lifetime-erased pointer to the phase closure. Safe because
+/// `broadcast` does not return until every worker has finished with it
+/// and the control slot is cleared.
+struct Job(*const (dyn Fn(usize) + Sync + 'static));
+// SAFETY: the pointee is Sync, and the pointer only crosses threads
+// while `broadcast` keeps the original reference alive.
+unsafe impl Send for Job {}
+
+struct Control {
+    job: Option<Job>,
+    /// Bumped once per phase; workers run the job when they observe a
+    /// newer epoch than the last one they executed.
+    epoch: u64,
+    /// Workers still running the current phase.
+    remaining: usize,
+    /// Phase start, for per-worker finish offsets (idle accounting).
+    start: Instant,
+    shutdown: bool,
+}
+
+struct Shared {
+    ctl: Mutex<Control>,
+    /// Workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// The submitting thread waits here for `remaining == 0`.
+    done_cv: Condvar,
+    /// Per-worker phase finish time, ns since phase start.
+    finish_ns: Vec<AtomicU64>,
+}
+
+/// A persistent pool of `workers` threads executing one phase at a time.
+///
+/// Prefer [`Executor::shared`] (one pool per thread count per process);
+/// [`Executor::new`] spawns a private pool whose threads are joined on
+/// drop.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: usize,
+    /// Serializes phases from different submitting threads.
+    submit: Mutex<()>,
+    /// Accumulated counters since the last [`Executor::drain_counters`].
+    counters: Mutex<ExecCounters>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Executor {
+    /// Spawn a private pool with `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            ctl: Mutex::new(Control {
+                job: None,
+                epoch: 0,
+                remaining: 0,
+                start: Instant::now(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            finish_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                TOTAL_SPAWNED.fetch_add(1, Ordering::Relaxed);
+                std::thread::Builder::new()
+                    .name(format!("mmjoin-exec-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor {
+            shared,
+            workers,
+            submit: Mutex::new(()),
+            counters: Mutex::new(ExecCounters::new()),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The process-wide pool for `workers` threads. Pools are created
+    /// lazily, cached forever, and shared by every join using the same
+    /// thread count — repeated joins never respawn workers.
+    pub fn shared(workers: usize) -> Arc<Executor> {
+        static REGISTRY: OnceLock<Mutex<HashMap<usize, Arc<Executor>>>> = OnceLock::new();
+        let workers = workers.max(1);
+        let reg = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        Arc::clone(
+            reg.lock()
+                .unwrap()
+                .entry(workers)
+                .or_insert_with(|| Arc::new(Executor::new(workers))),
+        )
+    }
+
+    /// Number of worker threads this pool spawned (== `workers()`).
+    pub fn spawned_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Worker threads ever spawned by all executors in this process.
+    pub fn total_threads_spawned() -> usize {
+        TOTAL_SPAWNED.load(Ordering::Relaxed)
+    }
+
+    /// Take the counters accumulated since the last drain (phase
+    /// boundaries in the join drivers).
+    pub fn drain_counters(&self) -> ExecCounters {
+        std::mem::take(&mut *self.counters.lock().unwrap())
+    }
+
+    /// Run a morsel phase: workers drain `queues` (one per NUMA node;
+    /// a single queue means shared scheduling), invoking `f(worker,
+    /// task)` for every task exactly once. Worker `w`'s home node is
+    /// `w * nodes / workers`; it pops home tasks first and steals from
+    /// the other nodes in ring order once home is dry. Task and steal
+    /// counts flow into the drained counters.
+    pub fn run_morsels(&self, queues: &[Vec<usize>], f: &(dyn Fn(usize, usize) + Sync)) {
+        let nodes = queues.len().max(1);
+        let workers = self.workers;
+        let cursors: Vec<AtomicUsize> = (0..nodes).map(|_| AtomicUsize::new(0)).collect();
+        let tasks = AtomicU64::new(0);
+        let steals = AtomicU64::new(0);
+        self.broadcast_inner(
+            &|w| {
+                let home = (w * nodes / workers).min(nodes - 1);
+                let mut my_tasks = 0u64;
+                let mut my_steals = 0u64;
+                for i in 0..nodes {
+                    let node = (home + i) % nodes;
+                    let queue = match queues.get(node) {
+                        Some(q) => q,
+                        None => continue,
+                    };
+                    loop {
+                        let idx = cursors[node].fetch_add(1, Ordering::Relaxed);
+                        match queue.get(idx) {
+                            Some(&task) => {
+                                f(w, task);
+                                my_tasks += 1;
+                                if node != home {
+                                    my_steals += 1;
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                tasks.fetch_add(my_tasks, Ordering::Relaxed);
+                steals.fetch_add(my_steals, Ordering::Relaxed);
+            },
+            false,
+        );
+        let mut c = self.counters.lock().unwrap();
+        c.tasks += tasks.load(Ordering::Relaxed);
+        c.steals += steals.load(Ordering::Relaxed);
+    }
+
+    fn broadcast_inner(&self, f: &(dyn Fn(usize) + Sync), count_tasks: bool) {
+        // A broadcast from inside a worker thread (nested phase) cannot
+        // wait on the pool it is part of; run the phase inline. Semantics
+        // are preserved (every index invoked once, writes visible to the
+        // continuation), only parallelism is lost.
+        if IN_WORKER.with(|c| c.get()) {
+            for w in 0..self.workers {
+                f(w);
+            }
+            if count_tasks {
+                self.counters.lock().unwrap().tasks += self.workers as u64;
+            }
+            return;
+        }
+
+        let _phase = self.submit.lock().unwrap();
+        for slot in &self.shared.finish_ns {
+            slot.store(0, Ordering::Relaxed);
+        }
+        // SAFETY: only the lifetime is erased; the job slot is cleared
+        // below before `f` can go out of scope.
+        let erased: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), _>(
+                f as *const (dyn Fn(usize) + Sync),
+            )
+        };
+        {
+            let mut ctl = self.shared.ctl.lock().unwrap();
+            ctl.job = Some(Job(erased));
+            ctl.epoch += 1;
+            ctl.remaining = self.workers;
+            ctl.start = Instant::now();
+            self.shared.work_cv.notify_all();
+        }
+        {
+            // Phase barrier: re-acquiring `ctl` after the last worker's
+            // decrement makes all workers' writes visible here.
+            let mut ctl = self.shared.ctl.lock().unwrap();
+            while ctl.remaining > 0 {
+                ctl = self.shared.done_cv.wait(ctl).unwrap();
+            }
+            ctl.job = None;
+        }
+        let finishes: Vec<u64> = self
+            .shared
+            .finish_ns
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        let slowest = finishes.iter().copied().max().unwrap_or(0);
+        let idle: u64 = finishes.iter().map(|&t| slowest - t).sum();
+        let mut c = self.counters.lock().unwrap();
+        c.idle_ns += idle;
+        if count_tasks {
+            c.tasks += self.workers as u64;
+        }
+    }
+}
+
+impl WorkerPool for Executor {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        self.broadcast_inner(f, true);
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut ctl = self.shared.ctl.lock().unwrap();
+            ctl.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, w: usize) {
+    IN_WORKER.with(|c| c.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let (job, start) = {
+            let mut ctl = shared.ctl.lock().unwrap();
+            loop {
+                if ctl.shutdown {
+                    return;
+                }
+                if ctl.epoch > seen_epoch {
+                    seen_epoch = ctl.epoch;
+                    let job = ctl.job.as_ref().expect("phase epoch without job").0;
+                    break (job, ctl.start);
+                }
+                ctl = shared.work_cv.wait(ctl).unwrap();
+            }
+        };
+        // SAFETY: `broadcast_inner` keeps the closure alive until every
+        // worker has decremented `remaining` for this epoch.
+        let f: &(dyn Fn(usize) + Sync) = unsafe { &*job };
+        f(w);
+        shared.finish_ns[w].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let mut ctl = shared.ctl.lock().unwrap();
+        ctl.remaining -= 1;
+        if ctl.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_util::pool::broadcast_map;
+
+    #[test]
+    fn broadcast_hits_every_worker_exactly_once() {
+        let exec = Executor::new(6);
+        let hits: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..10 {
+            exec.broadcast(&|w| {
+                hits[w].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 10);
+        }
+    }
+
+    #[test]
+    fn barrier_publishes_writes() {
+        // Relaxed writes inside the phase must be visible after broadcast
+        // returns — the edge every lock-free table relies on.
+        let exec = Executor::new(8);
+        let cells: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        for round in 1..50u64 {
+            exec.broadcast(&|w| {
+                cells[w].store(round, Ordering::Relaxed);
+            });
+            for c in &cells {
+                assert_eq!(c.load(Ordering::Relaxed), round);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reuse_does_not_respawn() {
+        // Same thread count → same pool instance (other tests spawn pools
+        // concurrently, so assert identity rather than the global count).
+        let exec = Executor::shared(3);
+        for _ in 0..5 {
+            let again = Executor::shared(3);
+            assert!(Arc::ptr_eq(&exec, &again));
+            again.broadcast(&|_| {});
+        }
+        assert_eq!(exec.spawned_workers(), 3);
+    }
+
+    #[test]
+    fn morsels_cover_all_tasks_and_count_steals() {
+        let exec = Executor::new(4);
+        exec.drain_counters();
+        // Heavily skewed queues: all tasks on node 0 of 2 — workers homed
+        // on node 1 must steal everything they run.
+        let queues = vec![(0..64).collect::<Vec<_>>(), Vec::new()];
+        let done: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        exec.run_morsels(&queues, &|_, t| {
+            done[t].fetch_add(1, Ordering::Relaxed);
+        });
+        for d in &done {
+            assert_eq!(d.load(Ordering::Relaxed), 1);
+        }
+        let c = exec.drain_counters();
+        assert_eq!(c.tasks, 64);
+        // Node-1 workers can only have run stolen tasks.
+        assert!(c.steals <= 64);
+    }
+
+    #[test]
+    fn queue_policy_buckets_by_node() {
+        let qs = build_queues(
+            &[0, 1, 2, 3, 4, 5, 6, 7],
+            8,
+            QueuePolicy::NumaLocal { nodes: 4 },
+        );
+        assert_eq!(qs, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]);
+        let qs = build_queues(&[3, 1, 2], 8, QueuePolicy::Shared);
+        assert_eq!(qs, vec![vec![3, 1, 2]]);
+    }
+
+    #[test]
+    fn counters_accumulate_and_drain() {
+        let exec = Executor::new(2);
+        exec.drain_counters();
+        exec.broadcast(&|_| {});
+        exec.broadcast(&|_| {});
+        let c = exec.drain_counters();
+        assert_eq!(c.tasks, 4);
+        assert_eq!(exec.drain_counters(), ExecCounters::new());
+    }
+
+    #[test]
+    fn works_as_worker_pool_for_broadcast_map() {
+        let exec = Executor::new(5);
+        let out = broadcast_map(&exec, 5, |w| w * w);
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn nested_broadcast_runs_inline() {
+        let exec = Executor::new(2);
+        let inner_hits = AtomicUsize::new(0);
+        exec.broadcast(&|w| {
+            if w == 0 {
+                // A phase nested inside a worker must not deadlock.
+                exec.broadcast(&|_| {
+                    inner_hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 2);
+    }
+}

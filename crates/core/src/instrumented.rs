@@ -233,13 +233,11 @@ pub fn instrument(
                 let x = k.wrapping_mul(2_654_435_761);
                 ((x ^ (x >> 16)) as usize) & (positions - 1)
             };
-            let mut cursor = 0usize;
-            for t in r.tuples() {
+            for (cursor, t) in r.tuples().iter().enumerate() {
                 ms.read(t as *const Tuple as usize, 8);
                 let pos = hash(t.key);
                 ms.write(groups.as_ptr() as usize + pos / 64 * 16, 8);
                 ms.write(array.as_ptr() as usize + cursor * 8, 8);
-                cursor += 1;
                 ms.ops(7);
             }
             let first = ms.reset_counters();
@@ -284,8 +282,7 @@ pub fn instrument(
             let p1s = traced_scatter(s.tuples(), RadixFn::new(b1), false, &mut ms);
             let ps = traced_scatter(&p1s.0, RadixFn::new(bits), false, &mut ms);
             let first = ms.reset_counters();
-            matches =
-                traced_partition_join(TableKind::Chained, bits, domain, &pr, &ps, &mut ms);
+            matches = traced_partition_join(TableKind::Chained, bits, domain, &pr, &ps, &mut ms);
             (first, ms.reset_counters())
         }
         _ => {
@@ -402,7 +399,14 @@ mod tests {
     #[test]
     fn chtj_touches_more_than_nop_per_probe() {
         let (r, s) = workload();
-        let chtj = instrument(Algorithm::Chtj, &r, &s, SCALE, PageConfig::huge(SCALE), BITS);
+        let chtj = instrument(
+            Algorithm::Chtj,
+            &r,
+            &s,
+            SCALE,
+            PageConfig::huge(SCALE),
+            BITS,
+        );
         let nop = instrument(Algorithm::Nop, &r, &s, SCALE, PageConfig::huge(SCALE), BITS);
         assert_eq!(chtj.matches, 400_000);
         // Two random structures per probe => more probe-phase misses.

@@ -22,31 +22,46 @@
 //!
 //! # Quickstart
 //!
+//! Plan a join with the fluent [`Join`] builder; misconfigurations come
+//! back as typed [`JoinError`]s instead of panicking mid-phase:
+//!
 //! ```
-//! use mmjoin_core::{run_join, Algorithm, JoinConfig};
+//! use mmjoin_core::{Algorithm, Join};
 //! use mmjoin_datagen::{gen_build_dense, gen_probe_fk};
 //! use mmjoin_util::Placement;
 //!
 //! let r = gen_build_dense(10_000, 42, Placement::Chunked { parts: 4 });
 //! let s = gen_probe_fk(100_000, 10_000, 43, Placement::Chunked { parts: 4 });
-//! let cfg = JoinConfig::new(4);
-//! let result = run_join(Algorithm::Cprl, &r, &s, &cfg);
+//! let result = Join::new(Algorithm::Cprl)
+//!     .threads(4)
+//!     .run(&r, &s)
+//!     .expect("valid plan");
 //! assert_eq!(result.matches, 100_000); // every FK finds its PK
 //! ```
 //!
-//! Every algorithm is genuinely multi-threaded; in addition, each phase is
-//! described to the NUMA cost model (`mmjoin-numamodel`), so a
-//! [`JoinResult`] carries both measured wall time and simulated time on
-//! the paper's 4-socket machine — see DESIGN.md for the substitution
-//! rationale.
+//! Shared knobs live on [`JoinConfig`], built the same way
+//! (`JoinConfig::builder().threads(8).zipf(0.75).build()?`) and reusable
+//! across plans via [`Join::config`]. [`Algorithm::descriptor`] exposes
+//! each variant's Table-2 classification (family, table, scheduling,
+//! partitioning) without running it.
+//!
+//! Every algorithm is genuinely multi-threaded: all phases run as morsels
+//! on one persistent NUMA-aware worker pool (see [`executor`]), created
+//! lazily per thread count and reused across joins. In addition, each
+//! phase is described to the NUMA cost model (`mmjoin-numamodel`), so a
+//! [`JoinResult`] carries measured wall time, simulated time on the
+//! paper's 4-socket machine, and per-phase executor counters (tasks,
+//! steals, idle time) — see DESIGN.md for the substitution rationale.
 
 pub mod chtj;
 pub mod config;
 pub mod exec;
+pub mod executor;
 pub mod instrumented;
 pub mod materialize;
 pub mod mway;
 pub mod nop;
+pub mod plan;
 pub mod prb;
 pub mod pro;
 pub mod reference;
@@ -55,6 +70,11 @@ pub mod spec;
 pub mod stats;
 
 pub use config::{JoinConfig, TableKind};
+pub use executor::{Executor, QueuePolicy};
+pub use plan::{
+    AlgorithmDescriptor, Family, Join, JoinConfigBuilder, JoinError, Partitioning, Scheduling,
+    TableFlavor,
+};
 pub use stats::{JoinResult, PhaseStat};
 
 use mmjoin_util::Relation;
@@ -157,22 +177,13 @@ impl std::fmt::Display for Algorithm {
 }
 
 /// Run `algorithm` on build relation `r` and probe relation `s`.
+///
+/// Thin shim over the same dispatch [`Join::run`] uses, minus the
+/// validation: a sparse build key fed to an array join will still panic
+/// deep inside the build phase here. New code should use the builder.
+#[deprecated(since = "0.2.0", note = "use the validated `Join` builder instead")]
 pub fn run_join(algorithm: Algorithm, r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
-    match algorithm {
-        Algorithm::Nop => nop::join_nop(r, s, cfg),
-        Algorithm::Nopa => nop::join_nopa(r, s, cfg),
-        Algorithm::Chtj => chtj::join_chtj(r, s, cfg),
-        Algorithm::Mway => mway::join_mway(r, s, cfg),
-        Algorithm::Prb => prb::join_prb(r, s, cfg),
-        Algorithm::Pro => pro::join_pro(r, s, cfg, TableKind::Chained, false),
-        Algorithm::Prl => pro::join_pro(r, s, cfg, TableKind::Linear, false),
-        Algorithm::Pra => pro::join_pro(r, s, cfg, TableKind::Array, false),
-        Algorithm::ProIs => pro::join_pro(r, s, cfg, TableKind::Chained, true),
-        Algorithm::PrlIs => pro::join_pro(r, s, cfg, TableKind::Linear, true),
-        Algorithm::PraIs => pro::join_pro(r, s, cfg, TableKind::Array, true),
-        Algorithm::Cprl => pro::join_cpr(r, s, cfg, TableKind::Linear),
-        Algorithm::Cpra => pro::join_cpr(r, s, cfg, TableKind::Array),
-    }
+    plan::dispatch(algorithm, r, s, cfg)
 }
 
 #[cfg(test)]

@@ -14,10 +14,12 @@
 //! tests), so materialization does not need to be offered per algorithm.
 
 use mmjoin_hashtable::{IdentityHash, StLinearTable};
-use mmjoin_partition::{chunked_partition, ConcurrentTaskQueue, RadixFn, ScatterMode};
+use mmjoin_partition::{chunked_partition_on, RadixFn, ScatterMode};
 use mmjoin_util::Relation;
 
 use crate::config::JoinConfig;
+use crate::exec::morsel_map;
+use crate::executor::QueuePolicy;
 
 /// One materialized match.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -35,51 +37,39 @@ pub struct JoinMatch {
 pub fn join_index(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Vec<JoinMatch> {
     let bits = cfg.bits_for_hash_tables(r.len());
     let f = RadixFn::new(bits);
-    let cr = chunked_partition(r.tuples(), f, cfg.threads, ScatterMode::Swwcb);
-    let cs = chunked_partition(s.tuples(), f, cfg.threads, ScatterMode::Swwcb);
+    let pool = cfg.executor();
+    let cr = chunked_partition_on(r.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
+    let cs = chunked_partition_on(s.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
 
-    let queue = ConcurrentTaskQueue::new((0..f.fanout()).collect());
-    let per_task: Vec<Vec<(usize, Vec<JoinMatch>)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.threads.max(1))
-            .map(|_| {
-                let queue = &queue;
-                let cr = &cr;
-                let cs = &cs;
-                scope.spawn(move || {
-                    let mut mine = Vec::new();
-                    while let Some(p) = queue.pop() {
-                        let mut table =
-                            StLinearTable::<IdentityHash>::with_capacity(cr.part_len(p).max(1));
-                        cr.for_each_slice(p, |slice| {
-                            for &t in slice {
-                                table.insert(t);
-                            }
-                        });
-                        let mut out = Vec::new();
-                        cs.for_each_slice(p, |slice| {
-                            for &t in slice {
-                                table.probe(t.key, |bp| {
-                                    out.push(JoinMatch {
-                                        key: t.key,
-                                        build_payload: bp,
-                                        probe_payload: t.payload,
-                                    })
-                                });
-                            }
-                        });
-                        if !out.is_empty() {
-                            mine.push((p, out));
-                        }
-                    }
-                    mine
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+    let parts = f.fanout();
+    let order: Vec<usize> = (0..parts).collect();
+    let mut tasks: Vec<(usize, Vec<JoinMatch>)> =
+        morsel_map(&pool, &order, parts, QueuePolicy::Shared, |p| {
+            let mut table = StLinearTable::<IdentityHash>::with_capacity(cr.part_len(p).max(1));
+            cr.for_each_slice(p, |slice| {
+                for &t in slice {
+                    table.insert(t);
+                }
+            });
+            let mut out = Vec::new();
+            cs.for_each_slice(p, |slice| {
+                for &t in slice {
+                    table.probe(t.key, |bp| {
+                        out.push(JoinMatch {
+                            key: t.key,
+                            build_payload: bp,
+                            probe_payload: t.payload,
+                        })
+                    });
+                }
+            });
+            (p, out)
+        })
+        .into_iter()
+        .filter(|(_, v)| !v.is_empty())
+        .collect();
 
     // Deterministic order: by partition id.
-    let mut tasks: Vec<(usize, Vec<JoinMatch>)> = per_task.into_iter().flatten().collect();
     tasks.sort_by_key(|(p, _)| *p);
     let total: usize = tasks.iter().map(|(_, v)| v.len()).sum();
     let mut out = Vec::with_capacity(total);

@@ -12,14 +12,15 @@
 
 use std::time::Instant;
 
-use mmjoin_partition::{partition_parallel, task_order, ConcurrentTaskQueue, RadixFn, ScatterMode, ScheduleOrder};
+use mmjoin_partition::{partition_parallel_on, task_order, RadixFn, ScatterMode, ScheduleOrder};
 use mmjoin_sort::{sort_packed, LoserTree};
 use mmjoin_util::checksum::JoinChecksum;
 use mmjoin_util::tuple::Tuple;
 use mmjoin_util::{next_pow2, Relation};
 
 use crate::config::JoinConfig;
-use crate::exec::parallel_workers;
+use crate::exec::{join_morsels, morsel_map};
+use crate::executor::QueuePolicy;
 use crate::spec::{self, ops, PartitionLayout, PartitionWrites};
 use crate::stats::JoinResult;
 use crate::Algorithm;
@@ -36,10 +37,13 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     result.radix_bits = Some(bits);
     let f = RadixFn::new(bits);
 
+    let pool = cfg.executor();
+    pool.drain_counters();
+
     // Phase 1: partition both inputs (single pass, SWWCB).
     let start = Instant::now();
-    let pr = partition_parallel(r.tuples(), f, cfg.threads, ScatterMode::Swwcb);
-    let ps = partition_parallel(s.tuples(), f, cfg.threads, ScatterMode::Swwcb);
+    let pr = partition_parallel_on(r.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
+    let ps = partition_parallel_on(s.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
     let part_wall = start.elapsed();
     let mut part_sim = 0.0;
     for (rel, len) in [(r, r.len()), (s, s.len())] {
@@ -54,35 +58,20 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
         let order: Vec<usize> = (0..specs.len()).collect();
         part_sim += spec::run_phase(cfg, &specs, &order).0;
     }
-    result.push_phase("partition", part_wall, part_sim);
+    result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
 
-    // Phase 2: sort every partition of both sides.
+    // Phase 2: sort every partition of both sides (morsel per partition).
     let start = Instant::now();
+    let sort_order: Vec<usize> = (0..parts).collect();
     let sorted: Vec<(usize, Vec<u64>, Vec<u64>)> = {
-        let queue = ConcurrentTaskQueue::new((0..parts).collect());
-        let produced: Vec<Vec<(usize, Vec<u64>, Vec<u64>)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..cfg.threads)
-                .map(|_| {
-                    let queue = &queue;
-                    let pr = &pr;
-                    let ps = &ps;
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        let mut scratch = Vec::new();
-                        while let Some(p) = queue.pop() {
-                            out.push((
-                                p,
-                                sort_partition(pr.partition(p), &mut scratch),
-                                sort_partition(ps.partition(p), &mut scratch),
-                            ));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let mut slots = morsel_map(&pool, &sort_order, parts, QueuePolicy::Shared, |p| {
+            let mut scratch = Vec::new();
+            (
+                p,
+                sort_partition(pr.partition(p), &mut scratch),
+                sort_partition(ps.partition(p), &mut scratch),
+            )
         });
-        let mut slots: Vec<(usize, Vec<u64>, Vec<u64>)> = produced.into_iter().flatten().collect();
         slots.sort_by_key(|(p, _, _)| *p);
         slots
     };
@@ -90,18 +79,15 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     let sort_specs = sort_phase_specs(cfg, &pr, &ps);
     let order = task_order(parts, ScheduleOrder::Sequential);
     let (sort_sim, _) = spec::run_phase(cfg, &sort_specs, &order);
-    result.push_phase("sort", sort_wall, sort_sim);
+    result.push_phase_exec("sort", sort_wall, sort_sim, pool.drain_counters());
 
     // Phase 3: merge-join co-partitions.
     let start = Instant::now();
-    let queue = ConcurrentTaskQueue::new((0..parts).collect());
     let sorted_ref = &sorted;
-    let checksum = parallel_workers(cfg.threads, |_| {
+    let checksum = join_morsels(&pool, &sort_order, parts, QueuePolicy::Shared, |p| {
         let mut c = JoinChecksum::new();
-        while let Some(p) = queue.pop() {
-            let (_, ref rs, ref ss) = sorted_ref[p];
-            merge_join_sorted(rs, ss, &mut c);
-        }
+        let (_, ref rs, ref ss) = sorted_ref[p];
+        merge_join_sorted(rs, ss, &mut c);
         c
     });
     let join_wall = start.elapsed();
@@ -118,7 +104,7 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
         0.0, // no table: pure streaming merge
     );
     let (join_sim, _) = spec::run_phase(cfg, &tasks, &order);
-    result.push_phase("join", join_wall, join_sim);
+    result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
     result
 }
 
@@ -155,8 +141,16 @@ fn merge_join_sorted(rs: &[u64], ss: &[u64], c: &mut JoinChecksum) {
         } else if sk < rk {
             j += 1;
         } else {
-            let i_end = rs[i..].iter().take_while(|&&v| (v >> 32) as u32 == rk).count() + i;
-            let j_end = ss[j..].iter().take_while(|&&v| (v >> 32) as u32 == rk).count() + j;
+            let i_end = rs[i..]
+                .iter()
+                .take_while(|&&v| (v >> 32) as u32 == rk)
+                .count()
+                + i;
+            let j_end = ss[j..]
+                .iter()
+                .take_while(|&&v| (v >> 32) as u32 == rk)
+                .count()
+                + j;
             for &rv in &rs[i..i_end] {
                 for &sv in &ss[j..j_end] {
                     c.add(rk, rv as u32, sv as u32);

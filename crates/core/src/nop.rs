@@ -24,12 +24,14 @@ use crate::Algorithm;
 /// NOP: lock-free linear-probing global table.
 pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     let mut result = JoinResult::new(Algorithm::Nop);
+    let pool = cfg.executor();
+    pool.drain_counters();
     let table = ConcurrentLinearTable::<IdentityHash>::with_capacity(r.len());
     let table_bytes = table.memory_bytes() as f64;
 
     // Build phase.
     let start = Instant::now();
-    parallel_chunks(r.tuples(), cfg.threads, |_, chunk| {
+    parallel_chunks(pool.as_ref(), r.tuples(), |_, chunk| {
         for &t in chunk {
             table.insert(t);
         }
@@ -39,14 +41,14 @@ pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
         spec::global_build_specs(cfg, r.len(), r.placement(), table_bytes, ops::BUILD);
     let order: Vec<usize> = (0..build_specs.len()).collect();
     let (build_sim, build_phase) = spec::run_phase(cfg, &build_specs, &order);
-    result.push_phase("build", build_wall, build_sim);
+    result.push_phase_exec("build", build_wall, build_sim, pool.drain_counters());
     if cfg.keep_timelines {
         result.timelines.push(("build", build_phase));
     }
 
     // Probe phase.
     let start = Instant::now();
-    let checksums = parallel_chunks(s.tuples(), cfg.threads, |_, chunk| {
+    let checksums = parallel_chunks(pool.as_ref(), s.tuples(), |_, chunk| {
         let mut c = JoinChecksum::new();
         if cfg.unique_build_keys {
             for &t in chunk {
@@ -65,7 +67,7 @@ pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
         spec::global_probe_specs(cfg, s.len(), s.placement(), table_bytes, 1.0, ops::PROBE);
     let order: Vec<usize> = (0..probe_specs.len()).collect();
     let (probe_sim, probe_phase) = spec::run_phase(cfg, &probe_specs, &order);
-    result.push_phase("probe", probe_wall, probe_sim);
+    result.push_phase_exec("probe", probe_wall, probe_sim, pool.drain_counters());
     if cfg.keep_timelines {
         result.timelines.push(("probe", probe_phase));
     }
@@ -75,12 +77,14 @@ pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
 /// NOPA: global payload array over the key domain.
 pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     let mut result = JoinResult::new(Algorithm::Nopa);
+    let pool = cfg.executor();
+    pool.drain_counters();
     let domain = cfg.domain(r.len());
     let table = ConcurrentArrayTable::new(domain + 1, 1);
     let table_bytes = table.memory_bytes() as f64;
 
     let start = Instant::now();
-    parallel_chunks(r.tuples(), cfg.threads, |_, chunk| {
+    parallel_chunks(pool.as_ref(), r.tuples(), |_, chunk| {
         for &t in chunk {
             table.insert(t);
         }
@@ -90,10 +94,10 @@ pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
         spec::global_build_specs(cfg, r.len(), r.placement(), table_bytes, ops::ARRAY);
     let order: Vec<usize> = (0..build_specs.len()).collect();
     let (build_sim, _) = spec::run_phase(cfg, &build_specs, &order);
-    result.push_phase("build", build_wall, build_sim);
+    result.push_phase_exec("build", build_wall, build_sim, pool.drain_counters());
 
     let start = Instant::now();
-    let checksums = parallel_chunks(s.tuples(), cfg.threads, |_, chunk| {
+    let checksums = parallel_chunks(pool.as_ref(), s.tuples(), |_, chunk| {
         let mut c = JoinChecksum::new();
         for &t in chunk {
             table.probe(t.key, |bp| c.add(t.key, bp, t.payload));
@@ -106,7 +110,7 @@ pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
         spec::global_probe_specs(cfg, s.len(), s.placement(), table_bytes, 1.0, ops::ARRAY);
     let order: Vec<usize> = (0..probe_specs.len()).collect();
     let (probe_sim, _) = spec::run_phase(cfg, &probe_specs, &order);
-    result.push_phase("probe", probe_wall, probe_sim);
+    result.push_phase_exec("probe", probe_wall, probe_sim, pool.drain_counters());
     result
 }
 

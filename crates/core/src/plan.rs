@@ -1,0 +1,597 @@
+//! The typed join-plan API: algorithm descriptors, validated
+//! configuration building, and the fluent [`Join`] entry point.
+//!
+//! ```
+//! use mmjoin_core::{Algorithm, Join};
+//! use mmjoin_datagen::{gen_build_dense, gen_probe_fk};
+//! use mmjoin_util::Placement;
+//!
+//! let r = gen_build_dense(10_000, 42, Placement::Chunked { parts: 4 });
+//! let s = gen_probe_fk(100_000, 10_000, 43, Placement::Chunked { parts: 4 });
+//! let result = Join::new(Algorithm::Cprl)
+//!     .threads(4)
+//!     .run(&r, &s)
+//!     .unwrap();
+//! assert_eq!(result.matches, 100_000);
+//! ```
+//!
+//! Misconfigurations that previously panicked deep inside a join phase
+//! (a sparse build key fed to an array join, a zero thread count, an
+//! absurd radix fanout) surface here as [`JoinError`] values before any
+//! partitioning work starts.
+
+use mmjoin_util::Relation;
+
+use crate::config::{JoinConfig, TableKind};
+use crate::stats::JoinResult;
+use crate::Algorithm;
+
+/// Largest accepted radix-bits override: 2^24 partitions is already far
+/// beyond any cache-resident co-partition size the study explores.
+pub const MAX_RADIX_BITS: u32 = 24;
+
+/// A validation failure raised while building a [`JoinConfig`] or
+/// launching a [`Join`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JoinError {
+    /// `threads` must be at least 1.
+    ZeroThreads,
+    /// `sim_threads`, when set, must be at least 1.
+    ZeroSimThreads,
+    /// `radix_bits` outside `1..=MAX_RADIX_BITS`.
+    RadixBitsOutOfRange { bits: u32 },
+    /// A dense-domain algorithm (NOPA/PRA/CPRA/PRAiS) was given build
+    /// keys beyond the configured key domain; the payload array cannot
+    /// be sized. Raise `key_domain` or pick a hash-table variant.
+    DomainExceeded {
+        algorithm: Algorithm,
+        max_key: u32,
+        domain: usize,
+    },
+    /// An algorithm name that is not one of the thirteen.
+    UnknownAlgorithm(String),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::ZeroThreads => write!(f, "threads must be >= 1"),
+            JoinError::ZeroSimThreads => write!(f, "sim_threads must be >= 1 when set"),
+            JoinError::RadixBitsOutOfRange { bits } => {
+                write!(f, "radix_bits {bits} outside 1..={MAX_RADIX_BITS}")
+            }
+            JoinError::DomainExceeded {
+                algorithm,
+                max_key,
+                domain,
+            } => write!(
+                f,
+                "{algorithm} needs a dense key domain: build key {max_key} exceeds \
+                 key_domain {domain}"
+            ),
+            JoinError::UnknownAlgorithm(name) => {
+                write!(f, "unknown algorithm {name:?} (expected one of ")?;
+                for (i, a) in Algorithm::ALL.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Join family — the paper's top-level classification (Section 3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// No-partitioning hash joins: one shared table, chunk-parallel.
+    NoPartitioning,
+    /// Partition-based hash joins (PR*/CPR*).
+    Partitioned,
+    /// Sort-merge (MWAY).
+    SortMerge,
+}
+
+/// Per-partition (or global) table each algorithm builds.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TableFlavor {
+    /// Shared lock-free linear-probing table (NOP).
+    LockFreeLinear,
+    /// Shared payload array over the dense key domain (NOPA).
+    LockFreeArray,
+    /// Concise hash table: bitmap + dense array (CHTJ).
+    Concise,
+    /// Per-partition bucket-chained table.
+    Chained,
+    /// Per-partition linear-probing table.
+    Linear,
+    /// Per-partition payload array.
+    Array,
+    /// No table: sorted runs are merge-joined (MWAY).
+    SortedRuns,
+}
+
+/// How join tasks reach the workers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Scheduling {
+    /// Static chunking of the probe input (no task queue).
+    ChunkParallel,
+    /// Task queue filled in sequential partition order.
+    Sequential,
+    /// Task queue(s) filled NUMA round-robin — on the host executor this
+    /// is the NUMA-local queue policy with work stealing.
+    NumaRoundRobin,
+}
+
+/// Partitioning strategy of the materialization phase.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Partitioning {
+    /// No partitioning pass at all.
+    None,
+    /// Hash-prefix split of the build side only (CHTJ bulkload regions).
+    BuildRegions,
+    /// One global pass with software write-combine buffers.
+    SinglePassSwwcb,
+    /// Two global passes, direct scatter (PRB).
+    TwoPassDirect,
+    /// Chunk-local partitioning, no global histogram (CPR*).
+    Chunked,
+}
+
+/// Structural description of an algorithm — the four dimensions of the
+/// paper's Table 2, derivable from [`Algorithm`] without running it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AlgorithmDescriptor {
+    pub family: Family,
+    pub table: TableFlavor,
+    pub scheduling: Scheduling,
+    pub partitioning: Partitioning,
+}
+
+impl Algorithm {
+    /// The algorithm's structural descriptor (Table 2).
+    pub fn descriptor(self) -> AlgorithmDescriptor {
+        use Algorithm as A;
+        let family = match self {
+            A::Nop | A::Nopa | A::Chtj => Family::NoPartitioning,
+            A::Mway => Family::SortMerge,
+            _ => Family::Partitioned,
+        };
+        let table = match self {
+            A::Nop => TableFlavor::LockFreeLinear,
+            A::Nopa => TableFlavor::LockFreeArray,
+            A::Chtj => TableFlavor::Concise,
+            A::Mway => TableFlavor::SortedRuns,
+            A::Prb | A::Pro | A::ProIs => TableFlavor::Chained,
+            A::Prl | A::PrlIs | A::Cprl => TableFlavor::Linear,
+            A::Pra | A::PraIs | A::Cpra => TableFlavor::Array,
+        };
+        let scheduling = match self {
+            A::Nop | A::Nopa | A::Chtj => Scheduling::ChunkParallel,
+            A::ProIs | A::PrlIs | A::PraIs => Scheduling::NumaRoundRobin,
+            _ => Scheduling::Sequential,
+        };
+        let partitioning = match self {
+            A::Nop | A::Nopa => Partitioning::None,
+            A::Chtj => Partitioning::BuildRegions,
+            A::Prb => Partitioning::TwoPassDirect,
+            A::Cprl | A::Cpra => Partitioning::Chunked,
+            A::Mway | A::Pro | A::Prl | A::Pra | A::ProIs | A::PrlIs | A::PraIs => {
+                Partitioning::SinglePassSwwcb
+            }
+        };
+        AlgorithmDescriptor {
+            family,
+            table,
+            scheduling,
+            partitioning,
+        }
+    }
+
+    /// Parse a paper abbreviation, with a typed error for the CLI.
+    pub fn parse(name: &str) -> Result<Algorithm, JoinError> {
+        Algorithm::from_name(name).ok_or_else(|| JoinError::UnknownAlgorithm(name.to_string()))
+    }
+}
+
+/// Validating builder for [`JoinConfig`] — the panic-free alternative to
+/// mutating a `JoinConfig::new` value directly.
+#[derive(Clone, Debug, Default)]
+pub struct JoinConfigBuilder {
+    threads: Option<usize>,
+    sim_threads: Option<usize>,
+    radix_bits: Option<u32>,
+    key_domain: Option<usize>,
+    probe_theta: Option<f64>,
+    skew_handling: Option<bool>,
+    simulate: Option<bool>,
+    unique_build_keys: Option<bool>,
+}
+
+impl JoinConfigBuilder {
+    /// Host worker threads (must be >= 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Thread count presented to the NUMA cost model (must be >= 1).
+    pub fn sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = Some(sim_threads);
+        self
+    }
+
+    /// Override Equation (1)'s radix bits (must be in `1..=24`).
+    pub fn radix_bits(mut self, bits: u32) -> Self {
+        self.radix_bits = Some(bits);
+        self
+    }
+
+    /// Upper bound of the build key domain (0 = dense, derive from |R|).
+    pub fn key_domain(mut self, domain: usize) -> Self {
+        self.key_domain = Some(domain);
+        self
+    }
+
+    /// Zipf skew of the probe keys fed to the cost model.
+    pub fn zipf(mut self, theta: f64) -> Self {
+        self.probe_theta = Some(theta);
+        self
+    }
+
+    /// Cooperative processing of oversized co-partitions.
+    pub fn skew_handling(mut self, on: bool) -> Self {
+        self.skew_handling = Some(on);
+        self
+    }
+
+    /// Compute simulated NUMA phase times alongside wall time.
+    pub fn simulate(mut self, on: bool) -> Self {
+        self.simulate = Some(on);
+        self
+    }
+
+    /// Whether build keys are unique (the study's PK assumption).
+    pub fn unique_build_keys(mut self, unique: bool) -> Self {
+        self.unique_build_keys = Some(unique);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<JoinConfig, JoinError> {
+        let threads = self.threads.unwrap_or(4);
+        if threads == 0 {
+            return Err(JoinError::ZeroThreads);
+        }
+        if self.sim_threads == Some(0) {
+            return Err(JoinError::ZeroSimThreads);
+        }
+        if let Some(bits) = self.radix_bits {
+            if bits == 0 || bits > MAX_RADIX_BITS {
+                return Err(JoinError::RadixBitsOutOfRange { bits });
+            }
+        }
+        let mut cfg = JoinConfig::new(threads);
+        cfg.sim_threads = self.sim_threads;
+        cfg.radix_bits = self.radix_bits;
+        if let Some(domain) = self.key_domain {
+            cfg.key_domain = domain;
+        }
+        if let Some(theta) = self.probe_theta {
+            cfg.probe_theta = theta;
+        }
+        if let Some(on) = self.skew_handling {
+            cfg.skew_handling = on;
+        }
+        if let Some(on) = self.simulate {
+            cfg.simulate = on;
+        }
+        if let Some(unique) = self.unique_build_keys {
+            cfg.unique_build_keys = unique;
+        }
+        Ok(cfg)
+    }
+}
+
+impl JoinConfig {
+    /// Start a validating configuration builder.
+    pub fn builder() -> JoinConfigBuilder {
+        JoinConfigBuilder::default()
+    }
+}
+
+/// A fluent, validated join plan: pick an [`Algorithm`], set the knobs,
+/// and [`run`](Join::run) it.
+///
+/// Prefer this over the deprecated free function `run_join`: the same
+/// thirteen kernels execute underneath, but configuration mistakes come
+/// back as [`JoinError`] instead of panicking mid-phase.
+#[derive(Clone, Debug)]
+pub struct Join {
+    algorithm: Algorithm,
+    builder: JoinConfigBuilder,
+    config: Option<JoinConfig>,
+}
+
+impl Join {
+    /// Plan a join with `algorithm` and default configuration.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Join {
+            algorithm,
+            builder: JoinConfigBuilder::default(),
+            config: None,
+        }
+    }
+
+    /// The planned algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Its structural descriptor.
+    pub fn descriptor(&self) -> AlgorithmDescriptor {
+        self.algorithm.descriptor()
+    }
+
+    /// Host worker threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.builder = self.builder.threads(threads);
+        self
+    }
+
+    /// Cost-model thread count.
+    pub fn sim_threads(mut self, sim_threads: usize) -> Self {
+        self.builder = self.builder.sim_threads(sim_threads);
+        self
+    }
+
+    /// Radix-bits override.
+    pub fn radix_bits(mut self, bits: u32) -> Self {
+        self.builder = self.builder.radix_bits(bits);
+        self
+    }
+
+    /// Build key domain bound.
+    pub fn key_domain(mut self, domain: usize) -> Self {
+        self.builder = self.builder.key_domain(domain);
+        self
+    }
+
+    /// Probe-side Zipf skew for the cost model.
+    pub fn zipf(mut self, theta: f64) -> Self {
+        self.builder = self.builder.zipf(theta);
+        self
+    }
+
+    /// Cooperative skew handling.
+    pub fn skew_handling(mut self, on: bool) -> Self {
+        self.builder = self.builder.skew_handling(on);
+        self
+    }
+
+    /// Simulated NUMA timing on/off.
+    pub fn simulate(mut self, on: bool) -> Self {
+        self.builder = self.builder.simulate(on);
+        self
+    }
+
+    /// Unique-build-keys (PK) assumption.
+    pub fn unique_build_keys(mut self, unique: bool) -> Self {
+        self.builder = self.builder.unique_build_keys(unique);
+        self
+    }
+
+    /// Use a fully-formed configuration, bypassing the builder knobs
+    /// (they are ignored when this is set).
+    pub fn config(mut self, cfg: JoinConfig) -> Self {
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Validate the plan against the actual relations and execute it.
+    pub fn run(&self, r: &Relation, s: &Relation) -> Result<JoinResult, JoinError> {
+        let cfg = match &self.config {
+            Some(cfg) => cfg.clone(),
+            None => self.builder.clone().build()?,
+        };
+        // Array joins index a payload array by key; a key beyond the
+        // domain would be an out-of-bounds write deep in the build loop.
+        if self.algorithm.needs_dense_domain() {
+            if let Some(max_key) = r.tuples().iter().map(|t| t.key).max() {
+                let domain = cfg.domain(r.len());
+                if max_key as usize > domain {
+                    return Err(JoinError::DomainExceeded {
+                        algorithm: self.algorithm,
+                        max_key,
+                        domain,
+                    });
+                }
+            }
+        }
+        Ok(dispatch(self.algorithm, r, s, &cfg))
+    }
+}
+
+/// Shared dispatch used by both [`Join::run`] and the legacy `run_join`.
+pub(crate) fn dispatch(
+    algorithm: Algorithm,
+    r: &Relation,
+    s: &Relation,
+    cfg: &JoinConfig,
+) -> JoinResult {
+    match algorithm {
+        Algorithm::Nop => crate::nop::join_nop(r, s, cfg),
+        Algorithm::Nopa => crate::nop::join_nopa(r, s, cfg),
+        Algorithm::Chtj => crate::chtj::join_chtj(r, s, cfg),
+        Algorithm::Mway => crate::mway::join_mway(r, s, cfg),
+        Algorithm::Prb => crate::prb::join_prb(r, s, cfg),
+        Algorithm::Pro => crate::pro::join_pro(r, s, cfg, TableKind::Chained, false),
+        Algorithm::Prl => crate::pro::join_pro(r, s, cfg, TableKind::Linear, false),
+        Algorithm::Pra => crate::pro::join_pro(r, s, cfg, TableKind::Array, false),
+        Algorithm::ProIs => crate::pro::join_pro(r, s, cfg, TableKind::Chained, true),
+        Algorithm::PrlIs => crate::pro::join_pro(r, s, cfg, TableKind::Linear, true),
+        Algorithm::PraIs => crate::pro::join_pro(r, s, cfg, TableKind::Array, true),
+        Algorithm::Cprl => crate::pro::join_cpr(r, s, cfg, TableKind::Linear),
+        Algorithm::Cpra => crate::pro::join_cpr(r, s, cfg, TableKind::Array),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_datagen::{gen_build_dense, gen_probe_fk};
+    use mmjoin_util::{Placement, Relation, Tuple};
+
+    #[test]
+    fn builder_validates_threads() {
+        assert_eq!(
+            JoinConfig::builder().threads(0).build().unwrap_err(),
+            JoinError::ZeroThreads
+        );
+        assert_eq!(
+            JoinConfig::builder().sim_threads(0).build().unwrap_err(),
+            JoinError::ZeroSimThreads
+        );
+        let cfg = JoinConfig::builder()
+            .threads(3)
+            .sim_threads(32)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.sim_threads(), 32);
+    }
+
+    #[test]
+    fn builder_validates_radix_bits() {
+        for bits in [0, MAX_RADIX_BITS + 1, 99] {
+            assert_eq!(
+                JoinConfig::builder().radix_bits(bits).build().unwrap_err(),
+                JoinError::RadixBitsOutOfRange { bits }
+            );
+        }
+        let cfg = JoinConfig::builder().radix_bits(10).build().unwrap();
+        assert_eq!(cfg.radix_bits, Some(10));
+    }
+
+    #[test]
+    fn builder_knobs_land_in_config() {
+        let cfg = JoinConfig::builder()
+            .zipf(0.75)
+            .key_domain(123_456)
+            .skew_handling(true)
+            .simulate(false)
+            .unique_build_keys(false)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.probe_theta, 0.75);
+        assert_eq!(cfg.key_domain, 123_456);
+        assert!(cfg.skew_handling);
+        assert!(!cfg.simulate);
+        assert!(!cfg.unique_build_keys);
+    }
+
+    #[test]
+    fn sparse_keys_rejected_for_dense_algorithms() {
+        let r = Relation::from_tuples(
+            &[Tuple::new(5, 1), Tuple::new(1_000_000, 2)],
+            Placement::Interleaved,
+        );
+        let s = Relation::from_tuples(&[Tuple::new(5, 9)], Placement::Interleaved);
+        let err = Join::new(Algorithm::Pra)
+            .threads(2)
+            .simulate(false)
+            .run(&r, &s)
+            .unwrap_err();
+        match err {
+            JoinError::DomainExceeded {
+                algorithm,
+                max_key,
+                domain,
+            } => {
+                assert_eq!(algorithm, Algorithm::Pra);
+                assert_eq!(max_key, 1_000_000);
+                assert_eq!(domain, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Widening the declared domain makes the same plan valid.
+        let ok = Join::new(Algorithm::Pra)
+            .threads(2)
+            .simulate(false)
+            .key_domain(1_000_000)
+            .run(&r, &s)
+            .unwrap();
+        assert_eq!(ok.matches, 1);
+    }
+
+    #[test]
+    fn join_builder_runs() {
+        let r = gen_build_dense(2_000, 51, Placement::Interleaved);
+        let s = gen_probe_fk(8_000, 2_000, 52, Placement::Interleaved);
+        let res = Join::new(Algorithm::Prl)
+            .threads(4)
+            .radix_bits(5)
+            .simulate(false)
+            .run(&r, &s)
+            .unwrap();
+        assert_eq!(res.matches, 8_000);
+    }
+
+    #[test]
+    fn config_override_wins() {
+        let r = gen_build_dense(500, 61, Placement::Interleaved);
+        let s = gen_probe_fk(1_000, 500, 62, Placement::Interleaved);
+        let mut cfg = JoinConfig::new(2);
+        cfg.simulate = false;
+        // Builder knobs are ignored once an explicit config is supplied.
+        let res = Join::new(Algorithm::Nop)
+            .threads(999)
+            .config(cfg)
+            .run(&r, &s)
+            .unwrap();
+        assert_eq!(res.matches, 1_000);
+    }
+
+    #[test]
+    fn descriptors_span_table_two() {
+        use Algorithm as A;
+        assert_eq!(
+            A::Nop.descriptor(),
+            AlgorithmDescriptor {
+                family: Family::NoPartitioning,
+                table: TableFlavor::LockFreeLinear,
+                scheduling: Scheduling::ChunkParallel,
+                partitioning: Partitioning::None,
+            }
+        );
+        assert_eq!(A::Mway.descriptor().family, Family::SortMerge);
+        assert_eq!(
+            A::Prb.descriptor().partitioning,
+            Partitioning::TwoPassDirect
+        );
+        assert_eq!(A::Cpra.descriptor().partitioning, Partitioning::Chunked);
+        assert_eq!(A::PrlIs.descriptor().scheduling, Scheduling::NumaRoundRobin);
+        for a in A::ALL {
+            let d = a.descriptor();
+            assert_eq!(a.is_partitioned(), d.family == Family::Partitioned, "{a}");
+            assert_eq!(
+                a.needs_dense_domain(),
+                matches!(d.table, TableFlavor::Array | TableFlavor::LockFreeArray),
+                "{a}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_reports_unknown_names() {
+        assert_eq!(Algorithm::parse("cprl"), Ok(Algorithm::Cprl));
+        let err = Algorithm::parse("frobnicate").unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+        assert!(err.to_string().contains("CPRL"));
+    }
+}

@@ -8,12 +8,13 @@
 
 use std::time::Instant;
 
-use mmjoin_partition::{task_order, two_pass_partition, ConcurrentTaskQueue, ScatterMode, ScheduleOrder};
+use mmjoin_partition::{task_order, two_pass_partition_on, ScatterMode, ScheduleOrder};
 use mmjoin_util::checksum::JoinChecksum;
 use mmjoin_util::Relation;
 
 use crate::config::{JoinConfig, TableKind};
-use crate::exec::parallel_workers;
+use crate::exec::join_morsels;
+use crate::executor::QueuePolicy;
 use crate::pro::{join_co_partition, spec_for, table_bytes_per_tuple, table_cpu};
 use crate::spec::{self, PartitionLayout, PartitionWrites};
 use crate::stats::JoinResult;
@@ -34,10 +35,13 @@ pub fn join_prb(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     let kind = TableKind::Chained;
     let domain = cfg.domain(r.len());
 
+    let pool = cfg.executor();
+    pool.drain_counters();
+
     // Partition phase: two passes, no SWWCB.
     let start = Instant::now();
-    let pr = two_pass_partition(r.tuples(), bits1, bits2, cfg.threads, ScatterMode::Direct);
-    let ps = two_pass_partition(s.tuples(), bits1, bits2, cfg.threads, ScatterMode::Direct);
+    let pr = two_pass_partition_on(r.tuples(), bits1, bits2, pool.as_ref(), ScatterMode::Direct);
+    let ps = two_pass_partition_on(s.tuples(), bits1, bits2, pool.as_ref(), ScatterMode::Direct);
     let part_wall = start.elapsed();
     let mut part_sim = 0.0;
     for (rel, len) in [(r, r.len()), (s, s.len())] {
@@ -54,25 +58,22 @@ pub fn join_prb(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
             part_sim += spec::run_phase(cfg, &specs, &order).0;
         }
     }
-    result.push_phase("partition", part_wall, part_sim);
+    result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
 
     // Join phase.
     let order = task_order(parts, ScheduleOrder::Sequential);
     let start = Instant::now();
-    let queue = ConcurrentTaskQueue::new(order.clone());
-    let checksum: JoinChecksum = parallel_workers(cfg.threads, |_| {
+    let checksum: JoinChecksum = join_morsels(&pool, &order, parts, QueuePolicy::Shared, |p| {
         let mut c = JoinChecksum::new();
-        while let Some(p) = queue.pop() {
-            let spec = spec_for(kind, total_bits, domain, pr.part_len(p));
-            join_co_partition(
-                kind,
-                &spec,
-                cfg.unique_build_keys,
-                &mut std::iter::once(pr.partition(p)),
-                &mut std::iter::once(ps.partition(p)),
-                &mut c,
-            );
-        }
+        let spec = spec_for(kind, total_bits, domain, pr.part_len(p));
+        join_co_partition(
+            kind,
+            &spec,
+            cfg.unique_build_keys,
+            &mut std::iter::once(pr.partition(p)),
+            &mut std::iter::once(ps.partition(p)),
+            &mut c,
+        );
         c
     });
     let join_wall = start.elapsed();
@@ -91,7 +92,7 @@ pub fn join_prb(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
         table_bytes_per_tuple(kind, domain, total_bits, r.len()),
     );
     let (join_sim, sim) = spec::run_phase(cfg, &tasks, &order);
-    result.push_phase("join", join_wall, join_sim);
+    result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
     if cfg.keep_timelines {
         result.timelines.push(("join", sim));
     }

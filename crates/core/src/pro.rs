@@ -13,9 +13,11 @@
 
 use std::time::Instant;
 
-use mmjoin_hashtable::{ArrayTable, IdentityHash, JoinTable, StChainedTable, StLinearTable, TableSpec};
+use mmjoin_hashtable::{
+    ArrayTable, IdentityHash, JoinTable, StChainedTable, StLinearTable, TableSpec,
+};
 use mmjoin_partition::{
-    chunked_partition, partition_parallel, task_order, ChunkedPartitions, ConcurrentTaskQueue,
+    chunked_partition_on, partition_parallel_on, task_order, ChunkedPartitions,
     PartitionedRelation, RadixFn, ScatterMode, ScheduleOrder,
 };
 use mmjoin_util::checksum::JoinChecksum;
@@ -23,7 +25,8 @@ use mmjoin_util::tuple::Tuple;
 use mmjoin_util::Relation;
 
 use crate::config::{JoinConfig, TableKind};
-use crate::exec::parallel_workers;
+use crate::exec::join_morsels;
+use crate::executor::{Executor, QueuePolicy};
 use crate::spec::{self, ops, PartitionLayout, PartitionWrites};
 use crate::stats::JoinResult;
 use crate::Algorithm;
@@ -37,7 +40,12 @@ pub(crate) fn table_cpu(kind: TableKind) -> (f64, f64) {
 }
 
 /// Approximate per-build-tuple table footprint for the cost model.
-pub(crate) fn table_bytes_per_tuple(kind: TableKind, domain: usize, bits: u32, r_len: usize) -> f64 {
+pub(crate) fn table_bytes_per_tuple(
+    kind: TableKind,
+    domain: usize,
+    bits: u32,
+    r_len: usize,
+) -> f64 {
     match kind {
         // 32-byte bucket holds 2 tuples at the sized load factor.
         TableKind::Chained => 16.0,
@@ -141,10 +149,13 @@ pub fn join_pro(
     let parts = f.fanout();
     let domain = cfg.domain(r.len());
 
+    let pool = cfg.executor();
+    pool.drain_counters();
+
     // Partition phase (R then S, like the original driver).
     let start = Instant::now();
-    let pr = partition_parallel(r.tuples(), f, cfg.threads, ScatterMode::Swwcb);
-    let ps = partition_parallel(s.tuples(), f, cfg.threads, ScatterMode::Swwcb);
+    let pr = partition_parallel_on(r.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
+    let ps = partition_parallel_on(s.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
     let part_wall = start.elapsed();
     let mut part_sim = 0.0;
     for (rel, len) in [(r, r.len()), (s, s.len())] {
@@ -163,9 +174,11 @@ pub fn join_pro(
             result.timelines.push(("partition", sim));
         }
     }
-    result.push_phase("partition", part_wall, part_sim);
+    result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
 
-    // Join phase.
+    // Join phase. The simulator still sees the queue *insertion order*
+    // (sequential vs NUMA round-robin); on the host, improved scheduling
+    // is the executor's NUMA-local queue policy with work stealing.
     let order_kind = if improved_sched {
         ScheduleOrder::NumaRoundRobin {
             nodes: cfg.topology.nodes,
@@ -173,9 +186,17 @@ pub fn join_pro(
     } else {
         ScheduleOrder::Sequential
     };
+    let policy = if improved_sched {
+        QueuePolicy::NumaLocal {
+            nodes: cfg.topology.nodes,
+        }
+    } else {
+        QueuePolicy::Shared
+    };
     let order = task_order(parts, order_kind);
     let start = Instant::now();
-    let checksum = run_contiguous_join_phase(&pr, &ps, &order, cfg, kind, bits, domain);
+    let checksum =
+        run_contiguous_join_phase(&pool, policy, &pr, &ps, &order, cfg, kind, bits, domain);
     let join_wall = start.elapsed();
     result.set_checksum(checksum);
 
@@ -196,7 +217,7 @@ pub fn join_pro(
         table_bytes_per_tuple(kind, domain, bits, r.len()),
     );
     let (join_sim, sim) = spec::run_phase(cfg, &tasks, &order);
-    result.push_phase("join", join_wall, join_sim);
+    result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
     if cfg.keep_timelines {
         result.timelines.push(("join", sim));
     }
@@ -211,7 +232,10 @@ fn partition_sizes(pr: &PartitionedRelation, ps: &PartitionedRelation) -> (Vec<u
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_contiguous_join_phase(
+    pool: &Executor,
+    policy: QueuePolicy,
     pr: &PartitionedRelation,
     ps: &PartitionedRelation,
     order: &[usize],
@@ -232,20 +256,17 @@ fn run_contiguous_join_phase(
     } else {
         (order.to_vec(), Vec::new())
     };
-    let queue = ConcurrentTaskQueue::new(queue_order);
-    let mut total = parallel_workers(cfg.threads, |_| {
+    let mut total = join_morsels(pool, &queue_order, pr.parts(), policy, |p| {
         let mut c = JoinChecksum::new();
-        while let Some(p) = queue.pop() {
-            let spec = spec_for(kind, bits, domain, pr.part_len(p));
-            join_co_partition(
-                kind,
-                &spec,
-                cfg.unique_build_keys,
-                &mut std::iter::once(pr.partition(p)),
-                &mut std::iter::once(ps.partition(p)),
-                &mut c,
-            );
-        }
+        let spec = spec_for(kind, bits, domain, pr.part_len(p));
+        join_co_partition(
+            kind,
+            &spec,
+            cfg.unique_build_keys,
+            &mut std::iter::once(pr.partition(p)),
+            &mut std::iter::once(ps.partition(p)),
+            &mut c,
+        );
         c
     });
     // Oversized partitions: one build, all threads probing (extension —
@@ -283,19 +304,22 @@ pub fn join_pro_two_pass(
     let parts = 1usize << total_bits;
     let domain = cfg.domain(r.len());
 
+    let pool = cfg.executor();
+    pool.drain_counters();
+
     let start = Instant::now();
-    let pr = mmjoin_partition::two_pass_partition(
+    let pr = mmjoin_partition::two_pass_partition_on(
         r.tuples(),
         bits1,
         bits2,
-        cfg.threads,
+        pool.as_ref(),
         ScatterMode::Swwcb,
     );
-    let ps = mmjoin_partition::two_pass_partition(
+    let ps = mmjoin_partition::two_pass_partition_on(
         s.tuples(),
         bits1,
         bits2,
-        cfg.threads,
+        pool.as_ref(),
         ScatterMode::Swwcb,
     );
     let part_wall = start.elapsed();
@@ -314,11 +338,21 @@ pub fn join_pro_two_pass(
             part_sim += spec::run_phase(cfg, &specs, &order).0;
         }
     }
-    result.push_phase("partition", part_wall, part_sim);
+    result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
 
     let order = task_order(parts, ScheduleOrder::Sequential);
     let start = Instant::now();
-    let checksum = run_contiguous_join_phase(&pr, &ps, &order, cfg, kind, total_bits, domain);
+    let checksum = run_contiguous_join_phase(
+        &pool,
+        QueuePolicy::Shared,
+        &pr,
+        &ps,
+        &order,
+        cfg,
+        kind,
+        total_bits,
+        domain,
+    );
     let join_wall = start.elapsed();
     result.set_checksum(checksum);
     let (r_sizes, s_sizes) = partition_sizes(&pr, &ps);
@@ -333,7 +367,7 @@ pub fn join_pro_two_pass(
         table_bytes_per_tuple(kind, domain, total_bits, r.len()),
     );
     let (join_sim, _) = spec::run_phase(cfg, &tasks, &order);
-    result.push_phase("join", join_wall, join_sim);
+    result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
     result
 }
 
@@ -351,10 +385,13 @@ pub fn join_cpr(r: &Relation, s: &Relation, cfg: &JoinConfig, kind: TableKind) -
     let parts = f.fanout();
     let domain = cfg.domain(r.len());
 
+    let pool = cfg.executor();
+    pool.drain_counters();
+
     // Chunk-local partition phase.
     let start = Instant::now();
-    let cr = chunked_partition(r.tuples(), f, cfg.threads, ScatterMode::Swwcb);
-    let cs = chunked_partition(s.tuples(), f, cfg.threads, ScatterMode::Swwcb);
+    let cr = chunked_partition_on(r.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
+    let cs = chunked_partition_on(s.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
     let part_wall = start.elapsed();
     let mut part_sim = 0.0;
     for (rel, len) in [(r, r.len()), (s, s.len())] {
@@ -373,12 +410,22 @@ pub fn join_cpr(r: &Relation, s: &Relation, cfg: &JoinConfig, kind: TableKind) -
             result.timelines.push(("partition", sim));
         }
     }
-    result.push_phase("partition", part_wall, part_sim);
+    result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
 
     // Join phase: gather chunk slices per partition.
     let order = task_order(parts, ScheduleOrder::Sequential);
     let start = Instant::now();
-    let checksum = run_chunked_join_phase(&cr, &cs, &order, cfg, kind, bits, domain);
+    let checksum = run_chunked_join_phase(
+        &pool,
+        QueuePolicy::Shared,
+        &cr,
+        &cs,
+        &order,
+        cfg,
+        kind,
+        bits,
+        domain,
+    );
     let join_wall = start.elapsed();
     result.set_checksum(checksum);
 
@@ -400,14 +447,17 @@ pub fn join_cpr(r: &Relation, s: &Relation, cfg: &JoinConfig, kind: TableKind) -
         table_bytes_per_tuple(kind, domain, bits, r.len()),
     );
     let (join_sim, sim) = spec::run_phase(cfg, &tasks, &order);
-    result.push_phase("join", join_wall, join_sim);
+    result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
     if cfg.keep_timelines {
         result.timelines.push(("join", sim));
     }
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_chunked_join_phase(
+    pool: &Executor,
+    policy: QueuePolicy,
     cr: &ChunkedPartitions,
     cs: &ChunkedPartitions,
     order: &[usize],
@@ -428,22 +478,19 @@ fn run_chunked_join_phase(
     } else {
         (order.to_vec(), Vec::new())
     };
-    let queue = ConcurrentTaskQueue::new(queue_order);
-    let mut total = parallel_workers(cfg.threads, |_| {
+    let mut total = join_morsels(pool, &queue_order, cr.parts(), policy, |p| {
         let mut c = JoinChecksum::new();
-        while let Some(p) = queue.pop() {
-            let spec = spec_for(kind, bits, domain, cr.part_len(p));
-            let mut r_iter = cr.chunks().iter().map(|ch| ch.partition(p));
-            let mut s_iter = cs.chunks().iter().map(|ch| ch.partition(p));
-            join_co_partition(
-                kind,
-                &spec,
-                cfg.unique_build_keys,
-                &mut r_iter,
-                &mut s_iter,
-                &mut c,
-            );
-        }
+        let spec = spec_for(kind, bits, domain, cr.part_len(p));
+        let mut r_iter = cr.chunks().iter().map(|ch| ch.partition(p));
+        let mut s_iter = cs.chunks().iter().map(|ch| ch.partition(p));
+        join_co_partition(
+            kind,
+            &spec,
+            cfg.unique_build_keys,
+            &mut r_iter,
+            &mut s_iter,
+            &mut c,
+        );
         c
     });
     for p in skewed {
@@ -563,8 +610,14 @@ mod tests {
         let empty = Relation::from_tuples(&[], Placement::Interleaved);
         let (r, _) = workload(100);
         let cfg = cfg_with(2, Some(3));
-        assert_eq!(join_pro(&empty, &r, &cfg, TableKind::Linear, false).matches, 0);
-        assert_eq!(join_pro(&r, &empty, &cfg, TableKind::Chained, false).matches, 0);
+        assert_eq!(
+            join_pro(&empty, &r, &cfg, TableKind::Linear, false).matches,
+            0
+        );
+        assert_eq!(
+            join_pro(&r, &empty, &cfg, TableKind::Chained, false).matches,
+            0
+        );
         assert_eq!(join_cpr(&empty, &empty, &cfg, TableKind::Linear).matches, 0);
     }
 

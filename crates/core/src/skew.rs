@@ -21,6 +21,7 @@
 use mmjoin_hashtable::TableSpec;
 use mmjoin_util::checksum::JoinChecksum;
 use mmjoin_util::chunk_range;
+use mmjoin_util::pool::{broadcast_map, WorkerPool};
 use mmjoin_util::tuple::Tuple;
 
 use crate::config::{JoinConfig, TableKind};
@@ -65,12 +66,13 @@ pub fn join_skewed_partition(
 ) -> JoinChecksum {
     // Flatten the probe side into per-thread ranges over the slice list.
     let total_probe: usize = s_slices.iter().map(|s| s.len()).sum();
-    let threads = cfg.threads.clamp(1, total_probe.max(1));
+    let pool = cfg.executor();
+    let threads = pool.workers().clamp(1, total_probe.max(1));
 
     // Build once (single-threaded: skewed partitions have an ordinary-
     // sized build side — the skew is in the probe keys).
     // Table kinds are Sync, so sharing it read-only across the probing
-    // threads below is safe.
+    // workers below is safe; the pool's barrier publishes the build.
     use mmjoin_hashtable::{ArrayTable, IdentityHash, JoinTable, StChainedTable, StLinearTable};
     macro_rules! run_with {
         ($ty:ty) => {{
@@ -81,44 +83,33 @@ pub fn join_skewed_partition(
                 }
             }
             let table = &table;
-            let parts: Vec<JoinChecksum> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let range = chunk_range(total_probe, threads, t);
-                        scope.spawn(move || {
-                            let mut c = JoinChecksum::new();
-                            // Walk the slice list, probing only the
-                            // global positions inside `range`.
-                            let mut pos = 0usize;
-                            for slice in s_slices {
-                                let end = pos + slice.len();
-                                if end > range.start && pos < range.end {
-                                    let lo = range.start.max(pos) - pos;
-                                    let hi = range.end.min(end) - pos;
-                                    if cfg.unique_build_keys {
-                                        for &tu in &slice[lo..hi] {
-                                            table.probe_unique(tu.key, |bp| {
-                                                c.add(tu.key, bp, tu.payload)
-                                            });
-                                        }
-                                    } else {
-                                        for &tu in &slice[lo..hi] {
-                                            table.probe(tu.key, |bp| {
-                                                c.add(tu.key, bp, tu.payload)
-                                            });
-                                        }
-                                    }
-                                }
-                                pos = end;
-                                if pos >= range.end {
-                                    break;
-                                }
+            let parts: Vec<JoinChecksum> = broadcast_map(pool.as_ref(), threads, |t| {
+                let range = chunk_range(total_probe, threads, t);
+                let mut c = JoinChecksum::new();
+                // Walk the slice list, probing only the global
+                // positions inside `range`.
+                let mut pos = 0usize;
+                for slice in s_slices {
+                    let end = pos + slice.len();
+                    if end > range.start && pos < range.end {
+                        let lo = range.start.max(pos) - pos;
+                        let hi = range.end.min(end) - pos;
+                        if cfg.unique_build_keys {
+                            for &tu in &slice[lo..hi] {
+                                table.probe_unique(tu.key, |bp| c.add(tu.key, bp, tu.payload));
                             }
-                            c
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+                        } else {
+                            for &tu in &slice[lo..hi] {
+                                table.probe(tu.key, |bp| c.add(tu.key, bp, tu.payload));
+                            }
+                        }
+                    }
+                    pos = end;
+                    if pos >= range.end {
+                        break;
+                    }
+                }
+                c
             });
             merge_checksums(parts)
         }};

@@ -288,8 +288,7 @@ pub fn partition_pass_specs(
             let flushes = if swwcb {
                 per_thread / TUPLES_PER_CACHELINE as f64
             } else {
-                let p_linemiss =
-                    miss_probability(open_lines_bytes, cfg.topology.l2_bytes() as f64);
+                let p_linemiss = miss_probability(open_lines_bytes, cfg.topology.l2_bytes() as f64);
                 per_thread / TUPLES_PER_CACHELINE as f64 + per_thread * p_linemiss
             };
             let spill_accesses = per_thread * p_bank_spill;
@@ -443,8 +442,22 @@ mod tests {
     #[test]
     fn nop_probe_slower_for_big_tables() {
         let cfg = cfg();
-        let small = global_probe_specs(&cfg, 1 << 20, Placement::Chunked { parts: 32 }, 1e6, 1.0, 5.0);
-        let big = global_probe_specs(&cfg, 1 << 20, Placement::Chunked { parts: 32 }, 40e9, 1.0, 5.0);
+        let small = global_probe_specs(
+            &cfg,
+            1 << 20,
+            Placement::Chunked { parts: 32 },
+            1e6,
+            1.0,
+            5.0,
+        );
+        let big = global_probe_specs(
+            &cfg,
+            1 << 20,
+            Placement::Chunked { parts: 32 },
+            40e9,
+            1.0,
+            5.0,
+        );
         let order: Vec<usize> = (0..small.len()).collect();
         let (t_small, _) = run_phase(&cfg, &small, &order);
         let (t_big, _) = run_phase(&cfg, &big, &order);

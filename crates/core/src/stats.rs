@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use mmjoin_numamodel::PhaseSim;
 use mmjoin_util::checksum::JoinChecksum;
+use mmjoin_util::pool::ExecCounters;
 
 use crate::Algorithm;
 
@@ -16,6 +17,9 @@ pub struct PhaseStat {
     pub wall: Duration,
     /// Simulated time on the configured topology (0 if simulation off).
     pub sim_seconds: f64,
+    /// Executor scheduling counters for this phase (tasks run, steals,
+    /// worker idle time at the barrier).
+    pub exec: ExecCounters,
 }
 
 /// Result of one join execution.
@@ -52,11 +56,33 @@ impl JoinResult {
     }
 
     pub fn push_phase(&mut self, name: &'static str, wall: Duration, sim_seconds: f64) {
+        self.push_phase_exec(name, wall, sim_seconds, ExecCounters::new());
+    }
+
+    /// `push_phase` carrying the executor's scheduling counters for the
+    /// phase (drained at the phase boundary).
+    pub fn push_phase_exec(
+        &mut self,
+        name: &'static str,
+        wall: Duration,
+        sim_seconds: f64,
+        exec: ExecCounters,
+    ) {
         self.phases.push(PhaseStat {
             name,
             wall,
             sim_seconds,
+            exec,
         });
+    }
+
+    /// Sum of executor counters over all phases.
+    pub fn total_exec(&self) -> ExecCounters {
+        let mut total = ExecCounters::new();
+        for p in &self.phases {
+            total.merge(p.exec);
+        }
+        total
     }
 
     /// Total measured wall time.

@@ -40,7 +40,7 @@ mod tests {
     fn fk_covers_domain() {
         // With 10k draws over 100 keys, every key should appear.
         let s = gen_probe_fk(10_000, 100, 3, Placement::Interleaved);
-        let mut seen = vec![false; 101];
+        let mut seen = [false; 101];
         for t in s.tuples() {
             seen[t.key as usize] = true;
         }

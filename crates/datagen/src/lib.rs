@@ -30,9 +30,7 @@ use mmjoin_util::{Placement, Relation, Tuple};
 /// 0-based row id of the tuple *before* shuffling (i.e. `key - 1`), which
 /// is what late-materialization joins use to fetch other attributes.
 pub fn gen_build_dense(n: usize, seed: u64, placement: Placement) -> Relation {
-    let mut tuples: Vec<Tuple> = (0..n)
-        .map(|i| Tuple::new(i as u32 + 1, i as u32))
-        .collect();
+    let mut tuples: Vec<Tuple> = (0..n).map(|i| Tuple::new(i as u32 + 1, i as u32)).collect();
     let mut rng = Xoshiro256::new(seed);
     rng.shuffle(&mut tuples);
     Relation::from_tuples(&tuples, placement)
@@ -42,9 +40,7 @@ pub fn gen_build_dense(n: usize, seed: u64, placement: Placement) -> Relation {
 /// TPC-H's `Part` table, which is generated sorted by its primary key
 /// (Section 8 notes this gives NOPA an ideal sequential build pattern).
 pub fn gen_build_sorted(n: usize, placement: Placement) -> Relation {
-    let tuples: Vec<Tuple> = (0..n)
-        .map(|i| Tuple::new(i as u32 + 1, i as u32))
-        .collect();
+    let tuples: Vec<Tuple> = (0..n).map(|i| Tuple::new(i as u32 + 1, i as u32)).collect();
     Relation::from_tuples(&tuples, placement)
 }
 

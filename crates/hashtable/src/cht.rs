@@ -20,8 +20,11 @@
 //! is needed. Collision probing wraps around *within* a region, which
 //! keeps regions truly independent (lookups reproduce the same wrapping).
 
-use mmjoin_util::tuple::{Key, Payload, Tuple};
+use std::sync::Mutex;
+
 use mmjoin_util::next_pow2;
+use mmjoin_util::pool::{broadcast_map, ScopedPool, WorkerPool};
+use mmjoin_util::tuple::{Key, Payload, Tuple};
 
 use crate::hashfn::{KeyHash, MultiplicativeHash};
 use crate::linear::StLinearTable;
@@ -61,12 +64,18 @@ pub struct ConciseHashTable<H: KeyHash = MultiplicativeHash> {
 }
 
 impl<H: KeyHash + Default> ConciseHashTable<H> {
-    /// Bulkload from `tuples` using `threads` worker threads.
+    /// Bulkload from `tuples` using `threads` worker threads (legacy
+    /// entry point: scoped threads; prefer [`Self::build_on`]).
     pub fn build(tuples: &[Tuple], threads: usize) -> Self {
+        Self::build_on(tuples, &ScopedPool::new(threads))
+    }
+
+    /// Bulkload from `tuples` on a worker pool.
+    pub fn build_on(tuples: &[Tuple], pool: &dyn WorkerPool) -> Self {
         let n = tuples.len();
         let positions = next_pow2((n * POSITIONS_PER_TUPLE).max(64));
         let groups_len = positions / 64;
-        let threads = threads.clamp(1, groups_len.max(1));
+        let threads = pool.workers().clamp(1, groups_len.max(1));
         // Regions: one contiguous group range per thread; each must hold
         // at least one probe window.
         let regions = threads;
@@ -76,7 +85,7 @@ impl<H: KeyHash + Default> ConciseHashTable<H> {
         // Regions must be a power-of-two size for shift math; fall back to
         // one region if the division is not exact.
         let (regions, region_shift) = if region_size.is_power_of_two()
-            && positions % regions == 0
+            && positions.is_multiple_of(regions)
             && region_size >= 64
         {
             (regions, region_size.trailing_zeros())
@@ -100,26 +109,20 @@ impl<H: KeyHash + Default> ConciseHashTable<H> {
         let mut placed: Vec<Vec<(u32, Tuple)>> = Vec::with_capacity(regions);
         let mut overflowed: Vec<Vec<Tuple>> = Vec::with_capacity(regions);
         {
-            let mut group_chunks: Vec<&mut [Group]> = Vec::with_capacity(regions);
+            // Hand each worker its disjoint `&mut [Group]` region through a
+            // Mutex slot: the pool's broadcast closure is `Fn`, so exclusive
+            // chunks cannot be moved in directly.
+            let mut group_chunks: Vec<Mutex<Option<&mut [Group]>>> = Vec::with_capacity(regions);
             let mut rest = groups.as_mut_slice();
             for _ in 0..regions {
                 let (head, tail) = rest.split_at_mut(region_groups);
-                group_chunks.push(head);
+                group_chunks.push(Mutex::new(Some(head)));
                 rest = tail;
             }
-            let results: Vec<(Vec<(u32, Tuple)>, Vec<Tuple>)> = std::thread::scope(|s| {
-                let handles: Vec<_> = group_chunks
-                    .into_iter()
-                    .zip(region_tuples.iter())
-                    .enumerate()
-                    .map(|(r, (grp, tuples))| {
-                        let hash = hash;
-                        s.spawn(move || {
-                            claim_region_bits(grp, tuples, hash, mask, region_shift, r)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            let region_tuples = &region_tuples;
+            let results = broadcast_map(pool, regions, |r| {
+                let grp = group_chunks[r].lock().unwrap().take().unwrap();
+                claim_region_bits(grp, &region_tuples[r], hash, mask, region_shift, r)
             });
             for (p, o) in results {
                 placed.push(p);
@@ -140,7 +143,8 @@ impl<H: KeyHash + Default> ConciseHashTable<H> {
         // [prefix(first group), prefix(first group) + region bit count).
         let mut array = vec![Tuple::new(0, 0); stored];
         {
-            let mut slices: Vec<(&mut [Tuple], u32)> = Vec::with_capacity(regions);
+            type RegionSlice<'a> = Mutex<Option<(&'a mut [Tuple], u32)>>;
+            let mut slices: Vec<RegionSlice> = Vec::with_capacity(regions);
             let mut rest = array.as_mut_slice();
             for r in 0..regions {
                 let start = groups[r * region_groups].prefix;
@@ -150,18 +154,19 @@ impl<H: KeyHash + Default> ConciseHashTable<H> {
                     stored as u32
                 };
                 let (head, tail) = rest.split_at_mut((end - start) as usize);
-                slices.push((head, start));
+                slices.push(Mutex::new(Some((head, start))));
                 rest = tail;
             }
             let groups_ref = &groups;
-            std::thread::scope(|s| {
-                for ((slice, base), items) in slices.into_iter().zip(placed.iter()) {
-                    s.spawn(move || {
-                        for &(pos, t) in items {
-                            let rank = rank_of(groups_ref, pos as usize);
-                            slice[(rank - base) as usize] = t;
-                        }
-                    });
+            let placed_ref = &placed;
+            pool.broadcast(&|r| {
+                if r >= regions {
+                    return;
+                }
+                let (slice, base) = slices[r].lock().unwrap().take().unwrap();
+                for &(pos, t) in &placed_ref[r] {
+                    let rank = rank_of(groups_ref, pos as usize);
+                    slice[(rank - base) as usize] = t;
                 }
             });
         }
@@ -297,7 +302,11 @@ mod tests {
         v
     }
 
-    fn check_against_reference(tuples: &[Tuple], probes: impl Iterator<Item = Key>, threads: usize) {
+    fn check_against_reference(
+        tuples: &[Tuple],
+        probes: impl Iterator<Item = Key>,
+        threads: usize,
+    ) {
         let cht = ConciseHashTable::<MultiplicativeHash>::build(tuples, threads);
         assert_eq!(cht.dense_len() + cht.overflow_len(), tuples.len());
         for k in probes {

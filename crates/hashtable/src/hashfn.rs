@@ -103,7 +103,7 @@ mod tests {
 
     #[test]
     fn dense_keys_spread_perfectly_under_identity() {
-        assert_eq!(spread(IdentityHash, 1023), 1024.min(1024));
+        assert_eq!(spread(IdentityHash, 1023), 1024);
         assert_eq!(spread(IdentityHash, 2047), 1024);
     }
 

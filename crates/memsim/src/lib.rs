@@ -272,7 +272,7 @@ mod tests {
     #[test]
     fn tlb_capacity_behaviour() {
         let mut sim = tiny_sim(); // 4 TLB entries, 4 KB pages
-        // Cycle through 8 pages: every access a TLB miss (LRU thrash).
+                                  // Cycle through 8 pages: every access a TLB miss (LRU thrash).
         for _ in 0..10 {
             for p in 0..8usize {
                 sim.read(p * 4096, 8);

@@ -5,10 +5,8 @@
 //! what drive every qualitative result, and those ratios are taken from the
 //! platform's published characteristics.
 
-use serde::{Deserialize, Serialize};
-
 /// Cost-model parameters for the simulated machine.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostModel {
     /// Peak DRAM bandwidth of one node's memory controller, bytes/s.
     pub node_bandwidth: f64,

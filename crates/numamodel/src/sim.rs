@@ -76,8 +76,8 @@ impl PhaseSim {
                 let b = ((t / bucket_len) as usize).min(buckets - 1);
                 let bucket_end = (b as f64 + 1.0) * bucket_len;
                 let seg = (end.min(bucket_end) - t).max(0.0);
-                for n in 0..nodes {
-                    out[b][n] += iv.node_util[n] * seg / bucket_len;
+                for (o, u) in out[b].iter_mut().zip(&iv.node_util) {
+                    *o += u * seg / bucket_len;
                 }
                 t += seg.max(EPS);
             }
@@ -169,8 +169,8 @@ pub fn simulate_phase(
         let mut node_users = vec![0u32; nodes];
         let mut egress_users = vec![0u32; nodes];
         for a in &active {
-            for n in 0..nodes {
-                if a.remaining_bytes[n] > EPS {
+            for (n, bytes) in a.remaining_bytes.iter().enumerate() {
+                if *bytes > EPS {
                     node_users[n] += 1;
                     if n != a.home {
                         egress_users[a.home] += 1;
@@ -216,8 +216,8 @@ pub fn simulate_phase(
                     *u += rate(a, n) / model.node_bandwidth;
                 }
             }
-            for n in 0..nodes {
-                sim.node_busy[n] += util[n] * dt;
+            for (busy, u) in sim.node_busy.iter_mut().zip(&util) {
+                *busy += u * dt;
             }
             sim.timeline.push(TimelineInterval {
                 start: now,
@@ -393,19 +393,16 @@ mod tests {
     #[test]
     fn timeline_integrates_to_busy_time() {
         let (topo, model) = setup();
-        let tasks = vec![
-            stream_task(&topo, 0, 1e9, 0),
-            stream_task(&topo, 1, 5e8, 1),
-        ];
+        let tasks = vec![stream_task(&topo, 0, 1e9, 0), stream_task(&topo, 1, 5e8, 1)];
         let sim = simulate_phase(&topo, &model, 2, &tasks, &[0, 1]);
         let mut integral = vec![0.0; topo.nodes];
         for iv in &sim.timeline {
-            for n in 0..topo.nodes {
-                integral[n] += iv.node_util[n] * iv.len;
+            for (acc, u) in integral.iter_mut().zip(&iv.node_util) {
+                *acc += u * iv.len;
             }
         }
-        for n in 0..topo.nodes {
-            assert!((integral[n] - sim.node_busy[n]).abs() < 1e-9);
+        for (acc, busy) in integral.iter().zip(&sim.node_busy) {
+            assert!((acc - busy).abs() < 1e-9);
         }
         // Node 0 moved 1e9 bytes at full bw => busy 1e9/bw seconds.
         let expect0 = 1e9 / model.node_bandwidth;
@@ -416,10 +413,7 @@ mod tests {
     fn bucketed_utilization_shapes() {
         let (topo, model) = setup();
         // One long task on node 0, then one on node 1 (single worker).
-        let tasks = vec![
-            stream_task(&topo, 0, 1e9, 0),
-            stream_task(&topo, 1, 1e9, 1),
-        ];
+        let tasks = vec![stream_task(&topo, 0, 1e9, 0), stream_task(&topo, 1, 1e9, 1)];
         let sim = simulate_phase(&topo, &model, 1, &tasks, &[0, 1]);
         let b = sim.bucketed_utilization(10);
         // First half: node 0 busy; second half: node 1 busy.

@@ -5,10 +5,8 @@
 //! 256 KB L2, 30 MB shared L3 per socket, 256 TLB entries with 4 KB pages
 //! but only 32 with 2 MB pages.
 
-use serde::{Deserialize, Serialize};
-
 /// Virtual-memory page size used for all allocations (Section 7.2).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum PageSize {
     /// 4 KB small pages, 256 data-TLB entries on the paper's CPU.
     Small4K,
@@ -37,7 +35,7 @@ impl PageSize {
 }
 
 /// A (simulated) shared-memory machine.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Topology {
     /// NUMA nodes (= sockets).
     pub nodes: usize,

@@ -6,10 +6,8 @@
 //! quantified version: bytes moved from the node of the initiating thread
 //! to the node of the touched memory, split by access class.
 
-use serde::{Deserialize, Serialize};
-
 /// Access classes tracked per (initiator node, target node) pair.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum AccessClass {
     SeqRead,
     SeqWrite,
@@ -18,7 +16,7 @@ pub enum AccessClass {
 }
 
 /// Bytes moved between nodes, per access class.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TrafficMatrix {
     nodes: usize,
     /// `[class][from][to]` in bytes, class indexed by `AccessClass as usize`.

@@ -11,6 +11,7 @@
 
 use mmjoin_util::alloc::AlignedBuf;
 use mmjoin_util::chunk_range;
+use mmjoin_util::pool::{broadcast_map, ScopedPool, WorkerPool};
 use mmjoin_util::tuple::Tuple;
 
 use crate::contiguous::ScatterMode;
@@ -85,27 +86,34 @@ impl ChunkedPartitions {
     }
 }
 
-/// Partition `input` chunk-locally with `threads` threads.
+/// Partition `input` chunk-locally on a worker pool (one chunk per
+/// active worker).
+pub fn chunked_partition_on(
+    input: &[Tuple],
+    f: RadixFn,
+    pool: &dyn WorkerPool,
+    mode: ScatterMode,
+) -> ChunkedPartitions {
+    let active = pool.workers().clamp(1, input.len().max(1));
+    let chunks = broadcast_map(pool, active, |t| {
+        let chunk = &input[chunk_range(input.len(), active, t)];
+        partition_chunk_local(chunk, f, mode)
+    });
+    ChunkedPartitions {
+        chunks,
+        parts: f.fanout(),
+    }
+}
+
+/// Partition `input` chunk-locally with `threads` threads (legacy entry
+/// point: scoped threads; prefer [`chunked_partition_on`]).
 pub fn chunked_partition(
     input: &[Tuple],
     f: RadixFn,
     threads: usize,
     mode: ScatterMode,
 ) -> ChunkedPartitions {
-    let threads = threads.clamp(1, input.len().max(1));
-    let chunks: Vec<ChunkPart> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let chunk = &input[chunk_range(input.len(), threads, t)];
-                s.spawn(move || partition_chunk_local(chunk, f, mode))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    ChunkedPartitions {
-        chunks,
-        parts: f.fanout(),
-    }
+    chunked_partition_on(input, f, &ScopedPool::new(threads), mode)
 }
 
 /// Single-threaded histogram-based radix partitioning of one chunk into a

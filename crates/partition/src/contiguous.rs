@@ -11,8 +11,10 @@
 //! processes whole pass-1 partitions pulled from a task queue.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use mmjoin_util::alloc::AlignedBuf;
+use mmjoin_util::pool::{broadcast_map, ScopedPool, WorkerPool};
 use mmjoin_util::tuple::Tuple;
 use mmjoin_util::{chunk_range, CACHE_LINE};
 
@@ -87,43 +89,53 @@ struct SyncPtr(*mut Tuple);
 unsafe impl Sync for SyncPtr {}
 unsafe impl Send for SyncPtr {}
 
-/// Single-pass parallel radix partitioning.
-pub fn partition_parallel(
+/// Single-pass parallel radix partitioning on a caller-provided pool.
+///
+/// Chunk assignment is identical to the legacy scoped-thread version
+/// (`active = workers.clamp(1, len)` chunks via [`chunk_range`]), so the
+/// output layout is byte-for-byte the same for the same worker count.
+pub fn partition_parallel_on(
     input: &[Tuple],
     f: RadixFn,
-    threads: usize,
+    pool: &dyn WorkerPool,
     mode: ScatterMode,
 ) -> PartitionedRelation {
-    let threads = threads.clamp(1, input.len().max(1));
+    let active = pool.workers().clamp(1, input.len().max(1));
     // Phase 1: local histograms.
-    let locals: Vec<Vec<usize>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let chunk = &input[chunk_range(input.len(), threads, t)];
-                s.spawn(move || histogram(chunk, f))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    let locals: Vec<Vec<usize>> = broadcast_map(pool, active, |t| {
+        histogram(&input[chunk_range(input.len(), active, t)], f)
     });
     // Phase 2: merge into per-thread cursors.
     let (dst, offsets) = global_offsets(&locals);
     // Phase 3: scatter.
     let mut out = AlignedBuf::<Tuple>::zeroed(input.len());
     let out_ptr = SyncPtr(out.as_mut_ptr());
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let chunk = &input[chunk_range(input.len(), threads, t)];
-            let cursors = dst[t].clone();
-            s.spawn(move || {
-                let out_ptr = out_ptr;
-                // SAFETY: this thread's cursor ranges are disjoint from
-                // every other thread's by construction of global_offsets,
-                // and in-bounds because the histogram counted this chunk.
-                unsafe { scatter_chunk(chunk, f, &cursors, out_ptr.0, mode) }
-            });
+    let dst = &dst;
+    pool.broadcast(&|t| {
+        if t < active {
+            let chunk = &input[chunk_range(input.len(), active, t)];
+            // Copy the whole SyncPtr so the closure capture stays Sync
+            // (a field capture of the raw pointer would not be).
+            let out = out_ptr;
+            // SAFETY: this worker's cursor ranges are disjoint from
+            // every other worker's by construction of global_offsets,
+            // and in-bounds because the histogram counted this chunk.
+            unsafe { scatter_chunk(chunk, f, &dst[t], out.0, mode) }
         }
     });
     PartitionedRelation { data: out, offsets }
+}
+
+/// Single-pass parallel radix partitioning (legacy entry point: spawns
+/// `threads` scoped threads per phase; prefer [`partition_parallel_on`]
+/// with a persistent pool).
+pub fn partition_parallel(
+    input: &[Tuple],
+    f: RadixFn,
+    threads: usize,
+    mode: ScatterMode,
+) -> PartitionedRelation {
+    partition_parallel_on(input, f, &ScopedPool::new(threads), mode)
 }
 
 /// Scatter one chunk to precomputed destinations.
@@ -163,14 +175,14 @@ unsafe fn scatter_chunk(
 ///
 /// The global partition id of a tuple is `p1 * 2^bits2 + p2` (region-major
 /// so offsets stay address-ordered).
-pub fn two_pass_partition(
+pub fn two_pass_partition_on(
     input: &[Tuple],
     bits1: u32,
     bits2: u32,
-    threads: usize,
+    pool: &dyn WorkerPool,
     mode: ScatterMode,
 ) -> PartitionedRelation {
-    let pass1 = partition_parallel(input, RadixFn::new(bits1), threads, mode);
+    let pass1 = partition_parallel_on(input, RadixFn::new(bits1), pool, mode);
     let f2 = RadixFn::pass(bits2, bits1);
     let fan1 = 1usize << bits1;
     let fan2 = 1usize << bits2;
@@ -182,28 +194,26 @@ pub fn two_pass_partition(
     let mut hists: Vec<Vec<usize>> = vec![Vec::new(); fan1];
     {
         let next = AtomicUsize::new(0);
-        let produced: Vec<Vec<(usize, Vec<usize>)>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads.max(1))
-                .map(|_| {
-                    let next = &next;
-                    let pass1 = &pass1;
-                    s.spawn(move || {
-                        let mut mine = Vec::new();
-                        loop {
-                            let p1 = next.fetch_add(1, Ordering::Relaxed);
-                            if p1 >= fan1 {
-                                break;
-                            }
-                            mine.push((p1, histogram(pass1.partition(p1), f2)));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        type HistSlot = Mutex<Vec<(usize, Vec<usize>)>>;
+        let slots: Vec<HistSlot> = (0..pool.workers())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        let pass1 = &pass1;
+        pool.broadcast(&|w| {
+            let mut mine = Vec::new();
+            loop {
+                let p1 = next.fetch_add(1, Ordering::Relaxed);
+                if p1 >= fan1 {
+                    break;
+                }
+                mine.push((p1, histogram(pass1.partition(p1), f2)));
+            }
+            *slots[w].lock().unwrap() = mine;
         });
-        for (p1, h) in produced.into_iter().flatten() {
-            hists[p1] = h;
+        for slot in slots {
+            for (p1, h) in slot.into_inner().unwrap() {
+                hists[p1] = h;
+            }
         }
     }
 
@@ -224,31 +234,37 @@ pub fn two_pass_partition(
     {
         let next = AtomicUsize::new(0);
         let offsets = &offsets;
-        std::thread::scope(|s| {
-            for _ in 0..threads.max(1) {
-                let next = &next;
-                let pass1 = &pass1;
-                s.spawn(move || {
-                    let out_ptr = out_ptr;
-                    loop {
-                        let p1 = next.fetch_add(1, Ordering::Relaxed);
-                        if p1 >= fan1 {
-                            break;
-                        }
-                        let base = p1 * fan2;
-                        let cursors: Vec<usize> = (0..fan2).map(|p2| offsets[base + p2]).collect();
-                        // SAFETY: cursor ranges of distinct p1 tasks are
-                        // disjoint (offsets are exact counts); only one
-                        // task processes each p1.
-                        unsafe {
-                            scatter_chunk(pass1.partition(p1), f2, &cursors, out_ptr.0, mode)
-                        }
-                    }
-                });
+        let pass1 = &pass1;
+        pool.broadcast(&|_| {
+            // Copy the whole SyncPtr so the closure capture stays Sync.
+            let out = out_ptr;
+            loop {
+                let p1 = next.fetch_add(1, Ordering::Relaxed);
+                if p1 >= fan1 {
+                    break;
+                }
+                let base = p1 * fan2;
+                let cursors: Vec<usize> = (0..fan2).map(|p2| offsets[base + p2]).collect();
+                // SAFETY: cursor ranges of distinct p1 tasks are
+                // disjoint (offsets are exact counts); only one
+                // task processes each p1.
+                unsafe { scatter_chunk(pass1.partition(p1), f2, &cursors, out.0, mode) }
             }
         });
     }
     PartitionedRelation { data: out, offsets }
+}
+
+/// Two-pass radix partitioning (legacy entry point: scoped threads per
+/// phase; prefer [`two_pass_partition_on`] with a persistent pool).
+pub fn two_pass_partition(
+    input: &[Tuple],
+    bits1: u32,
+    bits2: u32,
+    threads: usize,
+    mode: ScatterMode,
+) -> PartitionedRelation {
+    two_pass_partition_on(input, bits1, bits2, &ScopedPool::new(threads), mode)
 }
 
 /// Sanity helper shared by tests and the harness: every tuple must land

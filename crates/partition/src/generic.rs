@@ -14,6 +14,7 @@
 //! bytes the write-combining win shrinks proportionally anyway.
 
 use mmjoin_util::chunk_range;
+use mmjoin_util::pool::{broadcast_map, ScopedPool, WorkerPool};
 
 use crate::histogram::prefix_sum;
 use crate::radix::RadixFn;
@@ -72,7 +73,30 @@ impl<T> GenericChunkedPartitions<T> {
     }
 }
 
-/// Partition `input` chunk-locally by `key(t) & mask`.
+/// Partition `input` chunk-locally by `key(t) & mask` on a worker pool.
+pub fn chunked_partition_by_on<T, K>(
+    input: &[T],
+    f: RadixFn,
+    pool: &dyn WorkerPool,
+    key: K,
+) -> GenericChunkedPartitions<T>
+where
+    T: Copy + Send + Sync,
+    K: Fn(&T) -> u32 + Send + Sync + Copy,
+{
+    let active = pool.workers().clamp(1, input.len().max(1));
+    let chunks = broadcast_map(pool, active, |t| {
+        let chunk = &input[chunk_range(input.len(), active, t)];
+        partition_chunk_by(chunk, f, key)
+    });
+    GenericChunkedPartitions {
+        chunks,
+        parts: f.fanout(),
+    }
+}
+
+/// Partition `input` chunk-locally by `key(t) & mask` with `threads`
+/// scoped threads (legacy entry point; prefer [`chunked_partition_by_on`]).
 pub fn chunked_partition_by<T, K>(
     input: &[T],
     f: RadixFn,
@@ -83,20 +107,7 @@ where
     T: Copy + Send + Sync,
     K: Fn(&T) -> u32 + Send + Sync + Copy,
 {
-    let threads = threads.clamp(1, input.len().max(1));
-    let chunks: Vec<GenericChunkPart<T>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let chunk = &input[chunk_range(input.len(), threads, t)];
-                s.spawn(move || partition_chunk_by(chunk, f, key))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    GenericChunkedPartitions {
-        chunks,
-        parts: f.fanout(),
-    }
+    chunked_partition_by_on(input, f, &ScopedPool::new(threads), key)
 }
 
 fn partition_chunk_by<T: Copy, K: Fn(&T) -> u32>(

@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn histogram_counts() {
-        let ts: Vec<Tuple> = [0u32, 1, 2, 3, 4, 5, 6, 7, 8].iter().map(|&k| tup(k)).collect();
+        let ts: Vec<Tuple> = [0u32, 1, 2, 3, 4, 5, 6, 7, 8]
+            .iter()
+            .map(|&k| tup(k))
+            .collect();
         let h = histogram(&ts, RadixFn::new(2));
         assert_eq!(h, vec![3, 2, 2, 2]); // keys 0,4,8 | 1,5 | 2,6 | 3,7
     }

@@ -22,16 +22,19 @@
 
 pub mod bits;
 pub mod chunked;
-pub mod generic;
 pub mod contiguous;
+pub mod generic;
 pub mod histogram;
 pub mod radix;
 pub mod swwcb;
 pub mod task;
 
 pub use bits::{predict_radix_bits, BitsInput};
-pub use chunked::{chunked_partition, ChunkedPartitions};
-pub use generic::{chunked_partition_by, GenericChunkedPartitions};
-pub use contiguous::{partition_parallel, two_pass_partition, PartitionedRelation, ScatterMode};
+pub use chunked::{chunked_partition, chunked_partition_on, ChunkedPartitions};
+pub use contiguous::{
+    partition_parallel, partition_parallel_on, two_pass_partition, two_pass_partition_on,
+    PartitionedRelation, ScatterMode,
+};
+pub use generic::{chunked_partition_by, chunked_partition_by_on, GenericChunkedPartitions};
 pub use radix::RadixFn;
 pub use task::{task_order, ConcurrentTaskQueue, ScheduleOrder};

@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn sequential_order() {
-        assert_eq!(task_order(5, ScheduleOrder::Sequential), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            task_order(5, ScheduleOrder::Sequential),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]

@@ -94,10 +94,6 @@ pub fn sort_packed_alloc(data: &mut [u64]) {
     sort_packed(data, &mut scratch);
 }
 
-/// Re-export for callers wanting to sort exact power-of-two blocks purely
-/// with networks (micro-benches).
-
-
 #[cfg(test)]
 mod tests {
     use super::*;

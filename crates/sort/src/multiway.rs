@@ -126,10 +126,7 @@ mod tests {
         let a = [1u64, 4, 7];
         let b = [2u64, 5, 8];
         let c = [3u64, 6, 9];
-        assert_eq!(
-            merge_runs(vec![&a, &b, &c]),
-            (1..=9u64).collect::<Vec<_>>()
-        );
+        assert_eq!(merge_runs(vec![&a, &b, &c]), (1..=9u64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -138,17 +138,17 @@ mod tests {
 
     #[test]
     fn sort4_zero_one_principle() {
-        zero_one_check(4, |d| sort4(d));
+        zero_one_check(4, sort4);
     }
 
     #[test]
     fn sort8_zero_one_principle() {
-        zero_one_check(8, |d| sort8(d));
+        zero_one_check(8, sort8);
     }
 
     #[test]
     fn batcher16_zero_one_principle() {
-        zero_one_check(16, |d| sort_network(d));
+        zero_one_check(16, sort_network);
     }
 
     #[test]

@@ -36,9 +36,7 @@ pub const NUM_BRANDS: u8 = 25;
 
 /// TPC-H containers: 5 sizes × 8 shapes = 40.
 pub const CONTAINER_SIZES: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
-pub const CONTAINER_SHAPES: [&str; 8] = [
-    "CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM",
-];
+pub const CONTAINER_SHAPES: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 pub const NUM_CONTAINERS: u8 = 40;
 
 pub fn container_name(code: u8) -> String {

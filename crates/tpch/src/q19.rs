@@ -262,8 +262,7 @@ fn probe_partition<T: JoinTable>(
             let l_row = t.payload as usize;
             table.probe(t.key, |p_row| {
                 if post_join(l, p, l_row, p_row as usize) {
-                    revenue +=
-                        l.l_extendedprice[l_row] as f64 * (1.0 - l.l_discount[l_row] as f64);
+                    revenue += l.l_extendedprice[l_row] as f64 * (1.0 - l.l_discount[l_row] as f64);
                 }
             });
         }

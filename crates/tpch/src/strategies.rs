@@ -22,7 +22,9 @@ use std::time::Instant;
 
 use mmjoin_core::JoinConfig;
 use mmjoin_hashtable::{IdentityHash, JoinTable, StLinearTable, TableSpec};
-use mmjoin_partition::{chunked_partition, chunked_partition_by, ConcurrentTaskQueue, RadixFn, ScatterMode};
+use mmjoin_partition::{
+    chunked_partition, chunked_partition_by, ConcurrentTaskQueue, RadixFn, ScatterMode,
+};
 use mmjoin_util::chunk_range;
 
 use crate::data::{post_join_parts_only, LineitemTable, PartTable};

@@ -142,7 +142,7 @@ mod tests {
     fn large_alignment_type() {
         #[repr(align(64))]
         #[derive(Copy, Clone)]
-        struct Line([u8; 64]);
+        struct Line(#[allow(dead_code)] [u8; 64]);
         let buf = AlignedBuf::<Line>::zeroed(8);
         assert_eq!(buf.as_ptr() as usize % 64, 0);
     }

@@ -37,8 +37,7 @@ impl JoinChecksum {
     #[inline]
     pub fn add(&mut self, key: Key, build_payload: Payload, probe_payload: Payload) {
         self.count += 1;
-        let token =
-            (key as u64) ^ ((build_payload as u64) << 20) ^ ((probe_payload as u64) << 40);
+        let token = (key as u64) ^ ((build_payload as u64) << 20) ^ ((probe_payload as u64) << 40);
         self.digest = self.digest.wrapping_add(mix(token));
     }
 

@@ -10,15 +10,20 @@
 //! * [`checksum`] — order-independent join-result checksums used to verify
 //!   that all thirteen algorithms produce identical results.
 //! * [`timer::PhaseTimer`] — named phase wall-clock measurements.
+//! * [`pool::WorkerPool`] — the worker-pool trait every thread-parallel
+//!   phase runs against (implemented by `mmjoin-core`'s persistent
+//!   executor and by the scoped-thread fallback [`pool::ScopedPool`]).
 
 pub mod alloc;
 pub mod checksum;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod timer;
 pub mod trace;
 pub mod tuple;
 
+pub use pool::{ExecCounters, ScopedPool, WorkerPool};
 pub use tuple::{Key, Payload, Placement, Relation, Tuple};
 
 /// Size of one cache line in bytes on every platform the paper targets.

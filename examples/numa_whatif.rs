@@ -10,7 +10,7 @@
 //! cargo run --release --example numa_whatif
 //! ```
 
-use mmjoin::core::{run_join, Algorithm, JoinConfig};
+use mmjoin::core::{Algorithm, Join};
 use mmjoin::datagen::{gen_build_dense, gen_probe_fk};
 use mmjoin::util::Placement;
 
@@ -18,7 +18,9 @@ fn main() {
     let r_n = 1 << 20;
     let s_n = r_n * 10;
     let host_threads = 4;
-    let placement = Placement::Chunked { parts: host_threads };
+    let placement = Placement::Chunked {
+        parts: host_threads,
+    };
     let r = gen_build_dense(r_n, 1, placement);
     let s = gen_probe_fk(s_n, r_n, 2, placement);
 
@@ -28,10 +30,15 @@ fn main() {
         "threads", "CPRL [Mtps]", "NOP [Mtps]", "CPRL/NOP"
     );
     for sim_threads in [4usize, 8, 16, 32, 60, 120] {
-        let mut cfg = JoinConfig::new(host_threads);
-        cfg.sim_threads = Some(sim_threads);
-        let cprl = run_join(Algorithm::Cprl, &r, &s, &cfg);
-        let nop = run_join(Algorithm::Nop, &r, &s, &cfg);
+        let plan = |alg| {
+            Join::new(alg)
+                .threads(host_threads)
+                .sim_threads(sim_threads)
+                .run(&r, &s)
+                .expect("valid plan")
+        };
+        let cprl = plan(Algorithm::Cprl);
+        let nop = plan(Algorithm::Nop);
         let a = cprl.sim_throughput_mtps(r.len(), s.len());
         let b = nop.sim_throughput_mtps(r.len(), s.len());
         let smt = if sim_threads > 60 { " (SMT)" } else { "" };
@@ -39,10 +46,15 @@ fn main() {
     }
 
     println!("\nwhat-if: what does bad task scheduling cost PRO? (Fig. 6/7)");
-    let mut cfg = JoinConfig::new(host_threads);
-    cfg.sim_threads = Some(60);
-    let pro = run_join(Algorithm::Pro, &r, &s, &cfg);
-    let prois = run_join(Algorithm::ProIs, &r, &s, &cfg);
+    let plan = |alg| {
+        Join::new(alg)
+            .threads(host_threads)
+            .sim_threads(60)
+            .run(&r, &s)
+            .expect("valid plan")
+    };
+    let pro = plan(Algorithm::Pro);
+    let prois = plan(Algorithm::ProIs);
     println!(
         "  PRO   join phase: {:>8.2} ms (sequential task order, one hot node)",
         pro.sim_of("join") * 1e3

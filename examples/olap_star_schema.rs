@@ -13,7 +13,7 @@
 //! cargo run --release --example olap_star_schema
 //! ```
 
-use mmjoin::core::{run_join, Algorithm, JoinConfig};
+use mmjoin::core::{Algorithm, Join, JoinConfig};
 use mmjoin::datagen::{gen_build_dense, gen_probe_zipf};
 use mmjoin::util::Placement;
 
@@ -30,17 +30,28 @@ fn main() {
     let dim = gen_build_dense(customers, 7, placement);
     let fact = gen_probe_zipf(sales, customers, 0.5, 8, placement);
 
-    let mut cfg = JoinConfig::new(threads);
-    cfg.sim_threads = Some(32);
-    cfg.probe_theta = 0.5;
+    let cfg = JoinConfig::builder()
+        .threads(threads)
+        .sim_threads(32)
+        .zipf(0.5)
+        .build()
+        .expect("valid configuration");
 
     println!(
         "{:<22} {:>14} {:>16} {:>10}",
         "plan", "sim time [ms]", "throughput[Mtps]", "matches"
     );
     let mut best: Option<(Algorithm, f64)> = None;
-    for alg in [Algorithm::Nopa, Algorithm::Nop, Algorithm::Cpra, Algorithm::PraIs] {
-        let res = run_join(alg, &dim, &fact, &cfg);
+    for alg in [
+        Algorithm::Nopa,
+        Algorithm::Nop,
+        Algorithm::Cpra,
+        Algorithm::PraIs,
+    ] {
+        let res = Join::new(alg)
+            .config(cfg.clone())
+            .run(&dim, &fact)
+            .expect("valid plan");
         let t = res.total_sim();
         println!(
             "{:<22} {:>14.2} {:>16.0} {:>10}",
@@ -49,11 +60,14 @@ fn main() {
             res.sim_throughput_mtps(dim.len(), fact.len()),
             res.matches
         );
-        if best.map_or(true, |(_, bt)| t < bt) {
+        if best.is_none_or(|(_, bt)| t < bt) {
             best = Some((alg, t));
         }
     }
     let (winner, _) = best.unwrap();
-    println!("\ncost-model pick for this machine & workload: {}", winner.name());
+    println!(
+        "\ncost-model pick for this machine & workload: {}",
+        winner.name()
+    );
     println!("(lesson 7: with dense surrogate keys, array joins are hard to beat)");
 }

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart [r_tuples] [s_tuples] [threads]
 //! ```
 
-use mmjoin::core::{run_join, Algorithm, JoinConfig};
+use mmjoin::core::{Algorithm, Join, JoinConfig};
 use mmjoin::datagen::{gen_build_dense, gen_probe_fk};
 use mmjoin::util::Placement;
 
@@ -22,12 +22,18 @@ fn main() {
     let r = gen_build_dense(r_n, 42, placement);
     let s = gen_probe_fk(s_n, r_n, 43, placement);
 
-    let mut cfg = JoinConfig::new(threads);
-    cfg.sim_threads = Some(32); // evaluate on the paper's 32-thread setup
+    let cfg = JoinConfig::builder()
+        .threads(threads)
+        .sim_threads(32) // evaluate on the paper's 32-thread setup
+        .build()
+        .expect("valid configuration");
 
     let mut rows: Vec<(String, f64, f64, u64)> = Vec::new();
     for alg in Algorithm::ALL {
-        let res = run_join(alg, &r, &s, &cfg);
+        let res = Join::new(alg)
+            .config(cfg.clone())
+            .run(&r, &s)
+            .expect("valid plan");
         rows.push((
             alg.name().to_string(),
             res.sim_throughput_mtps(r.len(), s.len()),

@@ -7,7 +7,7 @@
 //! mmjoin tpch  --sf 0.2 [--threads N]               # Q19 with 4 joins
 //! ```
 
-use mmjoin::core::{run_join, Algorithm, JoinConfig};
+use mmjoin::core::{Algorithm, Join, JoinConfig};
 use mmjoin::datagen::{gen_build_dense, gen_probe_fk, gen_probe_zipf};
 use mmjoin::util::Placement;
 
@@ -39,12 +39,36 @@ impl Args {
         Args { map, flags }
     }
 
+    /// Reject anything outside the command's accepted options.
+    fn check_known(&self, options: &[&str], flags: &[&str]) {
+        for (k, _) in &self.map {
+            if !options.contains(&k.as_str()) && !flags.contains(&k.as_str()) {
+                eprintln!("unknown option --{k}");
+                usage();
+            }
+        }
+        for f in &self.flags {
+            if flags.contains(&f.as_str()) {
+                continue;
+            }
+            if options.contains(&f.as_str()) {
+                // `--bits` at the end of the line, with no value.
+                eprintln!("option --{f} needs a value");
+            } else {
+                eprintln!("unexpected argument {f:?}");
+            }
+            usage();
+        }
+    }
+
     fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.map
-            .iter()
-            .find(|(k, _)| k == name)
-            .and_then(|(_, v)| v.parse().ok())
-            .unwrap_or(default)
+        match self.get_str(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value {v:?} for --{name}");
+                usage();
+            }),
+        }
     }
 
     fn get_str(&self, name: &str) -> Option<&str> {
@@ -62,7 +86,7 @@ impl Args {
 fn usage() -> ! {
     eprintln!("usage: mmjoin <join|race|tpch> [options]");
     eprintln!("  join --algo NAME --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
-    eprintln!("  race --build N --probe N [--threads N] [--zipf T]");
+    eprintln!("  race --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
     eprintln!("  tpch --sf F [--threads N]");
     eprintln!("algorithms: {}", Algorithm::ALL.map(|a| a.name()).join(" "));
     std::process::exit(2);
@@ -73,6 +97,10 @@ fn workload(args: &Args) -> (mmjoin::util::Relation, mmjoin::util::Relation, f64
     let probe: usize = args.get("probe", build * 10);
     let threads: usize = args.get("threads", 4);
     let theta: f64 = args.get("zipf", 0.0);
+    if !(0.0..1.0).contains(&theta) {
+        eprintln!("invalid value {theta} for --zipf: must be in [0, 1)");
+        std::process::exit(2);
+    }
     let placement = Placement::Chunked { parts: threads };
     let r = gen_build_dense(build, 42, placement);
     let s = if theta > 0.0 {
@@ -84,13 +112,17 @@ fn workload(args: &Args) -> (mmjoin::util::Relation, mmjoin::util::Relation, f64
 }
 
 fn config(args: &Args, theta: f64) -> JoinConfig {
-    let mut cfg = JoinConfig::new(args.get("threads", 4));
-    cfg.probe_theta = theta;
-    cfg.skew_handling = args.has("skew-handling");
-    if let Some(b) = args.get_str("bits") {
-        cfg.radix_bits = b.parse().ok();
+    let mut builder = JoinConfig::builder()
+        .threads(args.get("threads", 4))
+        .zipf(theta)
+        .skew_handling(args.has("skew-handling"));
+    if args.get_str("bits").is_some() {
+        builder = builder.radix_bits(args.get("bits", 0));
     }
-    cfg
+    builder.build().unwrap_or_else(|e| {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -102,16 +134,27 @@ fn main() {
     let args = Args::parse(&argv[1..]);
     match cmd {
         "join" => {
+            args.check_known(
+                &["algo", "build", "probe", "threads", "zipf", "bits"],
+                &["skew-handling"],
+            );
             let Some(name) = args.get_str("algo") else {
+                eprintln!("missing required option --algo");
                 usage()
             };
-            let Some(alg) = Algorithm::from_name(name) else {
-                eprintln!("unknown algorithm {name}");
+            let alg = Algorithm::parse(name).unwrap_or_else(|e| {
+                eprintln!("{e}");
                 usage()
-            };
+            });
             let (r, s, theta) = workload(&args);
             let cfg = config(&args, theta);
-            let res = run_join(alg, &r, &s, &cfg);
+            let res = Join::new(alg)
+                .config(cfg.clone())
+                .run(&r, &s)
+                .unwrap_or_else(|e| {
+                    eprintln!("join failed: {e}");
+                    std::process::exit(1);
+                });
             println!(
                 "{}: |R|={} |S|={} threads={}",
                 alg.name(),
@@ -139,12 +182,22 @@ fn main() {
             }
         }
         "race" => {
+            args.check_known(
+                &["build", "probe", "threads", "zipf", "bits"],
+                &["skew-handling"],
+            );
             let (r, s, theta) = workload(&args);
             let cfg = config(&args, theta);
             let mut rows: Vec<(&str, f64, u64)> = Algorithm::ALL
                 .iter()
                 .map(|&alg| {
-                    let res = run_join(alg, &r, &s, &cfg);
+                    let res = Join::new(alg)
+                        .config(cfg.clone())
+                        .run(&r, &s)
+                        .unwrap_or_else(|e| {
+                            eprintln!("{}: {e}", alg.name());
+                            std::process::exit(1);
+                        });
                     (
                         alg.name(),
                         res.total_wall().as_secs_f64() * 1e3,
@@ -153,12 +206,18 @@ fn main() {
                 })
                 .collect();
             rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-            println!("|R|={} |S|={} threads={} (host wall time)", r.len(), s.len(), cfg.threads);
+            println!(
+                "|R|={} |S|={} threads={} (host wall time)",
+                r.len(),
+                s.len(),
+                cfg.threads
+            );
             for (i, (name, ms, matches)) in rows.iter().enumerate() {
                 println!("{:>2}. {name:<7} {ms:>9.2} ms  ({matches} matches)", i + 1);
             }
         }
         "tpch" => {
+            args.check_known(&["sf", "threads"], &[]);
             let sf: f64 = args.get("sf", 0.1);
             let threads: usize = args.get("threads", 4);
             let (p, l) = mmjoin::tpch::generate_tables(&mmjoin::tpch::GenParams {
@@ -166,7 +225,11 @@ fn main() {
                 pre_selectivity: 0.0357,
                 seed: 0x9119,
             });
-            println!("TPC-H Q19 @ SF {sf}: Part {} rows, Lineitem {} rows", p.len(), l.len());
+            println!(
+                "TPC-H Q19 @ SF {sf}: Part {} rows, Lineitem {} rows",
+                p.len(),
+                l.len()
+            );
             for join in mmjoin::tpch::q19::Q19Join::ALL {
                 let res = mmjoin::tpch::run_q19(join, &p, &l, threads);
                 println!(

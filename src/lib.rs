@@ -4,8 +4,8 @@
 //!
 //! This umbrella crate re-exports the whole workspace:
 //!
-//! * [`core`] — the thirteen join algorithms and the [`core::run_join`]
-//!   entry point.
+//! * [`core`] — the thirteen join algorithms, the [`core::Join`] plan
+//!   builder, and the persistent morsel executor they run on.
 //! * [`datagen`] — workload generators (dense PK/FK, Zipf, sparse).
 //! * [`hashtable`] — chained / linear / concise / array tables.
 //! * [`partition`] — radix partitioning, SWWCB, task scheduling, Eq. (1).
@@ -18,7 +18,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use mmjoin::core::{run_join, Algorithm, JoinConfig};
+//! use mmjoin::core::{Algorithm, Join};
 //! use mmjoin::datagen::{gen_build_dense, gen_probe_fk};
 //! use mmjoin::util::Placement;
 //!
@@ -26,7 +26,10 @@
 //! let r = gen_build_dense(100_000, 42, placement);
 //! let s = gen_probe_fk(1_000_000, 100_000, 43, placement);
 //!
-//! let result = run_join(Algorithm::Cpra, &r, &s, &JoinConfig::new(4));
+//! let result = Join::new(Algorithm::Cpra)
+//!     .threads(4)
+//!     .run(&r, &s)
+//!     .expect("valid plan");
 //! assert_eq!(result.matches, 1_000_000);
 //! println!(
 //!     "CPRA: {:.0} Mtps on the simulated 4-socket machine",

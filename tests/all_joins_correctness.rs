@@ -4,7 +4,7 @@
 //! duplicates — across thread counts.
 
 use mmjoin::core::reference::reference_join;
-use mmjoin::core::{run_join, Algorithm, JoinConfig};
+use mmjoin::core::{Algorithm, Join, JoinConfig, JoinResult};
 use mmjoin::datagen::{
     gen_build_dense, gen_build_sparse, gen_probe_fk, gen_probe_of_keys, gen_probe_zipf,
 };
@@ -14,6 +14,13 @@ fn cfg(threads: usize) -> JoinConfig {
     let mut c = JoinConfig::new(threads);
     c.simulate = false;
     c
+}
+
+fn run_join(alg: Algorithm, r: &Relation, s: &Relation, c: &JoinConfig) -> JoinResult {
+    Join::new(alg)
+        .config(c.clone())
+        .run(r, s)
+        .expect("valid plan")
 }
 
 fn check_all(r: &Relation, s: &Relation, threads: usize, domain: usize, label: &str) {
@@ -112,7 +119,12 @@ fn radix_bits_sweep_stays_correct() {
     let s = gen_probe_fk(9_000, n, 12, placement);
     let expect = reference_join(&r, &s);
     for bits in [1u32, 2, 8, 12] {
-        for alg in [Algorithm::Prb, Algorithm::ProIs, Algorithm::Cprl, Algorithm::Cpra] {
+        for alg in [
+            Algorithm::Prb,
+            Algorithm::ProIs,
+            Algorithm::Cprl,
+            Algorithm::Cpra,
+        ] {
             let mut c = cfg(4);
             c.radix_bits = Some(bits);
             let res = run_join(alg, &r, &s, &c);

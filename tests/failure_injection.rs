@@ -4,7 +4,7 @@
 //! duplicate floods, and queue starvation shapes.
 
 use mmjoin::core::reference::reference_join;
-use mmjoin::core::{run_join, Algorithm, JoinConfig};
+use mmjoin::core::{Algorithm, Join, JoinConfig, JoinResult};
 use mmjoin::partition::{chunked_partition, partition_parallel, RadixFn, ScatterMode};
 use mmjoin::util::{Placement, Relation, Tuple};
 
@@ -15,6 +15,13 @@ fn cfg(threads: usize, bits: Option<u32>) -> JoinConfig {
     // These tests feed duplicate build keys; disable the PK assumption.
     c.unique_build_keys = false;
     c
+}
+
+fn run_join(alg: Algorithm, r: &Relation, s: &Relation, c: &JoinConfig) -> JoinResult {
+    Join::new(alg)
+        .config(c.clone())
+        .run(r, s)
+        .expect("valid plan")
 }
 
 /// Algorithms that tolerate arbitrary key multisets (array joins need

@@ -1,0 +1,102 @@
+//! The thirteen algorithms through the typed `Join` builder: edge-case
+//! matrix (empty build, empty probe, single tuples), shim equivalence,
+//! and the no-respawn guarantee of the persistent executor.
+//!
+//! The spawn-counter assertions live here and nowhere else in this test
+//! binary: `Executor::total_threads_spawned()` is process-global, so the
+//! whole file pins every join to one thread count.
+
+use mmjoin::core::{Algorithm, Executor, Join, JoinConfig, JoinResult};
+use mmjoin::datagen::{gen_build_dense, gen_probe_fk};
+use mmjoin::util::{Placement, Relation, Tuple};
+
+const THREADS: usize = 3;
+
+fn run(alg: Algorithm, r: &Relation, s: &Relation) -> JoinResult {
+    Join::new(alg)
+        .threads(THREADS)
+        .radix_bits(4)
+        .simulate(false)
+        .run(r, s)
+        .expect("valid plan")
+}
+
+#[test]
+fn edge_case_matrix_all_thirteen() {
+    let empty = Relation::from_tuples(&[], Placement::Interleaved);
+    let hundred = gen_build_dense(100, 81, Placement::Interleaved);
+    let one_r = Relation::from_tuples(&[Tuple::new(1, 7)], Placement::Interleaved);
+    let one_hit = Relation::from_tuples(&[Tuple::new(1, 9)], Placement::Interleaved);
+    let one_miss = Relation::from_tuples(&[Tuple::new(77, 9)], Placement::Interleaved);
+    for alg in Algorithm::ALL {
+        assert_eq!(run(alg, &empty, &hundred).matches, 0, "{alg}: empty build");
+        assert_eq!(run(alg, &hundred, &empty).matches, 0, "{alg}: empty probe");
+        assert_eq!(run(alg, &empty, &empty).matches, 0, "{alg}: both empty");
+        assert_eq!(run(alg, &one_r, &one_hit).matches, 1, "{alg}: single hit");
+        let miss = Join::new(alg)
+            .threads(THREADS)
+            .radix_bits(4)
+            .simulate(false)
+            .key_domain(128) // cover key 77 for the array variants
+            .run(&one_r, &one_miss)
+            .expect("valid plan");
+        assert_eq!(miss.matches, 0, "{alg}: single miss");
+    }
+}
+
+#[test]
+fn builder_and_shim_agree_on_all_thirteen() {
+    let r = gen_build_dense(3_000, 83, Placement::Chunked { parts: 4 });
+    let s = gen_probe_fk(12_000, 3_000, 84, Placement::Chunked { parts: 4 });
+    let mut cfg = JoinConfig::new(THREADS);
+    cfg.simulate = false;
+    for alg in Algorithm::ALL {
+        #[allow(deprecated)]
+        let old = mmjoin::core::run_join(alg, &r, &s, &cfg);
+        let new = Join::new(alg)
+            .threads(THREADS)
+            .simulate(false)
+            .run(&r, &s)
+            .expect("valid plan");
+        assert_eq!(old.matches, new.matches, "{alg}");
+        assert_eq!(old.checksum, new.checksum, "{alg}");
+    }
+}
+
+/// The tentpole guarantee: racing all thirteen algorithms creates at
+/// most `THREADS` worker threads in the whole process, and re-racing
+/// them spawns zero more — no join phase spawns threads once the pool
+/// exists.
+#[test]
+fn thirteen_race_spawns_at_most_threads_workers() {
+    let r = gen_build_dense(4_000, 85, Placement::Chunked { parts: 4 });
+    let s = gen_probe_fk(16_000, 4_000, 86, Placement::Chunked { parts: 4 });
+    let race = || {
+        let mut counts = Vec::new();
+        for alg in Algorithm::ALL {
+            let res = run(alg, &r, &s);
+            assert!(
+                res.phases.iter().all(|p| p.exec.tasks > 0),
+                "{alg}: every phase reports executor work: {:?}",
+                res.phases
+            );
+            assert!(res.total_exec().tasks > 0, "{alg}");
+            counts.push((res.matches, res.checksum));
+        }
+        counts
+    };
+    let first = race();
+    assert!(first.iter().all(|&(m, c)| (m, c) == first[0]), "{first:?}");
+    // NOTE: the edge-case and shim tests above may run concurrently, but
+    // every join in this binary uses THREADS workers, so exactly one
+    // pool can ever exist in this process.
+    let spawned = Executor::total_threads_spawned();
+    assert_eq!(spawned, THREADS, "one pool for the whole race");
+    let second = race();
+    assert_eq!(first, second);
+    assert_eq!(
+        Executor::total_threads_spawned(),
+        spawned,
+        "warm re-race spawned no threads"
+    );
+}

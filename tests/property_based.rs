@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 use mmjoin::core::reference::reference_join;
-use mmjoin::core::{run_join, Algorithm, JoinConfig};
+use mmjoin::core::{Algorithm, Join, JoinConfig};
 use mmjoin::hashtable::ConciseHashTable;
 use mmjoin::partition::{partition_parallel, RadixFn, ScatterMode};
 use mmjoin::sort::mergesort::sort_packed;
@@ -50,7 +50,7 @@ proptest! {
             cfg.radix_bits = Some(4);
             cfg.key_domain = 96;
             cfg.unique_build_keys = false; // arbitrary multisets
-            let res = run_join(alg, &r, &s, &cfg);
+            let res = Join::new(alg).config(cfg).run(&r, &s).expect("valid plan");
             prop_assert_eq!(res.matches, expect.count, "{}", alg.name());
             prop_assert_eq!(res.checksum, expect.digest, "{}", alg.name());
         }

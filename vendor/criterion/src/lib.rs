@@ -1,0 +1,187 @@
+//! Minimal offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!` — with a simple
+//! best-of-N timing loop instead of criterion's statistical machinery.
+//! Good enough to keep the benches compiling, running, and printing
+//! comparable numbers without network access.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported std implementation).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units a group's measurements are normalized to.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    pub fn new<P: std::fmt::Display>(name: &str, p: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{p}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timer handed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    best: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up once, then keep the best (least-noise) sample.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let t = start.elapsed();
+            if t < self.best {
+                self.best = t;
+            }
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        best: Duration::MAX,
+    };
+    f(&mut b);
+    let secs = b.best.as_secs_f64();
+    let rate = match tp {
+        Some(Throughput::Elements(n)) if secs > 0.0 => {
+            format!("  {:>10.1} Melem/s", n as f64 / secs / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if secs > 0.0 => {
+            format!("  {:>10.1} MiB/s", n as f64 / secs / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("  {name:<28} best {:>10.3} ms{rate}", secs * 1e3);
+}
+
+/// Declare a group of bench targets, optionally with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,329 @@
+//! Minimal offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment has no network access, so this crate provides a
+//! deterministic re-implementation of exactly the API surface the
+//! workspace's property tests use: `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `Strategy` with `prop_map`, range and tuple
+//! strategies, `prop::collection::vec`, `any::<T>()`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest: no shrinking, no persisted regression
+//! files (`*.proptest-regressions` files are ignored), and the value
+//! stream is a fixed function of the test name — every run sees the same
+//! cases, which keeps CI deterministic.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty => $next:ident),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.$next() % span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8 => next_u64, u16 => next_u64, u32 => next_u64,
+                        u64 => next_u64, usize => next_u64);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    /// Full-domain strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        pub fn new() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    macro_rules! any_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod arbitrary {
+    /// `any::<T>()` — the full-domain strategy for `T`.
+    pub fn any<T>() -> crate::strategy::Any<T>
+    where
+        crate::strategy::Any<T>: crate::strategy::Strategy,
+    {
+        crate::strategy::Any::new()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Anything usable as a vec-length spec: a range or a fixed length.
+    pub trait IntoSizeRange {
+        fn into_size_range(self) -> core::ops::Range<usize>;
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn into_size_range(self) -> core::ops::Range<usize> {
+            self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn into_size_range(self) -> core::ops::Range<usize> {
+            *self.start()..self.end().saturating_add(1)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> core::ops::Range<usize> {
+            self..self + 1
+        }
+    }
+
+    /// `prop::collection::vec(element, len_range_or_exact_len)`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into_size_range(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Number of cases each `proptest!` test runs.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG (splitmix64 seeded from the test name).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+            for b in name.bytes() {
+                seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01B3);
+            }
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Run each embedded test function over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking machinery to report to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (5u64..=5).generate(&mut rng);
+            assert_eq!(w, 5);
+            let f = (1.5f64..2.5).generate(&mut rng);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = crate::test_runner::TestRng::deterministic("lens");
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u32..10, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_compiles_and_runs(x in 0u32..100, mut v in prop::collection::vec(0u64..9, 0..5)) {
+            prop_assert!(x < 100);
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}
