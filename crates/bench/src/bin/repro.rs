@@ -61,7 +61,15 @@ fn main() {
         eprintln!("[{name} took {:.1}s]", start.elapsed().as_secs_f64());
         all_tables.extend(tables);
     }
+    let failed = mmjoin_bench::harness::failed_trials();
+    let retried = mmjoin_bench::harness::retried_trials();
+    if retried > 0 {
+        eprintln!("[{retried} trial(s) retried, {failed} failed both attempts]");
+    }
     if opts.json {
-        println!("{}", mmjoin_bench::harness::tables_to_json(&all_tables));
+        println!(
+            "{{\"failed_trials\": {failed}, \"retried_trials\": {retried}, \"tables\": {}}}",
+            mmjoin_bench::harness::tables_to_json(&all_tables)
+        );
     }
 }

@@ -8,7 +8,7 @@
 use mmjoin_core::config::TableKind;
 use mmjoin_core::pro::{join_pro, join_pro_two_pass};
 
-use crate::harness::{mtps, HarnessOpts, Table};
+use crate::harness::{cell_or_failed, mtps, run_trial_with, HarnessOpts, Table};
 
 pub fn run(opts: &HarnessOpts) -> Vec<Table> {
     let (r, s) = opts.workload(128, 1280, 0xF162);
@@ -25,13 +25,17 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         let bits = (paper_bits as i32 - shift).clamp(2, 18) as u32;
         let mut cfg = opts.cfg();
         cfg.radix_bits = Some(bits);
-        let one = join_pro(&r, &s, &cfg, TableKind::Chained, false);
-        let two = join_pro_two_pass(&r, &s, &cfg, TableKind::Chained);
+        let one = run_trial_with(&format!("fig2 PRO 1-pass bits={bits}"), || {
+            join_pro(&r, &s, &cfg, TableKind::Chained, false)
+        });
+        let two = run_trial_with(&format!("fig2 PRO 2-pass bits={bits}"), || {
+            join_pro_two_pass(&r, &s, &cfg, TableKind::Chained)
+        });
         table.row(vec![
             paper_bits.to_string(),
             bits.to_string(),
-            mtps(one.sim_throughput_mtps(r.len(), s.len())),
-            mtps(two.sim_throughput_mtps(r.len(), s.len())),
+            cell_or_failed(&one, |res| mtps(res.sim_throughput_mtps(r.len(), s.len()))),
+            cell_or_failed(&two, |res| mtps(res.sim_throughput_mtps(r.len(), s.len()))),
         ]);
     }
     table.note("paper: single-pass with 14 bits is the sweet spot; 1-pass ≥ 2-pass throughout");

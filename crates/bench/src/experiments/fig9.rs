@@ -12,7 +12,7 @@ use mmjoin_core::pro::{join_cpr, join_pro};
 use mmjoin_core::stats::JoinResult;
 use mmjoin_util::Relation;
 
-use crate::harness::{HarnessOpts, Table};
+use crate::harness::{run_trial_with, HarnessOpts, Table};
 
 const ALGOS: [(&str, TableKind, Mode); 5] = [
     ("PROiS", TableKind::Chained, Mode::ProIs),
@@ -22,7 +22,7 @@ const ALGOS: [(&str, TableKind, Mode); 5] = [
     ("CPRA", TableKind::Array, Mode::Cpr),
 ];
 
-#[derive(Copy, Clone, PartialEq)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 enum Mode {
     ProIs,
     Cpr,
@@ -35,17 +35,23 @@ fn run_algo(
     s: &Relation,
     opts: &HarnessOpts,
     bits: u32,
-) -> JoinResult {
+) -> Option<JoinResult> {
     let mut cfg = opts.cfg();
     cfg.radix_bits = Some(bits);
-    match mode {
-        Mode::ProIs => join_pro(r, s, &cfg, kind, true),
-        Mode::Cpr => join_cpr(r, s, &cfg, kind),
-    }
+    run_trial_with(
+        &format!("fig9 {mode:?}/{kind:?} bits={bits}"),
+        || match mode {
+            Mode::ProIs => join_pro(r, s, &cfg, kind, true),
+            Mode::Cpr => join_cpr(r, s, &cfg, kind),
+        },
+    )
 }
 
-fn ns_per_tuple(res: &JoinResult, tuples: usize) -> f64 {
-    res.total_sim() * 1e9 / tuples as f64
+/// Sim ns/tuple of a trial; a twice-failed trial ranks as infinitely
+/// slow so the bit search never selects it.
+fn ns_per_tuple(res: &Option<JoinResult>, tuples: usize) -> f64 {
+    res.as_ref()
+        .map_or(f64::INFINITY, |r| r.total_sim() * 1e9 / tuples as f64)
 }
 
 pub fn run(opts: &HarnessOpts) -> Vec<Table> {

@@ -1,8 +1,67 @@
-//! Experiment plumbing: options, workload sizing, result tables.
+//! Experiment plumbing: options, workload sizing, result tables, and
+//! the fault-tolerant trial runner.
 
-use mmjoin_core::JoinConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use mmjoin_core::{JoinConfig, JoinError, JoinResult};
 use mmjoin_numamodel::Topology;
 use mmjoin_util::{Placement, Relation};
+
+/// Trials that failed twice (initial run + retry) across the process.
+static FAILED_TRIALS: AtomicU64 = AtomicU64::new(0);
+/// Trials whose first attempt failed (whether or not the retry passed).
+static RETRIED_TRIALS: AtomicU64 = AtomicU64::new(0);
+
+/// Pause before retrying a failed trial, so transient conditions (a
+/// healing worker pool, a contended machine) get a chance to clear.
+const RETRY_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Run one benchmark trial; on failure, retry once after a short
+/// backoff instead of aborting the whole sweep.
+///
+/// A trial that fails twice returns `None` and increments the
+/// process-wide failed-trial counter that `repro --json` reports as
+/// `"failed_trials"`; callers render the affected cell as `failed`.
+pub fn run_trial_with<F>(label: &str, mut f: F) -> Option<JoinResult>
+where
+    F: FnMut() -> Result<JoinResult, JoinError>,
+{
+    match f() {
+        Ok(res) => Some(res),
+        Err(first) => {
+            RETRIED_TRIALS.fetch_add(1, Ordering::Relaxed);
+            eprintln!("warning: trial {label} failed ({first}); retrying once");
+            std::thread::sleep(RETRY_BACKOFF);
+            match f() {
+                Ok(res) => Some(res),
+                Err(second) => {
+                    FAILED_TRIALS.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("warning: trial {label} failed again ({second}); skipping");
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Trials that failed both attempts so far in this process.
+pub fn failed_trials() -> u64 {
+    FAILED_TRIALS.load(Ordering::Relaxed)
+}
+
+/// Trials whose first attempt failed so far in this process.
+pub fn retried_trials() -> u64 {
+    RETRIED_TRIALS.load(Ordering::Relaxed)
+}
+
+/// Table cell for a metric of an optional (possibly failed) trial.
+pub fn cell_or_failed<T>(res: &Option<T>, f: impl FnOnce(&T) -> String) -> String {
+    match res {
+        Some(r) => f(r),
+        None => "failed".to_string(),
+    }
+}
 
 /// Options shared by every experiment.
 #[derive(Clone, Debug)]

@@ -13,22 +13,32 @@ use mmjoin_util::Relation;
 
 use crate::config::JoinConfig;
 use crate::exec::{merge_checksums, parallel_chunks};
+use crate::fault::{CtxPool, FaultCtx};
+use crate::plan::JoinError;
 use crate::spec::{self, ops};
 use crate::stats::JoinResult;
 use crate::Algorithm;
 
+/// Tuples processed between cancellation/deadline checks inside a
+/// worker's probe chunk.
+const MORSEL: usize = 4096;
+
 /// CHTJ: bulkloaded concise hash table + chunk-parallel probe.
-pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
+pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResult, JoinError> {
+    let ctx = FaultCtx::begin(Algorithm::Chtj, cfg);
     let mut result = JoinResult::new(Algorithm::Chtj);
     let pool = cfg.executor();
     pool.drain_counters();
+    let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Build (region-parallel bulkload inside).
+    ctx.enter_phase("build");
+    // CHT footprint: bitmap word + dense tuple array, ~16 B per build
+    // tuple.
+    let _table_charge = ctx.charge(r.len() * 16)?;
     let start = Instant::now();
-    let cht = ConciseHashTable::<mmjoin_hashtable::MultiplicativeHash>::build_on(
-        r.tuples(),
-        pool.as_ref(),
-    );
+    let cht =
+        ConciseHashTable::<mmjoin_hashtable::MultiplicativeHash>::build_on(r.tuples(), &cpool);
     let build_wall = start.elapsed();
     let table_bytes = cht.memory_bytes() as f64;
     // Build = scan + radix scatter by hash prefix + bulkload writes.
@@ -37,16 +47,23 @@ pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     let order: Vec<usize> = (0..build_specs.len()).collect();
     let (build_sim, _) = spec::run_phase(cfg, &build_specs, &order);
     result.push_phase_exec("build", build_wall, build_sim, pool.drain_counters());
+    ctx.checkpoint(&result)?;
 
     // Probe: every lookup touches the bitmap word *and* the dense array —
     // the "at least two random accesses for every operation" that makes
     // CHTJ the most data-size-sensitive NOP*-algorithm (Section 7.3,
     // Table 4).
+    ctx.enter_phase("probe");
     let start = Instant::now();
-    let checksums = parallel_chunks(pool.as_ref(), s.tuples(), |_, chunk| {
+    let checksums = parallel_chunks(&cpool, s.tuples(), |_, chunk| {
         let mut c = JoinChecksum::new();
-        for &t in chunk {
-            cht.probe(t.key, |bp| c.add(t.key, bp, t.payload));
+        for block in chunk.chunks(MORSEL) {
+            if ctx.should_stop() {
+                return c;
+            }
+            for &t in block {
+                cht.probe(t.key, |bp| c.add(t.key, bp, t.payload));
+            }
         }
         c
     });
@@ -63,7 +80,8 @@ pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     let order: Vec<usize> = (0..probe_specs.len()).collect();
     let (probe_sim, _) = spec::run_phase(cfg, &probe_specs, &order);
     result.push_phase_exec("probe", probe_wall, probe_sim, pool.drain_counters());
-    result
+    ctx.checkpoint(&result)?;
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -82,7 +100,7 @@ mod tests {
         for threads in [1, 4, 8] {
             let mut cfg = JoinConfig::new(threads);
             cfg.simulate = false;
-            let res = join_chtj(&r, &s, &cfg);
+            let res = join_chtj(&r, &s, &cfg).unwrap();
             assert_eq!(res.matches, expect.count, "threads={threads}");
             assert_eq!(res.checksum, expect.digest);
         }
@@ -96,7 +114,7 @@ mod tests {
         let expect = reference_join(&r, &s);
         let mut cfg = JoinConfig::new(4);
         cfg.simulate = false;
-        let res = join_chtj(&r, &s, &cfg);
+        let res = join_chtj(&r, &s, &cfg).unwrap();
         assert_eq!(res.matches, expect.count);
         assert_eq!(res.checksum, expect.digest);
     }

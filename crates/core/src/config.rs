@@ -1,11 +1,13 @@
 //! Join execution configuration.
 
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use mmjoin_numamodel::{CostModel, Topology};
 use mmjoin_partition::{predict_radix_bits, BitsInput};
 
 use crate::executor::Executor;
+use crate::fault::CancelToken;
 
 /// Per-partition hash-table choice — the "Choice of Hash Method"
 /// dimension of Section 5.2.
@@ -56,6 +58,17 @@ pub struct JoinConfig {
     /// linear probes stop at the first match; set to false for general
     /// multiset builds (probes then scan the full collision run).
     pub unique_build_keys: bool,
+    /// Wall-clock bound on the whole join; checked at morsel granularity
+    /// and at every phase boundary. Exceeding it makes the join return
+    /// `JoinError::Timedout` with the `PhaseStat`s completed so far.
+    pub deadline: Option<Duration>,
+    /// Byte budget for the join's large allocations (partition buffers,
+    /// hash tables, SWWCB pools, materialization vectors). Exceeding it
+    /// yields `JoinError::MemoryBudgetExceeded` instead of an abort.
+    pub mem_limit: Option<usize>,
+    /// Cooperative cancellation handle; cancel any clone of the token to
+    /// make in-flight joins on this config return `JoinError::Cancelled`.
+    pub cancel: CancelToken,
     /// The persistent worker pool all phases of a join run on, resolved
     /// lazily from `threads` on first use (see [`JoinConfig::executor`]).
     exec: OnceLock<Arc<Executor>>,
@@ -76,6 +89,9 @@ impl JoinConfig {
             probe_theta: 0.0,
             skew_handling: false,
             unique_build_keys: true,
+            deadline: None,
+            mem_limit: None,
+            cancel: CancelToken::new(),
             exec: OnceLock::new(),
         }
     }

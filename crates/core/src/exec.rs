@@ -17,7 +17,7 @@ use std::sync::Mutex;
 
 use mmjoin_util::checksum::JoinChecksum;
 use mmjoin_util::chunk_range;
-use mmjoin_util::pool::{broadcast_map, WorkerPool};
+use mmjoin_util::pool::{broadcast_map, into_inner_recover, lock_recover, WorkerPool};
 use mmjoin_util::tuple::Tuple;
 
 use crate::executor::{build_queues, Executor, QueuePolicy};
@@ -76,9 +76,9 @@ where
         .collect();
     pool.run_morsels(&queues, &|w, p| {
         let c = f(p);
-        slots[w].lock().unwrap().merge(c);
+        lock_recover(&slots[w]).merge(c);
     });
-    merge_checksums(slots.into_iter().map(|m| m.into_inner().unwrap()).collect())
+    merge_checksums(slots.into_iter().map(into_inner_recover).collect())
 }
 
 /// Morsel-queue phase collecting one arbitrary result per task (used by
@@ -101,12 +101,9 @@ where
         .collect();
     pool.run_morsels(&queues, &|w, p| {
         let r = f(p);
-        slots[w].lock().unwrap().push(r);
+        lock_recover(&slots[w]).push(r);
     });
-    slots
-        .into_iter()
-        .flat_map(|m| m.into_inner().unwrap())
-        .collect()
+    slots.into_iter().flat_map(into_inner_recover).collect()
 }
 
 #[cfg(test)]

@@ -18,6 +18,16 @@
 //! * **Per-phase counters** ([`ExecCounters`]): tasks executed, steals,
 //!   and per-worker idle time at the phase barrier, drained by the join
 //!   drivers into each [`crate::stats::PhaseStat`].
+//! * **Panic containment**: the pool is a process-lifetime resource
+//!   shared by every join, so a panicking morsel task must not take it
+//!   down. Every phase closure runs under `catch_unwind`; a panic is
+//!   recorded, the phase barrier still completes, and the submitting
+//!   thread re-raises the collected messages as a
+//!   [`crate::fault::WorkerPanic`] (which `plan::dispatch` converts to
+//!   `JoinError::WorkerPanicked`). Workers never die from a task panic;
+//!   should a thread die anyway, the barrier detects it (bounded waits +
+//!   per-worker completion epochs) and [`Executor::heal`] respawns it
+//!   before the next phase.
 //!
 //! # The phase barrier
 //!
@@ -30,15 +40,27 @@
 //! the mutex unlocks); [`Executor::broadcast`] returns only after
 //! re-acquiring that mutex and observing `remaining == 0`, which makes
 //! every worker's writes visible to the caller — the same happens-before
-//! edge, without the thread spawn/join.
+//! edge, without the thread spawn/join. A panicking worker still
+//! decrements `remaining` (after `catch_unwind`), so the barrier — and
+//! the happens-before edge for the workers that *did* finish — survives
+//! any task failure.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 use mmjoin_partition::task::node_of_partition;
-use mmjoin_util::pool::{ExecCounters, WorkerPool};
+use mmjoin_util::pool::{lock_recover, ExecCounters, WorkerPool};
+
+use crate::fault::{panic_message, WorkerPanic};
+
+/// How long the barrier waits between checks for dead worker threads. A
+/// live pool signals `done_cv` long before this; the timeout only bounds
+/// how long a crashed worker (a thread that died outside a task panic —
+/// task panics are caught) can stall the barrier.
+const BARRIER_POLL: Duration = Duration::from_millis(50);
 
 /// How a morsel phase distributes its tasks over queues.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -102,6 +124,8 @@ struct Control {
     remaining: usize,
     /// Phase start, for per-worker finish offsets (idle accounting).
     start: Instant,
+    /// Panic messages captured from workers during the current phase.
+    panics: Vec<String>,
     shutdown: bool,
 }
 
@@ -113,6 +137,13 @@ struct Shared {
     done_cv: Condvar,
     /// Per-worker phase finish time, ns since phase start.
     finish_ns: Vec<AtomicU64>,
+    /// Last epoch each worker completed (written in the same `ctl`
+    /// critical section as the `remaining` decrement). The barrier's
+    /// dead-worker check uses it to account a crashed thread exactly
+    /// once: a dead worker whose `done_epoch` already equals the current
+    /// epoch was either accounted by a previous poll or finished the
+    /// phase before dying.
+    done_epoch: Vec<AtomicU64>,
 }
 
 /// A persistent pool of `workers` threads executing one phase at a time.
@@ -130,6 +161,15 @@ pub struct Executor {
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
+fn spawn_worker(shared: &Arc<Shared>, w: usize, start_epoch: u64) -> std::thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    TOTAL_SPAWNED.fetch_add(1, Ordering::Relaxed);
+    std::thread::Builder::new()
+        .name(format!("mmjoin-exec-{w}"))
+        .spawn(move || worker_loop(&shared, w, start_epoch))
+        .expect("spawn executor worker")
+}
+
 impl Executor {
     /// Spawn a private pool with `workers` threads (clamped to ≥ 1).
     pub fn new(workers: usize) -> Self {
@@ -140,22 +180,15 @@ impl Executor {
                 epoch: 0,
                 remaining: 0,
                 start: Instant::now(),
+                panics: Vec::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             finish_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            done_epoch: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
-        let handles = (0..workers)
-            .map(|w| {
-                let shared = Arc::clone(&shared);
-                TOTAL_SPAWNED.fetch_add(1, Ordering::Relaxed);
-                std::thread::Builder::new()
-                    .name(format!("mmjoin-exec-{w}"))
-                    .spawn(move || worker_loop(&shared, w))
-                    .expect("spawn executor worker")
-            })
-            .collect();
+        let handles = (0..workers).map(|w| spawn_worker(&shared, w, 0)).collect();
         Executor {
             shared,
             workers,
@@ -173,8 +206,7 @@ impl Executor {
         let workers = workers.max(1);
         let reg = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
         Arc::clone(
-            reg.lock()
-                .unwrap()
+            lock_recover(reg)
                 .entry(workers)
                 .or_insert_with(|| Arc::new(Executor::new(workers))),
         )
@@ -193,7 +225,26 @@ impl Executor {
     /// Take the counters accumulated since the last drain (phase
     /// boundaries in the join drivers).
     pub fn drain_counters(&self) -> ExecCounters {
-        std::mem::take(&mut *self.counters.lock().unwrap())
+        std::mem::take(&mut *lock_recover(&self.counters))
+    }
+
+    /// Respawn any worker thread that has died. Task panics are caught
+    /// in [`worker_loop`] and never kill a worker, so this is a backstop
+    /// for threads lost to causes the pool cannot intercept; it is
+    /// called after any phase that reported failures. Holding the submit
+    /// lock keeps a phase from starting mid-respawn, so a replacement
+    /// worker's starting epoch is always current.
+    pub fn heal(&self) {
+        let _phase = lock_recover(&self.submit);
+        let epoch = lock_recover(&self.shared.ctl).epoch;
+        let mut handles = lock_recover(&self.handles);
+        for (w, h) in handles.iter_mut().enumerate() {
+            if h.is_finished() {
+                let fresh = spawn_worker(&self.shared, w, epoch);
+                let dead = std::mem::replace(h, fresh);
+                let _ = dead.join();
+            }
+        }
     }
 
     /// Run a morsel phase: workers drain `queues` (one per NUMA node;
@@ -202,13 +253,20 @@ impl Executor {
     /// `w * nodes / workers`; it pops home tasks first and steals from
     /// the other nodes in ring order once home is dry. Task and steal
     /// counts flow into the drained counters.
+    ///
+    /// # Panics
+    ///
+    /// If any task panics, the phase still runs to completion on the
+    /// surviving workers and the collected messages are re-raised here
+    /// as a [`WorkerPanic`] (converted to `JoinError::WorkerPanicked` at
+    /// the dispatch boundary).
     pub fn run_morsels(&self, queues: &[Vec<usize>], f: &(dyn Fn(usize, usize) + Sync)) {
         let nodes = queues.len().max(1);
         let workers = self.workers;
         let cursors: Vec<AtomicUsize> = (0..nodes).map(|_| AtomicUsize::new(0)).collect();
         let tasks = AtomicU64::new(0);
         let steals = AtomicU64::new(0);
-        self.broadcast_inner(
+        let outcome = self.broadcast_inner(
             &|w| {
                 let home = (w * nodes / workers).min(nodes - 1);
                 let mut my_tasks = 0u64;
@@ -238,27 +296,40 @@ impl Executor {
             },
             false,
         );
-        let mut c = self.counters.lock().unwrap();
-        c.tasks += tasks.load(Ordering::Relaxed);
-        c.steals += steals.load(Ordering::Relaxed);
+        {
+            let mut c = lock_recover(&self.counters);
+            c.tasks += tasks.load(Ordering::Relaxed);
+            c.steals += steals.load(Ordering::Relaxed);
+        }
+        if let Err(panics) = outcome {
+            self.heal();
+            std::panic::panic_any(WorkerPanic(panics));
+        }
     }
 
-    fn broadcast_inner(&self, f: &(dyn Fn(usize) + Sync), count_tasks: bool) {
+    /// Run one phase; `Err` carries the panic messages of every worker
+    /// task that panicked (the phase barrier completed regardless).
+    fn broadcast_inner(
+        &self,
+        f: &(dyn Fn(usize) + Sync),
+        count_tasks: bool,
+    ) -> Result<(), Vec<String>> {
         // A broadcast from inside a worker thread (nested phase) cannot
         // wait on the pool it is part of; run the phase inline. Semantics
         // are preserved (every index invoked once, writes visible to the
-        // continuation), only parallelism is lost.
+        // continuation), only parallelism is lost. An inline panic
+        // unwinds into the enclosing worker task's own catch_unwind.
         if IN_WORKER.with(|c| c.get()) {
             for w in 0..self.workers {
                 f(w);
             }
             if count_tasks {
-                self.counters.lock().unwrap().tasks += self.workers as u64;
+                lock_recover(&self.counters).tasks += self.workers as u64;
             }
-            return;
+            return Ok(());
         }
 
-        let _phase = self.submit.lock().unwrap();
+        let _phase = lock_recover(&self.submit);
         for slot in &self.shared.finish_ns {
             slot.store(0, Ordering::Relaxed);
         }
@@ -269,23 +340,61 @@ impl Executor {
                 f as *const (dyn Fn(usize) + Sync),
             )
         };
-        {
-            let mut ctl = self.shared.ctl.lock().unwrap();
+        let epoch = {
+            let mut ctl = lock_recover(&self.shared.ctl);
             ctl.job = Some(Job(erased));
             ctl.epoch += 1;
             ctl.remaining = self.workers;
             ctl.start = Instant::now();
+            ctl.panics.clear();
             self.shared.work_cv.notify_all();
-        }
-        {
+            ctl.epoch
+        };
+        let panics = {
             // Phase barrier: re-acquiring `ctl` after the last worker's
-            // decrement makes all workers' writes visible here.
-            let mut ctl = self.shared.ctl.lock().unwrap();
+            // decrement makes all workers' writes visible here. The wait
+            // is bounded so a crashed worker thread cannot wedge the
+            // barrier: on each timeout, workers that are dead and never
+            // completed this epoch are accounted as finished (with a
+            // synthetic panic message) exactly once.
+            let mut ctl = lock_recover(&self.shared.ctl);
             while ctl.remaining > 0 {
-                ctl = self.shared.done_cv.wait(ctl).unwrap();
+                let (guard, timeout) = self
+                    .shared
+                    .done_cv
+                    .wait_timeout(ctl, BARRIER_POLL)
+                    .unwrap_or_else(PoisonError::into_inner);
+                ctl = guard;
+                if !timeout.timed_out() || ctl.remaining == 0 {
+                    continue;
+                }
+                // `is_finished` needs the handles lock; never hold it
+                // together with `ctl`.
+                drop(ctl);
+                let dead: Vec<usize> = {
+                    let handles = lock_recover(&self.handles);
+                    handles
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, h)| h.is_finished())
+                        .map(|(w, _)| w)
+                        .collect()
+                };
+                ctl = lock_recover(&self.shared.ctl);
+                for w in dead {
+                    // A worker that finished this epoch before dying (or
+                    // was accounted by an earlier poll) has done_epoch ==
+                    // epoch; only count the ones that never completed.
+                    if self.shared.done_epoch[w].load(Ordering::Relaxed) < epoch {
+                        self.shared.done_epoch[w].store(epoch, Ordering::Relaxed);
+                        ctl.remaining = ctl.remaining.saturating_sub(1);
+                        ctl.panics.push(format!("worker {w} thread died mid-phase"));
+                    }
+                }
             }
             ctl.job = None;
-        }
+            std::mem::take(&mut ctl.panics)
+        };
         let finishes: Vec<u64> = self
             .shared
             .finish_ns
@@ -294,10 +403,16 @@ impl Executor {
             .collect();
         let slowest = finishes.iter().copied().max().unwrap_or(0);
         let idle: u64 = finishes.iter().map(|&t| slowest - t).sum();
-        let mut c = self.counters.lock().unwrap();
+        let mut c = lock_recover(&self.counters);
         c.idle_ns += idle;
         if count_tasks {
             c.tasks += self.workers as u64;
+        }
+        drop(c);
+        if panics.is_empty() {
+            Ok(())
+        } else {
+            Err(panics)
         }
     }
 }
@@ -308,7 +423,10 @@ impl WorkerPool for Executor {
     }
 
     fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
-        self.broadcast_inner(f, true);
+        if let Err(panics) = self.broadcast_inner(f, true) {
+            self.heal();
+            std::panic::panic_any(WorkerPanic(panics));
+        }
     }
 }
 
@@ -323,22 +441,26 @@ impl std::fmt::Debug for Executor {
 impl Drop for Executor {
     fn drop(&mut self) {
         {
-            let mut ctl = self.shared.ctl.lock().unwrap();
+            let mut ctl = lock_recover(&self.shared.ctl);
             ctl.shutdown = true;
+            // Wake parked workers *and* any stranded barrier waiter (a
+            // foreign thread blocked in broadcast while a worker died
+            // would otherwise stall shutdown until its poll timeout).
             self.shared.work_cv.notify_all();
+            self.shared.done_cv.notify_all();
         }
-        for h in self.handles.lock().unwrap().drain(..) {
+        for h in lock_recover(&self.handles).drain(..) {
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(shared: &Shared, w: usize) {
+fn worker_loop(shared: &Shared, w: usize, start_epoch: u64) {
     IN_WORKER.with(|c| c.set(true));
-    let mut seen_epoch = 0u64;
+    let mut seen_epoch = start_epoch;
     loop {
         let (job, start) = {
-            let mut ctl = shared.ctl.lock().unwrap();
+            let mut ctl = lock_recover(&shared.ctl);
             loop {
                 if ctl.shutdown {
                     return;
@@ -348,16 +470,28 @@ fn worker_loop(shared: &Shared, w: usize) {
                     let job = ctl.job.as_ref().expect("phase epoch without job").0;
                     break (job, ctl.start);
                 }
-                ctl = shared.work_cv.wait(ctl).unwrap();
+                ctl = shared
+                    .work_cv
+                    .wait(ctl)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: `broadcast_inner` keeps the closure alive until every
         // worker has decremented `remaining` for this epoch.
         let f: &(dyn Fn(usize) + Sync) = unsafe { &*job };
-        f(w);
+        // Contain task panics: the phase barrier must complete even when
+        // a task fails, or every later join on this shared pool would
+        // deadlock. The unwind cannot leave `f`'s data in a state the
+        // caller misreads — the submitting thread re-raises the panic
+        // before looking at any phase output.
+        let caught = catch_unwind(AssertUnwindSafe(|| f(w))).err();
         shared.finish_ns[w].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let mut ctl = shared.ctl.lock().unwrap();
-        ctl.remaining -= 1;
+        let mut ctl = lock_recover(&shared.ctl);
+        if let Some(payload) = caught {
+            ctl.panics.push(panic_message(payload.as_ref()));
+        }
+        shared.done_epoch[w].store(seen_epoch, Ordering::Relaxed);
+        ctl.remaining = ctl.remaining.saturating_sub(1);
         if ctl.remaining == 0 {
             shared.done_cv.notify_all();
         }
@@ -475,5 +609,85 @@ mod tests {
             }
         });
         assert_eq!(inner_hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn worker_panic_completes_barrier_and_pool_survives() {
+        let exec = Executor::new(4);
+        let survivors = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            exec.broadcast(&|w| {
+                if w == 2 {
+                    panic!("injected failure on worker {w}");
+                }
+                survivors.fetch_add(1, Ordering::Relaxed);
+            });
+        }))
+        .expect_err("the panic must surface on the submitting thread");
+        let wp = caught
+            .downcast_ref::<WorkerPanic>()
+            .expect("payload is WorkerPanic");
+        assert_eq!(wp.0.len(), 1);
+        assert!(wp.0[0].contains("injected failure on worker 2"));
+        // The barrier completed: the other three workers ran to the end.
+        assert_eq!(survivors.load(Ordering::Relaxed), 3);
+        // The same pool keeps working — no dead workers, no poison.
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        exec.broadcast(&|w| {
+            hits[w].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn all_workers_panicking_collects_every_message() {
+        let exec = Executor::new(3);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            exec.broadcast(&|w| panic!("w{w} down"));
+        }))
+        .expect_err("panic expected");
+        let wp = caught
+            .downcast_ref::<WorkerPanic>()
+            .expect("payload is WorkerPanic");
+        assert_eq!(wp.0.len(), 3);
+        let mut msgs = wp.0.clone();
+        msgs.sort();
+        assert_eq!(msgs, vec!["w0 down", "w1 down", "w2 down"]);
+        exec.broadcast(&|_| {});
+    }
+
+    #[test]
+    fn run_morsels_contains_task_panics() {
+        let exec = Executor::new(4);
+        exec.drain_counters();
+        let queues = vec![(0..32).collect::<Vec<_>>()];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            exec.run_morsels(&queues, &|_, t| {
+                if t == 17 {
+                    panic!("morsel 17 exploded");
+                }
+            });
+        }))
+        .expect_err("panic expected");
+        assert!(caught.downcast_ref::<WorkerPanic>().is_some());
+        // Pool is reusable and morsel scheduling still covers everything.
+        let done: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        exec.run_morsels(&queues, &|_, t| {
+            done[t].fetch_add(1, Ordering::Relaxed);
+        });
+        for d in &done {
+            assert_eq!(d.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn heal_is_a_noop_on_a_healthy_pool() {
+        let exec = Executor::new(4);
+        let before = Executor::total_threads_spawned();
+        exec.heal();
+        assert_eq!(Executor::total_threads_spawned(), before);
+        exec.broadcast(&|_| {});
     }
 }

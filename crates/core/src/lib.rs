@@ -57,6 +57,7 @@ pub mod chtj;
 pub mod config;
 pub mod exec;
 pub mod executor;
+pub mod fault;
 pub mod instrumented;
 pub mod materialize;
 pub mod mway;
@@ -71,6 +72,7 @@ pub mod stats;
 
 pub use config::{JoinConfig, TableKind};
 pub use executor::{Executor, QueuePolicy};
+pub use fault::{CancelToken, MemBudget};
 pub use plan::{
     AlgorithmDescriptor, Family, Join, JoinConfigBuilder, JoinError, Partitioning, Scheduling,
     TableFlavor,
@@ -168,6 +170,17 @@ impl Algorithm {
             .into_iter()
             .find(|a| a.name().eq_ignore_ascii_case(name))
     }
+
+    /// The barrier-delimited phases this algorithm executes, in order —
+    /// the labels that appear in `PhaseStat::name`, in `JoinError`'s
+    /// runtime variants, and in failpoint names (`"<ALG>.<phase>"`).
+    pub fn phases(self) -> &'static [&'static str] {
+        match self {
+            Algorithm::Nop | Algorithm::Nopa | Algorithm::Chtj => &["build", "probe"],
+            Algorithm::Mway => &["partition", "sort", "join"],
+            _ => &["partition", "join"],
+        }
+    }
 }
 
 impl std::fmt::Display for Algorithm {
@@ -179,11 +192,13 @@ impl std::fmt::Display for Algorithm {
 /// Run `algorithm` on build relation `r` and probe relation `s`.
 ///
 /// Thin shim over the same dispatch [`Join::run`] uses, minus the
-/// validation: a sparse build key fed to an array join will still panic
-/// deep inside the build phase here. New code should use the builder.
+/// validation and the typed runtime errors: a sparse build key fed to an
+/// array join, a worker panic, or a tripped deadline/budget all panic
+/// here instead of returning a `JoinError`. New code should use the
+/// builder.
 #[deprecated(since = "0.2.0", note = "use the validated `Join` builder instead")]
 pub fn run_join(algorithm: Algorithm, r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
-    plan::dispatch(algorithm, r, s, cfg)
+    plan::dispatch(algorithm, r, s, cfg).unwrap_or_else(|e| panic!("join failed: {e}"))
 }
 
 #[cfg(test)]

@@ -20,6 +20,9 @@ use mmjoin_util::Relation;
 use crate::config::JoinConfig;
 use crate::exec::morsel_map;
 use crate::executor::QueuePolicy;
+use crate::fault::{CtxPool, FaultCtx};
+use crate::plan::JoinError;
+use crate::Algorithm;
 
 /// One materialized match.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -34,23 +37,55 @@ pub struct JoinMatch {
 /// The output order is deterministic for a fixed configuration
 /// (partition-id order, then chunk order within a partition) but is not
 /// a semantic guarantee; sort or hash downstream as needed.
-pub fn join_index(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Vec<JoinMatch> {
+///
+/// Runs on the CPRL machinery and honours the same fault controls as
+/// the thirteen drivers: `cfg.deadline`, `cfg.cancel`, and
+/// `cfg.mem_limit` (which here also covers the materialized output —
+/// the one allocation the checksum-only drivers never make).
+pub fn join_index(
+    r: &Relation,
+    s: &Relation,
+    cfg: &JoinConfig,
+) -> Result<Vec<JoinMatch>, JoinError> {
+    let ctx = FaultCtx::begin(Algorithm::Cprl, cfg);
+    let mut result = crate::stats::JoinResult::new(Algorithm::Cprl);
     let bits = cfg.bits_for_hash_tables(r.len());
     let f = RadixFn::new(bits);
     let pool = cfg.executor();
-    let cr = chunked_partition_on(r.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
-    let cs = chunked_partition_on(s.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
-
+    let cpool = CtxPool::new(pool.as_ref(), &ctx);
     let parts = f.fanout();
+
+    ctx.enter_phase("partition");
+    let _part_charge = ctx.charge((r.len() + s.len()) * 8 + cfg.threads * parts * 64)?;
+    let cr = chunked_partition_on(r.tuples(), f, &cpool, ScatterMode::Swwcb);
+    let cs = chunked_partition_on(s.tuples(), f, &cpool, ScatterMode::Swwcb);
+    ctx.checkpoint(&result)?;
+
+    ctx.enter_phase("join");
     let order: Vec<usize> = (0..parts).collect();
     let mut tasks: Vec<(usize, Vec<JoinMatch>)> =
         morsel_map(&pool, &order, parts, QueuePolicy::Shared, |p| {
+            if ctx.tick() {
+                return (p, Vec::new());
+            }
+            let spec_bytes = (2 * cr.part_len(p).max(1)).next_power_of_two() * 8;
+            let _table_charge = match ctx.try_charge(spec_bytes) {
+                Some(charge) => charge,
+                None => return (p, Vec::new()),
+            };
             let mut table = StLinearTable::<IdentityHash>::with_capacity(cr.part_len(p).max(1));
             cr.for_each_slice(p, |slice| {
                 for &t in slice {
                     table.insert(t);
                 }
             });
+            // Output buffer: at least one JoinMatch per probe tuple of
+            // the partition under the FK workloads; charge that bound.
+            let out_bytes = cs.part_len(p) * std::mem::size_of::<JoinMatch>();
+            let _out_charge = match ctx.try_charge(out_bytes) {
+                Some(charge) => charge,
+                None => return (p, Vec::new()),
+            };
             let mut out = Vec::new();
             cs.for_each_slice(p, |slice| {
                 for &t in slice {
@@ -72,11 +107,21 @@ pub fn join_index(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Vec<JoinMatch
     // Deterministic order: by partition id.
     tasks.sort_by_key(|(p, _)| *p);
     let total: usize = tasks.iter().map(|(_, v)| v.len()).sum();
-    let mut out = Vec::with_capacity(total);
+    let _out_charge = ctx.charge(total * std::mem::size_of::<JoinMatch>())?;
+    let mut out = Vec::new();
+    if out.try_reserve_exact(total).is_err() {
+        return Err(JoinError::MemoryBudgetExceeded {
+            phase: "join",
+            requested: total * std::mem::size_of::<JoinMatch>(),
+            limit: cfg.mem_limit.unwrap_or(usize::MAX),
+        });
+    }
     for (_, v) in tasks {
         out.extend(v);
     }
-    out
+    result.set_checksum(mmjoin_util::checksum::JoinChecksum::new());
+    ctx.checkpoint(&result)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -103,7 +148,7 @@ mod tests {
         for threads in [1, 4] {
             let mut cfg = JoinConfig::new(threads);
             cfg.simulate = false;
-            let idx = join_index(&r, &s, &cfg);
+            let idx = join_index(&r, &s, &cfg).unwrap();
             assert_eq!(idx.len() as u64, expect.count);
             assert_eq!(checksum_of(&idx), expect);
         }
@@ -115,8 +160,8 @@ mod tests {
         let s = gen_probe_zipf(5_000, 1_000, 0.9, 4, Placement::Interleaved);
         let mut cfg = JoinConfig::new(4);
         cfg.simulate = false;
-        let a = join_index(&r, &s, &cfg);
-        let b = join_index(&r, &s, &cfg);
+        let a = join_index(&r, &s, &cfg).unwrap();
+        let b = join_index(&r, &s, &cfg).unwrap();
         assert_eq!(a, b);
     }
 
@@ -134,7 +179,7 @@ mod tests {
         let mut cfg = JoinConfig::new(2);
         cfg.simulate = false;
         cfg.radix_bits = Some(2);
-        let mut idx = join_index(&r, &s, &cfg);
+        let mut idx = join_index(&r, &s, &cfg).unwrap();
         idx.sort();
         assert_eq!(idx.len(), 6);
         assert!(idx.iter().all(|m| m.key == 7));
@@ -145,7 +190,7 @@ mod tests {
         let empty = mmjoin_util::Relation::from_tuples(&[], Placement::Interleaved);
         let r = gen_build_dense(10, 5, Placement::Interleaved);
         let cfg = JoinConfig::new(2);
-        assert!(join_index(&empty, &r, &cfg).is_empty());
-        assert!(join_index(&r, &empty, &cfg).is_empty());
+        assert!(join_index(&empty, &r, &cfg).unwrap().is_empty());
+        assert!(join_index(&r, &empty, &cfg).unwrap().is_empty());
     }
 }

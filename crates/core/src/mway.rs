@@ -21,6 +21,8 @@ use mmjoin_util::{next_pow2, Relation};
 use crate::config::JoinConfig;
 use crate::exec::{join_morsels, morsel_map};
 use crate::executor::QueuePolicy;
+use crate::fault::{CtxPool, FaultCtx};
+use crate::plan::JoinError;
 use crate::spec::{self, ops, PartitionLayout, PartitionWrites};
 use crate::stats::JoinResult;
 use crate::Algorithm;
@@ -29,7 +31,8 @@ use crate::Algorithm;
 const MERGE_WAYS: usize = 4;
 
 /// MWAY join.
-pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
+pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResult, JoinError> {
+    let ctx = FaultCtx::begin(Algorithm::Mway, cfg);
     let mut result = JoinResult::new(Algorithm::Mway);
     // Few partitions: enough for task parallelism, not cache-sized.
     let parts = next_pow2(cfg.threads * 4).max(4);
@@ -39,11 +42,16 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
 
     let pool = cfg.executor();
     pool.drain_counters();
+    let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Phase 1: partition both inputs (single pass, SWWCB).
+    ctx.enter_phase("partition");
+    // Partitioned copies of both inputs (8 B/tuple) plus the per-worker
+    // SWWCB pools (one cache line per partition per worker).
+    let _part_charge = ctx.charge((r.len() + s.len()) * 8 + cfg.threads * parts * 64)?;
     let start = Instant::now();
-    let pr = partition_parallel_on(r.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
-    let ps = partition_parallel_on(s.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
+    let pr = partition_parallel_on(r.tuples(), f, &cpool, ScatterMode::Swwcb);
+    let ps = partition_parallel_on(s.tuples(), f, &cpool, ScatterMode::Swwcb);
     let part_wall = start.elapsed();
     let mut part_sim = 0.0;
     for (rel, len) in [(r, r.len()), (s, s.len())] {
@@ -59,12 +67,19 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
         part_sim += spec::run_phase(cfg, &specs, &order).0;
     }
     result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
+    ctx.checkpoint(&result)?;
 
     // Phase 2: sort every partition of both sides (morsel per partition).
+    ctx.enter_phase("sort");
+    // Packed sort runs: both sides copied into u64 arrays.
+    let _sort_charge = ctx.charge((r.len() + s.len()) * 8)?;
     let start = Instant::now();
     let sort_order: Vec<usize> = (0..parts).collect();
     let sorted: Vec<(usize, Vec<u64>, Vec<u64>)> = {
         let mut slots = morsel_map(&pool, &sort_order, parts, QueuePolicy::Shared, |p| {
+            if ctx.tick() {
+                return (p, Vec::new(), Vec::new());
+            }
             let mut scratch = Vec::new();
             (
                 p,
@@ -80,12 +95,17 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     let order = task_order(parts, ScheduleOrder::Sequential);
     let (sort_sim, _) = spec::run_phase(cfg, &sort_specs, &order);
     result.push_phase_exec("sort", sort_wall, sort_sim, pool.drain_counters());
+    ctx.checkpoint(&result)?;
 
     // Phase 3: merge-join co-partitions.
+    ctx.enter_phase("join");
     let start = Instant::now();
     let sorted_ref = &sorted;
     let checksum = join_morsels(&pool, &sort_order, parts, QueuePolicy::Shared, |p| {
         let mut c = JoinChecksum::new();
+        if ctx.tick() {
+            return c;
+        }
         let (_, ref rs, ref ss) = sorted_ref[p];
         merge_join_sorted(rs, ss, &mut c);
         c
@@ -105,7 +125,8 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     );
     let (join_sim, _) = spec::run_phase(cfg, &tasks, &order);
     result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
-    result
+    ctx.checkpoint(&result)?;
+    Ok(result)
 }
 
 /// Sort one partition: pack tuples, sort MERGE_WAYS sub-runs with the
@@ -201,7 +222,7 @@ mod tests {
         for threads in [1, 3, 4, 8] {
             let mut cfg = JoinConfig::new(threads);
             cfg.simulate = false;
-            let res = join_mway(&r, &s, &cfg);
+            let res = join_mway(&r, &s, &cfg).unwrap();
             assert_eq!(res.matches, expect.count, "threads={threads}");
             assert_eq!(res.checksum, expect.digest);
         }
@@ -215,7 +236,7 @@ mod tests {
         let expect = reference_join(&r, &s);
         let mut cfg = JoinConfig::new(4);
         cfg.simulate = false;
-        let res = join_mway(&r, &s, &cfg);
+        let res = join_mway(&r, &s, &cfg).unwrap();
         assert_eq!(res.matches, expect.count);
         assert_eq!(res.checksum, expect.digest);
     }
@@ -234,7 +255,7 @@ mod tests {
         let r = gen_build_dense(1_000, 1, Placement::Interleaved);
         let s = gen_probe_fk(2_000, 1_000, 2, Placement::Interleaved);
         let cfg = JoinConfig::new(2);
-        let res = join_mway(&r, &s, &cfg);
+        let res = join_mway(&r, &s, &cfg).unwrap();
         let names: Vec<&str> = res.phases.iter().map(|p| p.name).collect();
         assert_eq!(names, vec!["partition", "sort", "join"]);
     }

@@ -17,23 +17,40 @@ use mmjoin_util::Relation;
 
 use crate::config::JoinConfig;
 use crate::exec::{merge_checksums, parallel_chunks};
+use crate::fault::{CtxPool, FaultCtx};
+use crate::plan::JoinError;
 use crate::spec::{self, ops};
 use crate::stats::JoinResult;
 use crate::Algorithm;
 
+/// Tuples processed between cancellation/deadline checks inside a
+/// worker's chunk.
+const MORSEL: usize = 4096;
+
 /// NOP: lock-free linear-probing global table.
-pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
+pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResult, JoinError> {
+    let ctx = FaultCtx::begin(Algorithm::Nop, cfg);
     let mut result = JoinResult::new(Algorithm::Nop);
     let pool = cfg.executor();
     pool.drain_counters();
-    let table = ConcurrentLinearTable::<IdentityHash>::with_capacity(r.len());
-    let table_bytes = table.memory_bytes() as f64;
+    let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Build phase.
+    ctx.enter_phase("build");
+    // The global table: capacity rounds |R| up to the next power of two
+    // at 2x load headroom, 8 B per slot.
+    let _table_charge = ctx.charge((2 * r.len().max(1)).next_power_of_two() * 8)?;
+    let table = ConcurrentLinearTable::<IdentityHash>::with_capacity(r.len());
+    let table_bytes = table.memory_bytes() as f64;
     let start = Instant::now();
-    parallel_chunks(pool.as_ref(), r.tuples(), |_, chunk| {
-        for &t in chunk {
-            table.insert(t);
+    parallel_chunks(&cpool, r.tuples(), |_, chunk| {
+        for block in chunk.chunks(MORSEL) {
+            if ctx.should_stop() {
+                return;
+            }
+            for &t in block {
+                table.insert(t);
+            }
         }
     });
     let build_wall = start.elapsed();
@@ -45,18 +62,25 @@ pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     if cfg.keep_timelines {
         result.timelines.push(("build", build_phase));
     }
+    ctx.checkpoint(&result)?;
 
     // Probe phase.
+    ctx.enter_phase("probe");
     let start = Instant::now();
-    let checksums = parallel_chunks(pool.as_ref(), s.tuples(), |_, chunk| {
+    let checksums = parallel_chunks(&cpool, s.tuples(), |_, chunk| {
         let mut c = JoinChecksum::new();
-        if cfg.unique_build_keys {
-            for &t in chunk {
-                table.probe_first(t.key, |bp| c.add(t.key, bp, t.payload));
+        for block in chunk.chunks(MORSEL) {
+            if ctx.should_stop() {
+                return c;
             }
-        } else {
-            for &t in chunk {
-                table.probe(t.key, |bp| c.add(t.key, bp, t.payload));
+            if cfg.unique_build_keys {
+                for &t in block {
+                    table.probe_first(t.key, |bp| c.add(t.key, bp, t.payload));
+                }
+            } else {
+                for &t in block {
+                    table.probe(t.key, |bp| c.add(t.key, bp, t.payload));
+                }
             }
         }
         c
@@ -71,22 +95,34 @@ pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     if cfg.keep_timelines {
         result.timelines.push(("probe", probe_phase));
     }
-    result
+    ctx.checkpoint(&result)?;
+    Ok(result)
 }
 
 /// NOPA: global payload array over the key domain.
-pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
+pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResult, JoinError> {
+    let ctx = FaultCtx::begin(Algorithm::Nopa, cfg);
     let mut result = JoinResult::new(Algorithm::Nopa);
     let pool = cfg.executor();
     pool.drain_counters();
+    let cpool = CtxPool::new(pool.as_ref(), &ctx);
+
+    ctx.enter_phase("build");
     let domain = cfg.domain(r.len());
+    // The payload array: one 8 B slot per domain value.
+    let _table_charge = ctx.charge((domain + 1) * 8)?;
     let table = ConcurrentArrayTable::new(domain + 1, 1);
     let table_bytes = table.memory_bytes() as f64;
 
     let start = Instant::now();
-    parallel_chunks(pool.as_ref(), r.tuples(), |_, chunk| {
-        for &t in chunk {
-            table.insert(t);
+    parallel_chunks(&cpool, r.tuples(), |_, chunk| {
+        for block in chunk.chunks(MORSEL) {
+            if ctx.should_stop() {
+                return;
+            }
+            for &t in block {
+                table.insert(t);
+            }
         }
     });
     let build_wall = start.elapsed();
@@ -95,12 +131,19 @@ pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     let order: Vec<usize> = (0..build_specs.len()).collect();
     let (build_sim, _) = spec::run_phase(cfg, &build_specs, &order);
     result.push_phase_exec("build", build_wall, build_sim, pool.drain_counters());
+    ctx.checkpoint(&result)?;
 
+    ctx.enter_phase("probe");
     let start = Instant::now();
-    let checksums = parallel_chunks(pool.as_ref(), s.tuples(), |_, chunk| {
+    let checksums = parallel_chunks(&cpool, s.tuples(), |_, chunk| {
         let mut c = JoinChecksum::new();
-        for &t in chunk {
-            table.probe(t.key, |bp| c.add(t.key, bp, t.payload));
+        for block in chunk.chunks(MORSEL) {
+            if ctx.should_stop() {
+                return c;
+            }
+            for &t in block {
+                table.probe(t.key, |bp| c.add(t.key, bp, t.payload));
+            }
         }
         c
     });
@@ -111,7 +154,8 @@ pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     let order: Vec<usize> = (0..probe_specs.len()).collect();
     let (probe_sim, _) = spec::run_phase(cfg, &probe_specs, &order);
     result.push_phase_exec("probe", probe_wall, probe_sim, pool.drain_counters());
-    result
+    ctx.checkpoint(&result)?;
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -134,7 +178,7 @@ mod tests {
         for threads in [1, 2, 8] {
             let mut cfg = JoinConfig::new(threads);
             cfg.simulate = false;
-            let got = join_nop(&r, &s, &cfg);
+            let got = join_nop(&r, &s, &cfg).unwrap();
             assert_eq!(got.matches, expect.count, "threads={threads}");
             assert_eq!(got.checksum, expect.digest);
         }
@@ -146,7 +190,7 @@ mod tests {
         let expect = reference_join(&r, &s);
         let mut cfg = JoinConfig::new(4);
         cfg.simulate = false;
-        let got = join_nopa(&r, &s, &cfg);
+        let got = join_nopa(&r, &s, &cfg).unwrap();
         assert_eq!(got.matches, expect.count);
         assert_eq!(got.checksum, expect.digest);
     }
@@ -155,7 +199,7 @@ mod tests {
     fn phases_recorded() {
         let (r, s) = workload(1_000);
         let cfg = JoinConfig::new(2);
-        let res = join_nop(&r, &s, &cfg);
+        let res = join_nop(&r, &s, &cfg).unwrap();
         assert_eq!(res.phases.len(), 2);
         assert!(res.total_sim() > 0.0, "simulation produced time");
     }
@@ -165,7 +209,7 @@ mod tests {
         let r = gen_build_dense(100, 1, Placement::Interleaved);
         let s = Relation::from_tuples(&[], Placement::Interleaved);
         let cfg = JoinConfig::new(2);
-        assert_eq!(join_nop(&r, &s, &cfg).matches, 0);
-        assert_eq!(join_nopa(&r, &s, &cfg).matches, 0);
+        assert_eq!(join_nop(&r, &s, &cfg).unwrap().matches, 0);
+        assert_eq!(join_nopa(&r, &s, &cfg).unwrap().matches, 0);
     }
 }

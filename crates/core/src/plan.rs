@@ -20,19 +20,24 @@
 //! absurd radix fanout) surface here as [`JoinError`] values before any
 //! partitioning work starts.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
 use mmjoin_util::Relation;
 
 use crate::config::{JoinConfig, TableKind};
-use crate::stats::JoinResult;
+use crate::fault::CancelToken;
+use crate::stats::{JoinResult, PhaseStat};
 use crate::Algorithm;
 
 /// Largest accepted radix-bits override: 2^24 partitions is already far
 /// beyond any cache-resident co-partition size the study explores.
 pub const MAX_RADIX_BITS: u32 = 24;
 
-/// A validation failure raised while building a [`JoinConfig`] or
-/// launching a [`Join`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A failure raised while building a [`JoinConfig`], launching a
+/// [`Join`], or — for the runtime variants (`WorkerPanicked`,
+/// `Timedout`, `Cancelled`, `MemoryBudgetExceeded`) — during execution.
+#[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
 pub enum JoinError {
     /// `threads` must be at least 1.
@@ -51,6 +56,34 @@ pub enum JoinError {
     },
     /// An algorithm name that is not one of the thirteen.
     UnknownAlgorithm(String),
+    /// A morsel task panicked. The phase barrier completed, the pool
+    /// healed (any dead worker respawned), and later joins on the same
+    /// persistent pool are unaffected; `payload` carries the panic
+    /// message(s), `phase` the phase that was running.
+    WorkerPanicked {
+        phase: &'static str,
+        payload: String,
+    },
+    /// `JoinConfig::deadline` expired. `partial` holds the `PhaseStat`s
+    /// of the phases that completed before the deadline hit.
+    Timedout {
+        phase: &'static str,
+        elapsed: Duration,
+        partial: Vec<PhaseStat>,
+    },
+    /// The join's [`CancelToken`] was cancelled. `partial` holds the
+    /// `PhaseStat`s of the phases that completed before cancellation.
+    Cancelled {
+        phase: &'static str,
+        partial: Vec<PhaseStat>,
+    },
+    /// A large allocation would have pushed the join past
+    /// `JoinConfig::mem_limit`; the allocation was never made.
+    MemoryBudgetExceeded {
+        phase: &'static str,
+        requested: usize,
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for JoinError {
@@ -80,6 +113,34 @@ impl std::fmt::Display for JoinError {
                 }
                 write!(f, ")")
             }
+            JoinError::WorkerPanicked { phase, payload } => {
+                write!(f, "worker panicked during {phase} phase: {payload}")
+            }
+            JoinError::Timedout {
+                phase,
+                elapsed,
+                partial,
+            } => write!(
+                f,
+                "join deadline exceeded after {:.1} ms in {phase} phase \
+                 ({} phase(s) completed)",
+                elapsed.as_secs_f64() * 1e3,
+                partial.len()
+            ),
+            JoinError::Cancelled { phase, partial } => write!(
+                f,
+                "join cancelled in {phase} phase ({} phase(s) completed)",
+                partial.len()
+            ),
+            JoinError::MemoryBudgetExceeded {
+                phase,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "memory budget exceeded in {phase} phase: \
+                 {requested} bytes requested against a {limit}-byte limit"
+            ),
         }
     }
 }
@@ -211,6 +272,9 @@ pub struct JoinConfigBuilder {
     skew_handling: Option<bool>,
     simulate: Option<bool>,
     unique_build_keys: Option<bool>,
+    deadline: Option<Duration>,
+    mem_limit: Option<usize>,
+    cancel: Option<CancelToken>,
 }
 
 impl JoinConfigBuilder {
@@ -262,6 +326,26 @@ impl JoinConfigBuilder {
         self
     }
 
+    /// Wall-clock bound on the whole join (`JoinError::Timedout`).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Byte budget for large allocations
+    /// (`JoinError::MemoryBudgetExceeded`).
+    pub fn mem_limit(mut self, bytes: usize) -> Self {
+        self.mem_limit = Some(bytes);
+        self
+    }
+
+    /// Cancellation handle; keep a clone and call
+    /// [`CancelToken::cancel`] to abort in-flight joins.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<JoinConfig, JoinError> {
         let threads = self.threads.unwrap_or(4);
@@ -293,6 +377,11 @@ impl JoinConfigBuilder {
         }
         if let Some(unique) = self.unique_build_keys {
             cfg.unique_build_keys = unique;
+        }
+        cfg.deadline = self.deadline;
+        cfg.mem_limit = self.mem_limit;
+        if let Some(token) = self.cancel {
+            cfg.cancel = token;
         }
         Ok(cfg)
     }
@@ -386,6 +475,24 @@ impl Join {
         self
     }
 
+    /// Wall-clock bound on the whole join.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.builder = self.builder.deadline(deadline);
+        self
+    }
+
+    /// Byte budget for the join's large allocations.
+    pub fn mem_limit(mut self, bytes: usize) -> Self {
+        self.builder = self.builder.mem_limit(bytes);
+        self
+    }
+
+    /// Cancellation handle for this plan's runs.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.builder = self.builder.cancel_token(token);
+        self
+    }
+
     /// Use a fully-formed configuration, bypassing the builder knobs
     /// (they are ignored when this is set).
     pub fn config(mut self, cfg: JoinConfig) -> Self {
@@ -413,17 +520,39 @@ impl Join {
                 }
             }
         }
-        Ok(dispatch(self.algorithm, r, s, &cfg))
+        dispatch(self.algorithm, r, s, &cfg)
     }
 }
 
 /// Shared dispatch used by both [`Join::run`] and the legacy `run_join`.
+///
+/// The `catch_unwind` here is the outer fault boundary: a panic that
+/// escapes a driver — a [`crate::fault::WorkerPanic`] re-raised by the
+/// executor, or a panic on the submitting thread itself — becomes
+/// [`JoinError::WorkerPanicked`] instead of unwinding into the caller.
+/// The executor has already completed the phase barrier and healed the
+/// pool by the time the payload reaches this frame.
 pub(crate) fn dispatch(
     algorithm: Algorithm,
     r: &Relation,
     s: &Relation,
     cfg: &JoinConfig,
-) -> JoinResult {
+) -> Result<JoinResult, JoinError> {
+    match catch_unwind(AssertUnwindSafe(|| dispatch_inner(algorithm, r, s, cfg))) {
+        Ok(res) => res,
+        Err(payload) => Err(JoinError::WorkerPanicked {
+            phase: crate::fault::current_phase(),
+            payload: crate::fault::panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+fn dispatch_inner(
+    algorithm: Algorithm,
+    r: &Relation,
+    s: &Relation,
+    cfg: &JoinConfig,
+) -> Result<JoinResult, JoinError> {
     match algorithm {
         Algorithm::Nop => crate::nop::join_nop(r, s, cfg),
         Algorithm::Nopa => crate::nop::join_nopa(r, s, cfg),

@@ -15,6 +15,8 @@ use mmjoin_util::Relation;
 use crate::config::{JoinConfig, TableKind};
 use crate::exec::join_morsels;
 use crate::executor::QueuePolicy;
+use crate::fault::{CtxPool, FaultCtx};
+use crate::plan::JoinError;
 use crate::pro::{join_co_partition, spec_for, table_bytes_per_tuple, table_cpu};
 use crate::spec::{self, PartitionLayout, PartitionWrites};
 use crate::stats::JoinResult;
@@ -25,7 +27,8 @@ const PRB_DEFAULT_BITS: u32 = 14;
 
 /// PRB: two-pass radix partitioning (direct scatter), chained tables,
 /// sequential task order.
-pub fn join_prb(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
+pub fn join_prb(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResult, JoinError> {
+    let ctx = FaultCtx::begin(Algorithm::Prb, cfg);
     let mut result = JoinResult::new(Algorithm::Prb);
     let total_bits = cfg.radix_bits.unwrap_or(PRB_DEFAULT_BITS).max(2);
     let bits1 = total_bits / 2;
@@ -37,11 +40,17 @@ pub fn join_prb(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
 
     let pool = cfg.executor();
     pool.drain_counters();
+    let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Partition phase: two passes, no SWWCB.
+    ctx.enter_phase("partition");
+    // Two passes each materialize a full copy of both inputs (8 B/tuple);
+    // the pass-1 output is dropped when pass 2 completes, so charge the
+    // peak: two live copies.
+    let _part_charge = ctx.charge(2 * (r.len() + s.len()) * 8)?;
     let start = Instant::now();
-    let pr = two_pass_partition_on(r.tuples(), bits1, bits2, pool.as_ref(), ScatterMode::Direct);
-    let ps = two_pass_partition_on(s.tuples(), bits1, bits2, pool.as_ref(), ScatterMode::Direct);
+    let pr = two_pass_partition_on(r.tuples(), bits1, bits2, &cpool, ScatterMode::Direct);
+    let ps = two_pass_partition_on(s.tuples(), bits1, bits2, &cpool, ScatterMode::Direct);
     let part_wall = start.elapsed();
     let mut part_sim = 0.0;
     for (rel, len) in [(r, r.len()), (s, s.len())] {
@@ -59,13 +68,22 @@ pub fn join_prb(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
         }
     }
     result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
+    ctx.checkpoint(&result)?;
 
     // Join phase.
+    ctx.enter_phase("join");
     let order = task_order(parts, ScheduleOrder::Sequential);
     let start = Instant::now();
     let checksum: JoinChecksum = join_morsels(&pool, &order, parts, QueuePolicy::Shared, |p| {
         let mut c = JoinChecksum::new();
+        if ctx.tick() {
+            return c;
+        }
         let spec = spec_for(kind, total_bits, domain, pr.part_len(p));
+        let _table_charge = match ctx.try_charge(spec.table_bytes()) {
+            Some(charge) => charge,
+            None => return c,
+        };
         join_co_partition(
             kind,
             &spec,
@@ -96,7 +114,8 @@ pub fn join_prb(r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
     if cfg.keep_timelines {
         result.timelines.push(("join", sim));
     }
-    result
+    ctx.checkpoint(&result)?;
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -116,7 +135,7 @@ mod tests {
             let mut cfg = JoinConfig::new(threads);
             cfg.simulate = false;
             cfg.radix_bits = Some(8);
-            let res = join_prb(&r, &s, &cfg);
+            let res = join_prb(&r, &s, &cfg).unwrap();
             assert_eq!(res.matches, expect.count, "threads={threads}");
             assert_eq!(res.checksum, expect.digest);
         }
@@ -128,7 +147,7 @@ mod tests {
         let s = gen_probe_fk(500, 500, 2, Placement::Interleaved);
         let mut cfg = JoinConfig::new(2);
         cfg.simulate = false;
-        let res = join_prb(&r, &s, &cfg);
+        let res = join_prb(&r, &s, &cfg).unwrap();
         assert_eq!(res.radix_bits, Some(14));
     }
 
@@ -140,7 +159,7 @@ mod tests {
         let mut cfg = JoinConfig::new(2);
         cfg.simulate = false;
         cfg.radix_bits = Some(7); // 3 + 4
-        let res = join_prb(&r, &s, &cfg);
+        let res = join_prb(&r, &s, &cfg).unwrap();
         assert_eq!(res.matches, expect.count);
         assert_eq!(res.checksum, expect.digest);
     }

@@ -27,6 +27,8 @@ use mmjoin_util::Relation;
 use crate::config::{JoinConfig, TableKind};
 use crate::exec::join_morsels;
 use crate::executor::{Executor, QueuePolicy};
+use crate::fault::{CtxPool, FaultCtx};
+use crate::plan::JoinError;
 use crate::spec::{self, ops, PartitionLayout, PartitionWrites};
 use crate::stats::JoinResult;
 use crate::Algorithm;
@@ -133,7 +135,7 @@ pub fn join_pro(
     cfg: &JoinConfig,
     kind: TableKind,
     improved_sched: bool,
-) -> JoinResult {
+) -> Result<JoinResult, JoinError> {
     let alg = match (kind, improved_sched) {
         (TableKind::Chained, false) => Algorithm::Pro,
         (TableKind::Linear, false) => Algorithm::Prl,
@@ -142,6 +144,7 @@ pub fn join_pro(
         (TableKind::Linear, true) => Algorithm::PrlIs,
         (TableKind::Array, true) => Algorithm::PraIs,
     };
+    let ctx = FaultCtx::begin(alg, cfg);
     let mut result = JoinResult::new(alg);
     let bits = radix_bits(cfg, kind, r.len());
     result.radix_bits = Some(bits);
@@ -151,11 +154,16 @@ pub fn join_pro(
 
     let pool = cfg.executor();
     pool.drain_counters();
+    let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Partition phase (R then S, like the original driver).
+    ctx.enter_phase("partition");
+    // Partitioned copies of both inputs (8 B/tuple) plus the per-worker
+    // SWWCB pools (one cache line per partition per worker).
+    let _part_charge = ctx.charge((r.len() + s.len()) * 8 + cfg.threads * parts * 64)?;
     let start = Instant::now();
-    let pr = partition_parallel_on(r.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
-    let ps = partition_parallel_on(s.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
+    let pr = partition_parallel_on(r.tuples(), f, &cpool, ScatterMode::Swwcb);
+    let ps = partition_parallel_on(s.tuples(), f, &cpool, ScatterMode::Swwcb);
     let part_wall = start.elapsed();
     let mut part_sim = 0.0;
     for (rel, len) in [(r, r.len()), (s, s.len())] {
@@ -175,10 +183,12 @@ pub fn join_pro(
         }
     }
     result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
+    ctx.checkpoint(&result)?;
 
     // Join phase. The simulator still sees the queue *insertion order*
     // (sequential vs NUMA round-robin); on the host, improved scheduling
     // is the executor's NUMA-local queue policy with work stealing.
+    ctx.enter_phase("join");
     let order_kind = if improved_sched {
         ScheduleOrder::NumaRoundRobin {
             nodes: cfg.topology.nodes,
@@ -195,8 +205,9 @@ pub fn join_pro(
     };
     let order = task_order(parts, order_kind);
     let start = Instant::now();
-    let checksum =
-        run_contiguous_join_phase(&pool, policy, &pr, &ps, &order, cfg, kind, bits, domain);
+    let checksum = run_contiguous_join_phase(
+        &pool, &ctx, policy, &pr, &ps, &order, cfg, kind, bits, domain,
+    );
     let join_wall = start.elapsed();
     result.set_checksum(checksum);
 
@@ -221,7 +232,8 @@ pub fn join_pro(
     if cfg.keep_timelines {
         result.timelines.push(("join", sim));
     }
-    result
+    ctx.checkpoint(&result)?;
+    Ok(result)
 }
 
 fn partition_sizes(pr: &PartitionedRelation, ps: &PartitionedRelation) -> (Vec<usize>, Vec<usize>) {
@@ -235,6 +247,7 @@ fn partition_sizes(pr: &PartitionedRelation, ps: &PartitionedRelation) -> (Vec<u
 #[allow(clippy::too_many_arguments)]
 fn run_contiguous_join_phase(
     pool: &Executor,
+    ctx: &FaultCtx,
     policy: QueuePolicy,
     pr: &PartitionedRelation,
     ps: &PartitionedRelation,
@@ -258,7 +271,14 @@ fn run_contiguous_join_phase(
     };
     let mut total = join_morsels(pool, &queue_order, pr.parts(), policy, |p| {
         let mut c = JoinChecksum::new();
+        if ctx.tick() {
+            return c;
+        }
         let spec = spec_for(kind, bits, domain, pr.part_len(p));
+        let _table_charge = match ctx.try_charge(spec.table_bytes()) {
+            Some(charge) => charge,
+            None => return c,
+        };
         join_co_partition(
             kind,
             &spec,
@@ -272,7 +292,14 @@ fn run_contiguous_join_phase(
     // Oversized partitions: one build, all threads probing (extension —
     // the paper leaves this unexploited, Appendix A).
     for p in skewed {
+        if ctx.should_stop() {
+            break;
+        }
         let spec = spec_for(kind, bits, domain, pr.part_len(p));
+        let _table_charge = match ctx.try_charge(spec.table_bytes()) {
+            Some(charge) => charge,
+            None => break,
+        };
         total.merge(crate::skew::join_skewed_partition(
             cfg,
             kind,
@@ -292,7 +319,8 @@ pub fn join_pro_two_pass(
     s: &Relation,
     cfg: &JoinConfig,
     kind: TableKind,
-) -> JoinResult {
+) -> Result<JoinResult, JoinError> {
+    let ctx = FaultCtx::begin(Algorithm::Pro, cfg);
     let mut result = JoinResult::new(Algorithm::Pro);
     let total_bits = cfg
         .radix_bits
@@ -306,20 +334,25 @@ pub fn join_pro_two_pass(
 
     let pool = cfg.executor();
     pool.drain_counters();
+    let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
+    ctx.enter_phase("partition");
+    // Two passes: the pass-1 output lives until pass 2 finishes, so the
+    // peak holds two full copies of both inputs.
+    let _part_charge = ctx.charge(2 * (r.len() + s.len()) * 8)?;
     let start = Instant::now();
     let pr = mmjoin_partition::two_pass_partition_on(
         r.tuples(),
         bits1,
         bits2,
-        pool.as_ref(),
+        &cpool,
         ScatterMode::Swwcb,
     );
     let ps = mmjoin_partition::two_pass_partition_on(
         s.tuples(),
         bits1,
         bits2,
-        pool.as_ref(),
+        &cpool,
         ScatterMode::Swwcb,
     );
     let part_wall = start.elapsed();
@@ -339,11 +372,14 @@ pub fn join_pro_two_pass(
         }
     }
     result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
+    ctx.checkpoint(&result)?;
 
+    ctx.enter_phase("join");
     let order = task_order(parts, ScheduleOrder::Sequential);
     let start = Instant::now();
     let checksum = run_contiguous_join_phase(
         &pool,
+        &ctx,
         QueuePolicy::Shared,
         &pr,
         &ps,
@@ -368,16 +404,23 @@ pub fn join_pro_two_pass(
     );
     let (join_sim, _) = spec::run_phase(cfg, &tasks, &order);
     result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
-    result
+    ctx.checkpoint(&result)?;
+    Ok(result)
 }
 
 /// CPR family: chunked partitioning + gather-style co-partition joins.
-pub fn join_cpr(r: &Relation, s: &Relation, cfg: &JoinConfig, kind: TableKind) -> JoinResult {
+pub fn join_cpr(
+    r: &Relation,
+    s: &Relation,
+    cfg: &JoinConfig,
+    kind: TableKind,
+) -> Result<JoinResult, JoinError> {
     let alg = match kind {
         TableKind::Linear => Algorithm::Cprl,
         TableKind::Array => Algorithm::Cpra,
         TableKind::Chained => Algorithm::Cprl, // not a paper variant; linear is canonical
     };
+    let ctx = FaultCtx::begin(alg, cfg);
     let mut result = JoinResult::new(alg);
     let bits = radix_bits(cfg, kind, r.len());
     result.radix_bits = Some(bits);
@@ -387,11 +430,15 @@ pub fn join_cpr(r: &Relation, s: &Relation, cfg: &JoinConfig, kind: TableKind) -
 
     let pool = cfg.executor();
     pool.drain_counters();
+    let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Chunk-local partition phase.
+    ctx.enter_phase("partition");
+    // Chunk-local partitioned copies plus per-worker SWWCB pools.
+    let _part_charge = ctx.charge((r.len() + s.len()) * 8 + cfg.threads * parts * 64)?;
     let start = Instant::now();
-    let cr = chunked_partition_on(r.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
-    let cs = chunked_partition_on(s.tuples(), f, pool.as_ref(), ScatterMode::Swwcb);
+    let cr = chunked_partition_on(r.tuples(), f, &cpool, ScatterMode::Swwcb);
+    let cs = chunked_partition_on(s.tuples(), f, &cpool, ScatterMode::Swwcb);
     let part_wall = start.elapsed();
     let mut part_sim = 0.0;
     for (rel, len) in [(r, r.len()), (s, s.len())] {
@@ -411,12 +458,15 @@ pub fn join_cpr(r: &Relation, s: &Relation, cfg: &JoinConfig, kind: TableKind) -
         }
     }
     result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
+    ctx.checkpoint(&result)?;
 
     // Join phase: gather chunk slices per partition.
+    ctx.enter_phase("join");
     let order = task_order(parts, ScheduleOrder::Sequential);
     let start = Instant::now();
     let checksum = run_chunked_join_phase(
         &pool,
+        &ctx,
         QueuePolicy::Shared,
         &cr,
         &cs,
@@ -451,12 +501,14 @@ pub fn join_cpr(r: &Relation, s: &Relation, cfg: &JoinConfig, kind: TableKind) -
     if cfg.keep_timelines {
         result.timelines.push(("join", sim));
     }
-    result
+    ctx.checkpoint(&result)?;
+    Ok(result)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_chunked_join_phase(
     pool: &Executor,
+    ctx: &FaultCtx,
     policy: QueuePolicy,
     cr: &ChunkedPartitions,
     cs: &ChunkedPartitions,
@@ -480,7 +532,14 @@ fn run_chunked_join_phase(
     };
     let mut total = join_morsels(pool, &queue_order, cr.parts(), policy, |p| {
         let mut c = JoinChecksum::new();
+        if ctx.tick() {
+            return c;
+        }
         let spec = spec_for(kind, bits, domain, cr.part_len(p));
+        let _table_charge = match ctx.try_charge(spec.table_bytes()) {
+            Some(charge) => charge,
+            None => return c,
+        };
         let mut r_iter = cr.chunks().iter().map(|ch| ch.partition(p));
         let mut s_iter = cs.chunks().iter().map(|ch| ch.partition(p));
         join_co_partition(
@@ -494,7 +553,14 @@ fn run_chunked_join_phase(
         c
     });
     for p in skewed {
+        if ctx.should_stop() {
+            break;
+        }
         let spec = spec_for(kind, bits, domain, cr.part_len(p));
+        let _table_charge = match ctx.try_charge(spec.table_bytes()) {
+            Some(charge) => charge,
+            None => break,
+        };
         let r_slices: Vec<&[mmjoin_util::Tuple]> =
             cr.chunks().iter().map(|ch| ch.partition(p)).collect();
         let s_slices: Vec<&[mmjoin_util::Tuple]> =
@@ -532,7 +598,7 @@ mod tests {
         let expect = reference_join(&r, &s);
         for kind in [TableKind::Chained, TableKind::Linear, TableKind::Array] {
             for improved in [false, true] {
-                let res = join_pro(&r, &s, &cfg_with(4, Some(5)), kind, improved);
+                let res = join_pro(&r, &s, &cfg_with(4, Some(5)), kind, improved).unwrap();
                 assert_eq!(res.matches, expect.count, "{kind:?} improved={improved}");
                 assert_eq!(res.checksum, expect.digest, "{kind:?}");
             }
@@ -545,7 +611,7 @@ mod tests {
         let expect = reference_join(&r, &s);
         for kind in [TableKind::Linear, TableKind::Array] {
             for threads in [1, 3, 8] {
-                let res = join_cpr(&r, &s, &cfg_with(threads, Some(6)), kind);
+                let res = join_cpr(&r, &s, &cfg_with(threads, Some(6)), kind).unwrap();
                 assert_eq!(res.matches, expect.count, "{kind:?} threads={threads}");
                 assert_eq!(res.checksum, expect.digest);
             }
@@ -557,7 +623,7 @@ mod tests {
         let (r, s) = workload(4_000);
         let expect = reference_join(&r, &s);
         for kind in [TableKind::Chained, TableKind::Linear, TableKind::Array] {
-            let res = join_pro_two_pass(&r, &s, &cfg_with(4, Some(6)), kind);
+            let res = join_pro_two_pass(&r, &s, &cfg_with(4, Some(6)), kind).unwrap();
             assert_eq!(res.matches, expect.count, "{kind:?}");
             assert_eq!(res.checksum, expect.digest, "{kind:?}");
         }
@@ -569,10 +635,10 @@ mod tests {
         let r = gen_build_dense(n, 7, Placement::Chunked { parts: 4 });
         let s = gen_probe_zipf(10_000, n, 0.99, 8, Placement::Chunked { parts: 4 });
         let expect = reference_join(&r, &s);
-        let res = join_pro(&r, &s, &cfg_with(4, Some(4)), TableKind::Linear, true);
+        let res = join_pro(&r, &s, &cfg_with(4, Some(4)), TableKind::Linear, true).unwrap();
         assert_eq!(res.matches, expect.count);
         assert_eq!(res.checksum, expect.digest);
-        let res = join_cpr(&r, &s, &cfg_with(4, Some(4)), TableKind::Linear);
+        let res = join_cpr(&r, &s, &cfg_with(4, Some(4)), TableKind::Linear).unwrap();
         assert_eq!(res.matches, expect.count);
         assert_eq!(res.checksum, expect.digest);
     }
@@ -586,8 +652,8 @@ mod tests {
         for kind in [TableKind::Linear, TableKind::Array] {
             let mut cfg = cfg_with(4, Some(5));
             cfg.skew_handling = true;
-            let a = join_pro(&r, &s, &cfg, kind, true);
-            let b = join_cpr(&r, &s, &cfg, kind);
+            let a = join_pro(&r, &s, &cfg, kind, true).unwrap();
+            let b = join_cpr(&r, &s, &cfg, kind).unwrap();
             for res in [&a, &b] {
                 assert_eq!(res.matches, expect.count, "{kind:?}");
                 assert_eq!(res.checksum, expect.digest, "{kind:?}");
@@ -600,7 +666,7 @@ mod tests {
         let (r, s) = workload(2_000);
         let mut cfg = JoinConfig::new(2);
         cfg.simulate = false;
-        let res = join_pro(&r, &s, &cfg, TableKind::Linear, false);
+        let res = join_pro(&r, &s, &cfg, TableKind::Linear, false).unwrap();
         assert!(res.radix_bits.is_some());
         assert!(res.radix_bits.unwrap() >= 1);
     }
@@ -611,14 +677,23 @@ mod tests {
         let (r, _) = workload(100);
         let cfg = cfg_with(2, Some(3));
         assert_eq!(
-            join_pro(&empty, &r, &cfg, TableKind::Linear, false).matches,
+            join_pro(&empty, &r, &cfg, TableKind::Linear, false)
+                .unwrap()
+                .matches,
             0
         );
         assert_eq!(
-            join_pro(&r, &empty, &cfg, TableKind::Chained, false).matches,
+            join_pro(&r, &empty, &cfg, TableKind::Chained, false)
+                .unwrap()
+                .matches,
             0
         );
-        assert_eq!(join_cpr(&empty, &empty, &cfg, TableKind::Linear).matches, 0);
+        assert_eq!(
+            join_cpr(&empty, &empty, &cfg, TableKind::Linear)
+                .unwrap()
+                .matches,
+            0
+        );
     }
 
     #[test]
@@ -626,7 +701,7 @@ mod tests {
         let (r, s) = workload(2_000);
         let mut cfg = JoinConfig::new(4);
         cfg.radix_bits = Some(4);
-        let res = join_pro(&r, &s, &cfg, TableKind::Linear, false);
+        let res = join_pro(&r, &s, &cfg, TableKind::Linear, false).unwrap();
         assert!(res.total_sim() > 0.0);
         assert!(res.sim_of("partition") > 0.0);
         assert!(res.sim_of("join") > 0.0);

@@ -10,7 +10,7 @@ use mmjoin_util::pool::ExecCounters;
 use crate::Algorithm;
 
 /// One barrier-delimited phase of a join.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PhaseStat {
     pub name: &'static str,
     /// Wall-clock time on this host.

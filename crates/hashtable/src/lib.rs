@@ -80,6 +80,19 @@ impl TableSpec {
             array_len,
         }
     }
+
+    /// Upper-bound allocation footprint of a table built from this spec.
+    /// Lets callers charge a memory budget *before* construction; the
+    /// estimate covers the largest of the table kinds the spec can build
+    /// (chained: 32 B buckets at 2 tuples each; linear: pow2(2n) 8 B
+    /// slots; array: 4 B payload + occupancy bit per slot).
+    pub fn table_bytes(&self) -> usize {
+        if self.array_len > 0 {
+            self.array_len * 5
+        } else {
+            (2 * self.capacity.max(1)).next_power_of_two() * 8
+        }
+    }
 }
 
 /// A single-threaded build/probe table for one co-partition join.

@@ -8,7 +8,26 @@
 //! (one `std::thread::scope` per phase) used by legacy entry points and
 //! unit tests.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a mutex, recovering from poison.
+///
+/// A mutex is poisoned when a thread panicked while holding it. All the
+/// mutexes in the join runtime guard either plain-old-data (counters,
+/// result slots) or control state whose invariants are re-established by
+/// the phase barrier, so the data is never left half-updated in a way a
+/// later reader could misinterpret: recovering is always safe, and it
+/// keeps one panicked morsel task from cascading poison into every
+/// unrelated join sharing the persistent pool.
+pub fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Consume a mutex, recovering from poison (see [`lock_recover`]).
+pub fn into_inner_recover<T>(m: Mutex<T>) -> T {
+    m.into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Scheduling counters for one or more executed phases.
 ///
@@ -105,12 +124,12 @@ where
     pool.broadcast(&|w| {
         if w < active {
             let r = f(w);
-            *slots[w].lock().unwrap() = Some(r);
+            *lock_recover(&slots[w]) = Some(r);
         }
     });
     slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker produced a result"))
+        .map(|m| into_inner_recover(m).expect("worker produced a result"))
         .collect()
 }
 

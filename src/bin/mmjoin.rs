@@ -86,7 +86,9 @@ impl Args {
 fn usage() -> ! {
     eprintln!("usage: mmjoin <join|race|tpch> [options]");
     eprintln!("  join --algo NAME --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
+    eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB]");
     eprintln!("  race --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
+    eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB]");
     eprintln!("  tpch --sf F [--threads N]");
     eprintln!("algorithms: {}", Algorithm::ALL.map(|a| a.name()).join(" "));
     std::process::exit(2);
@@ -119,6 +121,14 @@ fn config(args: &Args, theta: f64) -> JoinConfig {
     if args.get_str("bits").is_some() {
         builder = builder.radix_bits(args.get("bits", 0));
     }
+    if args.get_str("deadline-ms").is_some() {
+        let ms: u64 = args.get("deadline-ms", 0);
+        builder = builder.deadline(std::time::Duration::from_millis(ms));
+    }
+    if args.get_str("mem-limit-mb").is_some() {
+        let mb: usize = args.get("mem-limit-mb", 0);
+        builder = builder.mem_limit(mb.saturating_mul(1024 * 1024));
+    }
     builder.build().unwrap_or_else(|e| {
         eprintln!("invalid configuration: {e}");
         std::process::exit(2);
@@ -135,7 +145,16 @@ fn main() {
     match cmd {
         "join" => {
             args.check_known(
-                &["algo", "build", "probe", "threads", "zipf", "bits"],
+                &[
+                    "algo",
+                    "build",
+                    "probe",
+                    "threads",
+                    "zipf",
+                    "bits",
+                    "deadline-ms",
+                    "mem-limit-mb",
+                ],
                 &["skew-handling"],
             );
             let Some(name) = args.get_str("algo") else {
@@ -183,27 +202,37 @@ fn main() {
         }
         "race" => {
             args.check_known(
-                &["build", "probe", "threads", "zipf", "bits"],
+                &[
+                    "build",
+                    "probe",
+                    "threads",
+                    "zipf",
+                    "bits",
+                    "deadline-ms",
+                    "mem-limit-mb",
+                ],
                 &["skew-handling"],
             );
             let (r, s, theta) = workload(&args);
             let cfg = config(&args, theta);
+            // A race is a sweep: one algorithm blowing its deadline or
+            // budget (or panicking) drops out of the leaderboard instead
+            // of killing the race.
             let mut rows: Vec<(&str, f64, u64)> = Algorithm::ALL
                 .iter()
-                .map(|&alg| {
-                    let res = Join::new(alg)
-                        .config(cfg.clone())
-                        .run(&r, &s)
-                        .unwrap_or_else(|e| {
+                .filter_map(
+                    |&alg| match Join::new(alg).config(cfg.clone()).run(&r, &s) {
+                        Ok(res) => Some((
+                            alg.name(),
+                            res.total_wall().as_secs_f64() * 1e3,
+                            res.matches,
+                        )),
+                        Err(e) => {
                             eprintln!("{}: {e}", alg.name());
-                            std::process::exit(1);
-                        });
-                    (
-                        alg.name(),
-                        res.total_wall().as_secs_f64() * 1e3,
-                        res.matches,
-                    )
-                })
+                            None
+                        }
+                    },
+                )
                 .collect();
             rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
             println!(

@@ -4,7 +4,7 @@
 //! duplicate floods, and queue starvation shapes.
 
 use mmjoin::core::reference::reference_join;
-use mmjoin::core::{Algorithm, Join, JoinConfig, JoinResult};
+use mmjoin::core::{Algorithm, Join, JoinConfig, JoinError, JoinResult};
 use mmjoin::partition::{chunked_partition, partition_parallel, RadixFn, ScatterMode};
 use mmjoin::util::{Placement, Relation, Tuple};
 
@@ -135,6 +135,66 @@ fn asymmetric_extremes() {
         let res = run_join(alg, &many, &one, &cfg(4, Some(4)));
         assert_eq!(res.matches, 5_000, "{} Nx1", alg.name());
     }
+}
+
+#[test]
+fn runtime_limits_honored_by_all_thirteen() {
+    // Every driver must observe the three runtime limits of JoinConfig:
+    // an already-expired deadline, a pre-cancelled token, and a 1-byte
+    // memory budget. None of these needs the `failpoints` feature.
+    let r = mmjoin::datagen::gen_build_dense(3_000, 21, Placement::Chunked { parts: 4 });
+    let s = mmjoin::datagen::gen_probe_fk(12_000, 3_000, 22, Placement::Chunked { parts: 4 });
+    for alg in Algorithm::ALL {
+        let name = alg.name();
+
+        let mut c = cfg(4, Some(5));
+        c.unique_build_keys = true;
+        c.deadline = Some(std::time::Duration::ZERO);
+        match Join::new(alg).config(c).run(&r, &s) {
+            Err(JoinError::Timedout { .. }) => {}
+            other => panic!("{name}: expected Timedout with zero deadline, got {other:?}"),
+        }
+
+        let mut c = cfg(4, Some(5));
+        c.unique_build_keys = true;
+        c.cancel.cancel();
+        match Join::new(alg).config(c).run(&r, &s) {
+            Err(JoinError::Cancelled { .. }) => {}
+            other => panic!("{name}: expected Cancelled with tripped token, got {other:?}"),
+        }
+
+        let mut c = cfg(4, Some(5));
+        c.unique_build_keys = true;
+        c.mem_limit = Some(1);
+        match Join::new(alg).config(c).run(&r, &s) {
+            Err(JoinError::MemoryBudgetExceeded {
+                requested, limit, ..
+            }) => {
+                assert_eq!(limit, 1, "{name}");
+                assert!(requested > 1, "{name}");
+            }
+            other => panic!("{name}: expected MemoryBudgetExceeded at 1 byte, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn cancellation_mid_join_from_another_thread() {
+    // A clone of the token cancelled from outside stops the join; the
+    // same pool then runs an unrestricted join correctly.
+    let r = mmjoin::datagen::gen_build_dense(3_000, 23, Placement::Chunked { parts: 4 });
+    let s = mmjoin::datagen::gen_probe_fk(12_000, 3_000, 24, Placement::Chunked { parts: 4 });
+    let c = cfg(4, Some(5));
+    let token = c.cancel.clone();
+    token.cancel();
+    match Join::new(Algorithm::Pro).config(c).run(&r, &s) {
+        Err(JoinError::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled via cloned token, got {other:?}"),
+    }
+    let expect = reference_join(&r, &s);
+    let res = run_join(Algorithm::Pro, &r, &s, &cfg(4, Some(5)));
+    assert_eq!(res.matches, expect.count);
+    assert_eq!(res.checksum, expect.digest);
 }
 
 #[test]
