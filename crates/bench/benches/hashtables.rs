@@ -66,6 +66,85 @@ fn bench_tables(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scalar probe loop vs the group-prefetched [`JoinTable::probe_batch`]
+/// at an out-of-cache table size (satellite of the kernel layer): the
+/// batch API should win once every probe is a DRAM miss.
+fn bench_probe_kernels(c: &mut Criterion) {
+    use mmjoin_util::kernels::{with_mode, KernelMode};
+
+    const BIG: usize = 1 << 21; // linear slots: 2^22 × 8 B = 32 MB, out of LLC
+    let mut rng = Xoshiro256::new(9);
+    let mut tuples: Vec<Tuple> = (1..=BIG as u32).map(|k| Tuple::new(k, k)).collect();
+    rng.shuffle(&mut tuples);
+    let probes: Vec<Tuple> = (0..BIG)
+        .map(|i| Tuple::new(rng.below(BIG as u64) as u32 + 1, i as u32))
+        .collect();
+
+    let mut g = c.benchmark_group("hashtable/probe-kernels");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+
+    macro_rules! bench_scalar_vs_batch {
+        ($name:expr, $ty:ty, $spec:expr) => {
+            let mut t = <$ty>::with_spec(&$spec);
+            for &tup in &tuples {
+                t.insert(tup);
+            }
+            g.bench_function(concat!($name, "/scalar"), |b| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for p in &probes {
+                        t.probe_unique(p.key, |bp| acc = acc.wrapping_add(bp as u64));
+                    }
+                    acc
+                })
+            });
+            g.bench_function(concat!($name, "/batch"), |b| {
+                b.iter(|| {
+                    with_mode(KernelMode::Simd, || {
+                        let mut acc = 0u64;
+                        JoinTable::probe_batch(&t, &probes, true, |_, bp| {
+                            acc = acc.wrapping_add(bp as u64)
+                        });
+                        acc
+                    })
+                })
+            });
+        };
+    }
+    bench_scalar_vs_batch!(
+        "linear",
+        StLinearTable<IdentityHash>,
+        TableSpec::hashed(BIG)
+    );
+    bench_scalar_vs_batch!(
+        "chained",
+        StChainedTable<IdentityHash>,
+        TableSpec::hashed(BIG)
+    );
+    bench_scalar_vs_batch!("array", ArrayTable, TableSpec::array(0, BIG));
+
+    let cht = ConciseHashTable::<MultiplicativeHash>::build(&tuples, 1);
+    g.bench_function("cht/scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &probes {
+                cht.probe(p.key, |bp| acc = acc.wrapping_add(bp as u64));
+            }
+            acc
+        })
+    });
+    g.bench_function("cht/batch", |b| {
+        b.iter(|| {
+            with_mode(KernelMode::Simd, || {
+                let mut acc = 0u64;
+                cht.probe_batch(&probes, |_, bp| acc = acc.wrapping_add(bp as u64));
+                acc
+            })
+        })
+    });
+    g.finish();
+}
+
 fn bench_hash_functions(c: &mut Criterion) {
     let tuples = build_tuples();
     let probes = probe_keys();
@@ -99,6 +178,6 @@ fn bench_hash_functions(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_tables, bench_hash_functions
+    targets = bench_tables, bench_probe_kernels, bench_hash_functions
 }
 criterion_main!(benches);

@@ -1,0 +1,317 @@
+//! Kernel A/B perf-regression harness: portable vs dispatched hardware
+//! kernels on the three microkernels they accelerate (partition scatter,
+//! table build, table probe) plus end-to-end PRO/NOP/CPRL runs, and a
+//! correctness sweep of all thirteen algorithms under the dispatched
+//! kernels.
+//!
+//! ```text
+//! cargo run -p mmjoin-bench --release --bin kernels            # full
+//! cargo run -p mmjoin-bench --release --bin kernels -- --quick # CI smoke
+//! cargo run -p mmjoin-bench --release --bin kernels -- --quick --check
+//! ```
+//!
+//! Emits `BENCH_kernels.json` (override with `--out PATH`). With
+//! `--check`, exits non-zero if the dispatched kernels are more than 5%
+//! slower than the portable ones on the partition microkernel, or if any
+//! algorithm's checksum diverges — the CI perf-regression gate.
+
+use std::time::Instant;
+
+use mmjoin_bench::harness::HarnessOpts;
+use mmjoin_core::reference::reference_join;
+use mmjoin_core::{Algorithm, Join, KernelMode};
+use mmjoin_hashtable::{IdentityHash, JoinTable, StLinearTable, TableSpec};
+use mmjoin_partition::swwcb::SwwcBank;
+use mmjoin_partition::RadixFn;
+use mmjoin_util::alloc::AlignedBuf;
+use mmjoin_util::kernels::with_mode;
+use mmjoin_util::rng::Xoshiro256;
+use mmjoin_util::Tuple;
+
+struct Ab {
+    name: &'static str,
+    portable_s: f64,
+    simd_s: f64,
+}
+
+impl Ab {
+    /// Portable time over dispatched time: > 1 means the kernels win.
+    fn speedup(&self) -> f64 {
+        self.portable_s / self.simd_s.max(1e-12)
+    }
+}
+
+/// Median wall time of `reps` runs of `f` under `mode`.
+fn time_under<F: FnMut()>(mode: KernelMode, reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            with_mode(mode, || {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64()
+            })
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn ab<F: FnMut()>(name: &'static str, reps: usize, mut f: F) -> Ab {
+    // Warm-up run outside the timed samples (page faults, branch warmup).
+    with_mode(KernelMode::Portable, &mut f);
+    Ab {
+        name,
+        portable_s: time_under(KernelMode::Portable, reps, &mut f),
+        simd_s: time_under(KernelMode::Simd, reps, &mut f),
+    }
+}
+
+fn shuffled_dense_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+    let mut v: Vec<Tuple> = (0..n).map(|i| Tuple::new(i as u32 + 1, i as u32)).collect();
+    let mut rng = Xoshiro256::new(seed);
+    for i in (1..v.len()).rev() {
+        v.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    v
+}
+
+/// Partition microkernel: single-threaded SWWCB scatter into an aligned
+/// destination — the code path whose full-line flushes stream.
+fn bench_partition(n: usize, bits: u32, reps: usize) -> Ab {
+    let input = shuffled_dense_tuples(n, 11);
+    let f = RadixFn::new(bits);
+    let parts = f.fanout();
+    // One shared histogram (identical for both modes).
+    let mut hist = vec![0usize; parts];
+    for t in &input {
+        hist[f.part(t.key)] += 1;
+    }
+    let mut offsets = vec![0usize; parts];
+    let mut acc = 0;
+    for p in 0..parts {
+        offsets[p] = acc;
+        acc += hist[p];
+    }
+    let mut out = AlignedBuf::<Tuple>::zeroed(n);
+    ab("partition", reps, move || {
+        let mut bank = SwwcBank::new(&offsets);
+        let ptr = out.as_mut_ptr();
+        // SAFETY: cursors come from the histogram of `input`.
+        unsafe {
+            for &t in &input {
+                bank.push(f.part(t.key), t, ptr);
+            }
+            bank.flush_all(ptr);
+        }
+    })
+}
+
+/// Build microkernel: batched inserts into an out-of-cache linear table.
+fn bench_build(n: usize, reps: usize) -> Ab {
+    let tuples = shuffled_dense_tuples(n, 22);
+    let spec = TableSpec::hashed(n);
+    ab("build", reps, move || {
+        let mut table = StLinearTable::<IdentityHash>::with_spec(&spec);
+        table.insert_batch(&tuples);
+    })
+}
+
+/// Probe microkernel: group-prefetched batch probes of an out-of-cache
+/// linear table with a random probe order (every probe a fresh miss).
+fn bench_probe(n: usize, probes: usize, reps: usize) -> Ab {
+    let tuples = shuffled_dense_tuples(n, 33);
+    let spec = TableSpec::hashed(n);
+    let mut table = StLinearTable::<IdentityHash>::with_spec(&spec);
+    table.insert_batch(&tuples);
+    let mut rng = Xoshiro256::new(44);
+    let probe_tuples: Vec<Tuple> = (0..probes)
+        .map(|i| Tuple::new(rng.below(n as u64) as u32 + 1, i as u32))
+        .collect();
+    ab("probe", reps, move || {
+        let mut acc = 0u64;
+        table.probe_batch(&probe_tuples, true, |t, bp| {
+            acc = acc.wrapping_add(t.key as u64 ^ bp as u64);
+        });
+        std::hint::black_box(acc);
+    })
+}
+
+/// End-to-end A/B of one algorithm under forced kernel modes.
+fn bench_end_to_end(alg: Algorithm, opts: &HarnessOpts, r_m: usize, s_m: usize, reps: usize) -> Ab {
+    let (r, s) = opts.workload(r_m, s_m, 55);
+    let run = |mode: KernelMode| {
+        Join::new(alg)
+            .threads(opts.threads)
+            .simulate(false)
+            .kernel_mode(mode)
+            .run(&r, &s)
+            .expect("join failed")
+    };
+    // Warm-up (pool spin-up, page faults).
+    run(KernelMode::Portable);
+    let time = |mode: KernelMode| {
+        let mut samples: Vec<f64> = (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                run(mode);
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[samples.len() / 2]
+    };
+    let name = match alg {
+        Algorithm::Pro => "e2e_PRO",
+        Algorithm::Nop => "e2e_NOP",
+        Algorithm::Cprl => "e2e_CPRL",
+        _ => "e2e",
+    };
+    Ab {
+        name,
+        portable_s: time(KernelMode::Portable),
+        simd_s: time(KernelMode::Simd),
+    }
+}
+
+/// All thirteen algorithms must reproduce the reference checksum with the
+/// dispatched kernels enabled.
+fn checksum_sweep(opts: &HarnessOpts) -> bool {
+    let n = 30_000;
+    let r = mmjoin_datagen::gen_build_dense(n, 66, opts.placement());
+    let s = mmjoin_datagen::gen_probe_fk(4 * n, n, 67, opts.placement());
+    let expect = reference_join(&r, &s);
+    let mut ok = true;
+    for alg in Algorithm::ALL {
+        match Join::new(alg)
+            .threads(opts.threads)
+            .simulate(false)
+            .kernel_mode(KernelMode::Simd)
+            .run(&r, &s)
+        {
+            Ok(res) if res.matches == expect.count && res.checksum == expect.digest => {}
+            Ok(res) => {
+                eprintln!(
+                    "checksum mismatch for {alg}: {} matches vs {}",
+                    res.matches, expect.count
+                );
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("{alg} failed under dispatched kernels: {e}");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = match HarnessOpts::parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut quick = false;
+    let mut check = false;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("error: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Sizes: out-of-cache on any recent LLC. Quick mode shrinks the
+    // inputs (still several MB of table) and the repetition count so the
+    // CI smoke job finishes in seconds.
+    let (part_n, build_n, probe_build_n, probe_n, reps, e2e) = if quick {
+        (1 << 21, 1 << 20, 1 << 21, 1 << 21, 3, (2, 8, 1))
+    } else {
+        (1 << 23, 1 << 22, 1 << 22, 1 << 23, 5, (16, 64, 3))
+    };
+
+    eprintln!("kernels A/B: quick={quick} threads={} ...", opts.threads);
+    let mut results = vec![
+        bench_partition(part_n, 10, reps),
+        bench_build(build_n, reps),
+        bench_probe(probe_build_n, probe_n, reps),
+    ];
+    for alg in [Algorithm::Pro, Algorithm::Nop, Algorithm::Cprl] {
+        results.push(bench_end_to_end(alg, &opts, e2e.0, e2e.1, e2e.2));
+    }
+    let checksum_ok = checksum_sweep(&opts);
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>9}",
+        "kernel", "portable_ms", "simd_ms", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>8.2}x",
+            r.name,
+            r.portable_s * 1e3,
+            r.simd_s * 1e3,
+            r.speedup()
+        );
+    }
+    println!(
+        "checksums (all 13, dispatched kernels): {}",
+        if checksum_ok { "ok" } else { "FAILED" }
+    );
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"portable_ms\": {:.3}, \"simd_ms\": {:.3}, \"speedup\": {:.4}}}",
+                r.name,
+                r.portable_s * 1e3,
+                r.simd_s * 1e3,
+                r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"threads\": {},\n  \"checksums_ok\": {checksum_ok},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        opts.threads,
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {out_path}");
+
+    if check {
+        let partition = &results[0];
+        // Gate: dispatched must not be >5% slower than portable on the
+        // partition microkernel, and every checksum must match.
+        let slowdown = partition.simd_s / partition.portable_s.max(1e-12);
+        if slowdown > 1.05 {
+            eprintln!(
+                "FAIL: dispatched partition kernel {:.1}% slower than portable",
+                (slowdown - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        if !checksum_ok {
+            std::process::exit(1);
+        }
+        eprintln!("check passed");
+    }
+}

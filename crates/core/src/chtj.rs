@@ -61,9 +61,7 @@ pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
             if ctx.should_stop() {
                 return c;
             }
-            for &t in block {
-                cht.probe(t.key, |bp| c.add(t.key, bp, t.payload));
-            }
+            cht.probe_batch(block, |t, bp| c.add(t.key, bp, t.payload));
         }
         c
     });

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use mmjoin_numamodel::{CostModel, Topology};
 use mmjoin_partition::{predict_radix_bits, BitsInput};
+use mmjoin_util::kernels::KernelMode;
 
 use crate::executor::Executor;
 use crate::fault::CancelToken;
@@ -66,6 +67,11 @@ pub struct JoinConfig {
     /// hash tables, SWWCB pools, materialization vectors). Exceeding it
     /// yields `JoinError::MemoryBudgetExceeded` instead of an abort.
     pub mem_limit: Option<usize>,
+    /// Hardware-kernel selection (streaming SWWCB flushes, prefetched
+    /// probe pipelines). `None` leaves the process-wide mode alone
+    /// (resolved from `MMJOIN_KERNELS` / CPU detection on first use);
+    /// `Some(mode)` installs `mode` process-wide when the join starts.
+    pub kernel_mode: Option<KernelMode>,
     /// Cooperative cancellation handle; cancel any clone of the token to
     /// make in-flight joins on this config return `JoinError::Cancelled`.
     pub cancel: CancelToken,
@@ -91,6 +97,7 @@ impl JoinConfig {
             unique_build_keys: true,
             deadline: None,
             mem_limit: None,
+            kernel_mode: None,
             cancel: CancelToken::new(),
             exec: OnceLock::new(),
         }

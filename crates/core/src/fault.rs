@@ -201,6 +201,9 @@ impl FaultCtx {
     /// [`failpoints::arm_local`] are resolved against it).
     pub fn begin(alg: Algorithm, cfg: &JoinConfig) -> FaultCtx {
         CURRENT_PHASE.with(|c| c.set("plan"));
+        if let Some(mode) = cfg.kernel_mode {
+            mmjoin_util::kernels::set_mode(mode);
+        }
         FaultCtx {
             alg,
             cancel: cfg.cancel.clone(),

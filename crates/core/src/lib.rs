@@ -73,6 +73,7 @@ pub mod stats;
 pub use config::{JoinConfig, TableKind};
 pub use executor::{Executor, QueuePolicy};
 pub use fault::{CancelToken, MemBudget};
+pub use mmjoin_util::kernels::KernelMode;
 pub use plan::{
     AlgorithmDescriptor, Family, Join, JoinConfigBuilder, JoinError, Partitioning, Scheduling,
     TableFlavor,

@@ -48,9 +48,7 @@ pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResu
             if ctx.should_stop() {
                 return;
             }
-            for &t in block {
-                table.insert(t);
-            }
+            table.insert_batch(block);
         }
     });
     let build_wall = start.elapsed();
@@ -73,15 +71,9 @@ pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResu
             if ctx.should_stop() {
                 return c;
             }
-            if cfg.unique_build_keys {
-                for &t in block {
-                    table.probe_first(t.key, |bp| c.add(t.key, bp, t.payload));
-                }
-            } else {
-                for &t in block {
-                    table.probe(t.key, |bp| c.add(t.key, bp, t.payload));
-                }
-            }
+            table.probe_batch(block, cfg.unique_build_keys, |t, bp| {
+                c.add(t.key, bp, t.payload)
+            });
         }
         c
     });
@@ -120,9 +112,7 @@ pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
             if ctx.should_stop() {
                 return;
             }
-            for &t in block {
-                table.insert(t);
-            }
+            table.insert_batch(block);
         }
     });
     let build_wall = start.elapsed();
@@ -141,9 +131,7 @@ pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
             if ctx.should_stop() {
                 return c;
             }
-            for &t in block {
-                table.probe(t.key, |bp| c.add(t.key, bp, t.payload));
-            }
+            table.probe_batch(block, |t, bp| c.add(t.key, bp, t.payload));
         }
         c
     });

@@ -23,6 +23,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
+use mmjoin_util::kernels::KernelMode;
 use mmjoin_util::Relation;
 
 use crate::config::{JoinConfig, TableKind};
@@ -274,6 +275,7 @@ pub struct JoinConfigBuilder {
     unique_build_keys: Option<bool>,
     deadline: Option<Duration>,
     mem_limit: Option<usize>,
+    kernel_mode: Option<KernelMode>,
     cancel: Option<CancelToken>,
 }
 
@@ -339,6 +341,16 @@ impl JoinConfigBuilder {
         self
     }
 
+    /// Hardware-kernel selection: `KernelMode::Portable` forces the
+    /// plain-copy/no-prefetch fallbacks, `KernelMode::Simd` the
+    /// streaming-store + prefetch paths (where the CPU has them),
+    /// `KernelMode::Auto` re-resolves from `MMJOIN_KERNELS` / CPU
+    /// detection. The mode is installed process-wide when the join runs.
+    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel_mode = Some(mode);
+        self
+    }
+
     /// Cancellation handle; keep a clone and call
     /// [`CancelToken::cancel`] to abort in-flight joins.
     pub fn cancel_token(mut self, token: CancelToken) -> Self {
@@ -380,6 +392,7 @@ impl JoinConfigBuilder {
         }
         cfg.deadline = self.deadline;
         cfg.mem_limit = self.mem_limit;
+        cfg.kernel_mode = self.kernel_mode;
         if let Some(token) = self.cancel {
             cfg.cancel = token;
         }
@@ -484,6 +497,12 @@ impl Join {
     /// Byte budget for the join's large allocations.
     pub fn mem_limit(mut self, bytes: usize) -> Self {
         self.builder = self.builder.mem_limit(bytes);
+        self
+    }
+
+    /// Hardware-kernel selection (see [`JoinConfigBuilder::kernel_mode`]).
+    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.builder = self.builder.kernel_mode(mode);
         self
     }
 
@@ -722,5 +741,52 @@ mod tests {
         let err = Algorithm::parse("frobnicate").unwrap_err();
         assert!(err.to_string().contains("frobnicate"));
         assert!(err.to_string().contains("CPRL"));
+    }
+
+    /// Regression: an empty build relation must flow through every
+    /// algorithm without hanging or panicking (the linear tables used to
+    /// construct zero-slot tables whose probe loops had no empty-slot
+    /// terminator).
+    #[test]
+    fn empty_build_relation_all_algorithms() {
+        let r = Relation::from_tuples(&[], Placement::Interleaved);
+        let s = gen_probe_fk(2_000, 500, 71, Placement::Interleaved);
+        for alg in Algorithm::ALL {
+            let res = Join::new(alg)
+                .threads(2)
+                .simulate(false)
+                .run(&r, &s)
+                .unwrap();
+            assert_eq!(res.matches, 0, "{alg}");
+        }
+    }
+
+    /// All thirteen algorithms must produce the reference checksum with
+    /// the hardware kernels force-enabled, and the forced-portable run
+    /// must agree bit-for-bit.
+    #[test]
+    fn all_algorithms_match_reference_under_both_kernel_modes() {
+        let n = 3_000;
+        let r = gen_build_dense(n, 81, Placement::Chunked { parts: 4 });
+        let s = gen_probe_fk(4 * n, n, 82, Placement::Chunked { parts: 4 });
+        let expect = crate::reference::reference_join(&r, &s);
+        for alg in Algorithm::ALL {
+            let run = |mode| {
+                Join::new(alg)
+                    .threads(4)
+                    .simulate(false)
+                    .kernel_mode(mode)
+                    .run(&r, &s)
+                    .unwrap()
+            };
+            let simd = run(KernelMode::Simd);
+            let portable = run(KernelMode::Portable);
+            assert_eq!(simd.matches, expect.count, "{alg} simd");
+            assert_eq!(simd.checksum, expect.digest, "{alg} simd");
+            assert_eq!(portable.matches, expect.count, "{alg} portable");
+            assert_eq!(portable.checksum, expect.digest, "{alg} portable");
+        }
+        // Leave the process-wide mode as the environment would set it.
+        mmjoin_util::kernels::set_mode(KernelMode::Auto);
     }
 }

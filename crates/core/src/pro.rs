@@ -72,22 +72,10 @@ fn join_one<T: JoinTable>(
 ) {
     let mut table = T::with_spec(spec);
     for slice in r_slices {
-        for &t in slice {
-            table.insert(t);
-        }
+        table.insert_batch(slice);
     }
-    if unique {
-        for slice in s_slices {
-            for &t in slice {
-                table.probe_unique(t.key, |bp| c.add(t.key, bp, t.payload));
-            }
-        }
-    } else {
-        for slice in s_slices {
-            for &t in slice {
-                table.probe(t.key, |bp| c.add(t.key, bp, t.payload));
-            }
-        }
+    for slice in s_slices {
+        table.probe_batch(slice, unique, |t, bp| c.add(t.key, bp, t.payload));
     }
 }
 

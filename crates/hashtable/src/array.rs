@@ -12,9 +12,10 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use mmjoin_util::kernels;
 use mmjoin_util::tuple::{Key, Payload, Tuple};
 
-use crate::{JoinTable, TableSpec};
+use crate::{JoinTable, TableSpec, PROBE_GROUP};
 
 /// Sentinel payload marking an unoccupied slot.
 pub const EMPTY: u32 = u32::MAX;
@@ -61,6 +62,85 @@ impl ArrayTable {
         }
     }
 
+    /// Group-prefetched batch insert: prefetch the target slots of group
+    /// `k+1` with write intent while storing group `k`. Same table state
+    /// as inserting in order.
+    pub fn insert_batch(&mut self, tuples: &[Tuple]) {
+        if !kernels::simd_active() {
+            for &t in tuples {
+                self.insert(t);
+            }
+            return;
+        }
+        let mut chunks = tuples.chunks(PROBE_GROUP);
+        let mut cur = match chunks.next() {
+            Some(g) => g,
+            None => return,
+        };
+        for t in cur {
+            if let Some(p) = self.payloads.get(self.slot(t.key)) {
+                kernels::prefetch_write(p);
+            }
+        }
+        loop {
+            let next = chunks.next();
+            if let Some(g) = next {
+                for t in g {
+                    if let Some(p) = self.payloads.get(self.slot(t.key)) {
+                        kernels::prefetch_write(p);
+                    }
+                }
+            }
+            for &t in cur {
+                self.insert(t);
+            }
+            match next {
+                Some(g) => cur = g,
+                None => return,
+            }
+        }
+    }
+
+    /// Group-prefetched batch probe. An array probe touches exactly one
+    /// line, so prefetching group `k+1` while resolving group `k`
+    /// overlaps the misses of random out-of-cache lookups. `f` receives
+    /// `(probe_tuple, build_payload)` per match, in probe order.
+    pub fn probe_batch<F: FnMut(&Tuple, Payload)>(&self, probes: &[Tuple], mut f: F) {
+        if !kernels::simd_active() {
+            for t in probes {
+                self.probe(t.key, |p| f(t, p));
+            }
+            return;
+        }
+        let mut chunks = probes.chunks(PROBE_GROUP);
+        let mut cur = match chunks.next() {
+            Some(g) => g,
+            None => return,
+        };
+        for t in cur {
+            if let Some(p) = self.payloads.get(self.slot(t.key)) {
+                kernels::prefetch_read(p);
+            }
+        }
+        loop {
+            let next = chunks.next();
+            if let Some(g) = next {
+                for t in g {
+                    if let Some(p) = self.payloads.get(self.slot(t.key)) {
+                        kernels::prefetch_read(p);
+                    }
+                }
+            }
+            for t in cur {
+                self.probe(t.key, |p| f(t, p));
+            }
+            match next {
+                Some(g) => cur = g,
+                None => return,
+            }
+        }
+    }
+
     /// [`ArrayTable::insert`] with memory-access tracing (Table 4).
     pub fn insert_traced<T: mmjoin_util::trace::MemTracer>(&mut self, t: Tuple, tr: &mut T) {
         let s = self.slot(t.key);
@@ -100,6 +180,17 @@ impl JoinTable for ArrayTable {
     #[inline]
     fn probe<F: FnMut(Payload)>(&self, key: Key, f: F) {
         ArrayTable::probe(self, key, f)
+    }
+
+    #[inline]
+    fn insert_batch(&mut self, tuples: &[Tuple]) {
+        ArrayTable::insert_batch(self, tuples)
+    }
+
+    #[inline]
+    fn probe_batch<F: FnMut(&Tuple, Payload)>(&self, probes: &[Tuple], _unique: bool, f: F) {
+        // Array slots hold at most one payload; unique is implied.
+        ArrayTable::probe_batch(self, probes, f)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -145,6 +236,89 @@ impl ConcurrentArrayTable {
             let p = p.load(Ordering::Relaxed);
             if p != EMPTY {
                 f(p);
+            }
+        }
+    }
+
+    #[inline]
+    fn prefetch_slot(&self, key: Key, write: bool) {
+        if let Some(slot) = key.checked_sub(self.base) {
+            if let Some(p) = self.payloads.get(slot as usize) {
+                if write {
+                    kernels::prefetch_write(p);
+                } else {
+                    kernels::prefetch_read(p);
+                }
+            }
+        }
+    }
+
+    /// Group-prefetched batch insert (build phase of NOPA): prefetch the
+    /// target slots of group `k+1` with write intent while storing group
+    /// `k`.
+    pub fn insert_batch(&self, tuples: &[Tuple]) {
+        if !kernels::simd_active() {
+            for &t in tuples {
+                self.insert(t);
+            }
+            return;
+        }
+        let mut chunks = tuples.chunks(PROBE_GROUP);
+        let mut cur = match chunks.next() {
+            Some(g) => g,
+            None => return,
+        };
+        for t in cur {
+            self.prefetch_slot(t.key, true);
+        }
+        loop {
+            let next = chunks.next();
+            if let Some(g) = next {
+                for t in g {
+                    self.prefetch_slot(t.key, true);
+                }
+            }
+            for &t in cur {
+                self.insert(t);
+            }
+            match next {
+                Some(g) => cur = g,
+                None => return,
+            }
+        }
+    }
+
+    /// Group-prefetched batch probe (probe phase of NOPA, after the build
+    /// barrier): prefetch one group ahead of resolution. `f` receives
+    /// `(probe_tuple, build_payload)` per match.
+    pub fn probe_batch<F: FnMut(&Tuple, Payload)>(&self, probes: &[Tuple], mut f: F) {
+        if !kernels::simd_active() {
+            for t in probes {
+                self.probe(t.key, |p| f(t, p));
+            }
+            return;
+        }
+        let mut chunks = probes.chunks(PROBE_GROUP);
+        let mut cur = match chunks.next() {
+            Some(g) => g,
+            None => return,
+        };
+        for t in cur {
+            self.prefetch_slot(t.key, false);
+        }
+        loop {
+            let next = chunks.next();
+            if let Some(g) = next {
+                for t in g {
+                    self.prefetch_slot(t.key, false);
+                }
+            }
+            for t in cur {
+                self.probe(t.key, |p| f(t, p));
+            }
+            match next {
+                Some(g) => cur = g,
+                None => return,
             }
         }
     }
@@ -199,6 +373,35 @@ mod tests {
             let mut hits = Vec::new();
             t.probe(key, |p| hits.push(p));
             assert_eq!(hits, vec![i]);
+        }
+    }
+
+    #[test]
+    fn batch_kernels_match_scalar() {
+        use mmjoin_util::kernels::{with_mode, KernelMode};
+        let mut st = ArrayTable::new(1000, 0);
+        let ct = ConcurrentArrayTable::new(1000, 1);
+        for k in (1..1000u32).step_by(3) {
+            st.insert(Tuple::new(k, k * 2));
+            ct.insert(Tuple::new(k, k * 2));
+        }
+        // Probes include hits, holes, key 0, and out-of-range keys.
+        let mut probes: Vec<Tuple> = (0..600u32).map(|i| Tuple::new(i, i)).collect();
+        probes.push(Tuple::new(1_200, 600));
+        probes.push(Tuple::new(u32::MAX, 601));
+        let mut scalar = Vec::new();
+        for p in &probes {
+            st.probe(p.key, |bp| scalar.push((p.payload, bp)));
+        }
+        for mode in [KernelMode::Portable, KernelMode::Simd] {
+            with_mode(mode, || {
+                let mut got = Vec::new();
+                st.probe_batch(&probes, |p, bp| got.push((p.payload, bp)));
+                assert_eq!(got, scalar, "st {mode:?}");
+                let mut got = Vec::new();
+                ct.probe_batch(&probes, |p, bp| got.push((p.payload, bp)));
+                assert_eq!(got, scalar, "ct {mode:?}");
+            });
         }
     }
 

@@ -35,6 +35,12 @@ pub use linear::{ConcurrentLinearTable, StLinearTable};
 
 use mmjoin_util::tuple::{Key, Payload, Tuple};
 
+/// Probes hashed and prefetched per group in the batched build/probe
+/// paths (group prefetching à la Chen et al.): large enough to cover the
+/// ~10 in-flight line fills current cores sustain, small enough that all
+/// G home slots stay resident between the prefetch and the resolve pass.
+pub const PROBE_GROUP: usize = 16;
+
 /// Construction parameters for per-partition join tables.
 #[derive(Copy, Clone, Debug)]
 pub struct TableSpec {
@@ -114,6 +120,33 @@ pub trait JoinTable: Sized {
         self.probe(key, f)
     }
 
+    /// Insert a batch of build tuples. The default is the scalar loop;
+    /// hash tables override it with a group-prefetched pipeline (hash a
+    /// group of [`PROBE_GROUP`] keys, prefetch their home slots, then
+    /// insert). Semantically identical to inserting one by one in order.
+    fn insert_batch(&mut self, tuples: &[Tuple]) {
+        for &t in tuples {
+            self.insert(t);
+        }
+    }
+
+    /// Probe a batch of tuples, invoking `f(probe_tuple, build_payload)`
+    /// for every match, in probe order. `unique` selects
+    /// [`JoinTable::probe_unique`] semantics per probe. The default is the
+    /// scalar loop; hash tables override it with a group-prefetched
+    /// pipeline. Semantically identical to probing one by one in order.
+    fn probe_batch<F: FnMut(&Tuple, Payload)>(&self, probes: &[Tuple], unique: bool, mut f: F) {
+        if unique {
+            for t in probes {
+                self.probe_unique(t.key, |p| f(t, p));
+            }
+        } else {
+            for t in probes {
+                self.probe(t.key, |p| f(t, p));
+            }
+        }
+    }
+
     /// Bytes of memory held (for the memory-footprint comparisons).
     fn memory_bytes(&self) -> usize;
 }
@@ -154,5 +187,43 @@ pub(crate) mod test_support {
         (0..n)
             .map(|i| Tuple::new(rng.below(key_range as u64) as u32 + 1, i as u32))
             .collect()
+    }
+
+    /// Differential kernel check: build with `insert_batch` and probe with
+    /// `probe_batch` under forced-portable and forced-SIMD modes; both
+    /// must be bit-identical to each other and (for non-unique probes) to
+    /// reference semantics.
+    pub fn check_batch_kernels<T: JoinTable>(spec: &TableSpec, tuples: &[Tuple], probes: &[Tuple]) {
+        use mmjoin_util::kernels::{with_mode, KernelMode};
+        let run = |mode: KernelMode, unique: bool| {
+            with_mode(mode, || {
+                let mut table = T::with_spec(spec);
+                table.insert_batch(tuples);
+                let mut got: Vec<(Key, Payload, Payload)> = Vec::new();
+                table.probe_batch(probes, unique, |t, p| got.push((t.key, t.payload, p)));
+                got
+            })
+        };
+        for unique in [false, true] {
+            let portable = run(KernelMode::Portable, unique);
+            let simd = run(KernelMode::Simd, unique);
+            assert_eq!(portable, simd, "unique={unique}");
+        }
+        // Non-unique batch probing must also match reference semantics.
+        let got = run(KernelMode::Simd, false);
+        for probe in probes {
+            let mut hits: Vec<Payload> = got
+                .iter()
+                .filter(|(k, pp, _)| *k == probe.key && *pp == probe.payload)
+                .map(|(_, _, bp)| *bp)
+                .collect();
+            hits.sort_unstable();
+            assert_eq!(
+                hits,
+                reference_probe(tuples, probe.key),
+                "key {}",
+                probe.key
+            );
+        }
     }
 }

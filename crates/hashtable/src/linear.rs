@@ -13,15 +13,21 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mmjoin_util::kernels;
 use mmjoin_util::tuple::{Key, Payload, Tuple};
 use mmjoin_util::{next_pow2, CACHE_LINE};
 
 use crate::hashfn::{IdentityHash, KeyHash};
-use crate::{JoinTable, TableSpec};
+use crate::{JoinTable, TableSpec, PROBE_GROUP};
 
 /// Slots per tuple: capacity = next_pow2(2 * n) gives a load factor ≤ 50%,
 /// the configuration used by Lang et al.'s NOP.
 const OVERALLOC: usize = 2;
+
+/// Minimum slot count: one cache line of slots. Guards the `n = 0` case
+/// (an empty build relation must still produce a probeable table with an
+/// empty-slot terminator) and keeps every table at least one flush granule.
+const MIN_SLOTS: usize = CACHE_LINE / std::mem::size_of::<u64>();
 
 /// Single-threaded linear-probing table (join phase of the PR*/CPR*
 /// linear variants).
@@ -43,7 +49,7 @@ impl<H: KeyHash + Default> StLinearTable<H> {
     /// Table whose keys share their low `shift` bits (one radix
     /// partition): hash on the distinguishing high bits.
     pub fn with_capacity_shift(n: usize, shift: u32) -> Self {
-        let size = next_pow2(n * OVERALLOC);
+        let size = next_pow2((n * OVERALLOC).max(MIN_SLOTS));
         StLinearTable {
             slots: vec![0u64; size],
             mask: (size - 1) as u32,
@@ -117,6 +123,90 @@ impl<H: KeyHash> StLinearTable<H> {
 
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Group-prefetched batch insert: prefetch the home slots of group
+    /// `k+1` while inserting group `k`, so each prefetch has a full
+    /// group's worth of work to hide its DRAM miss behind. Same table
+    /// state as inserting in order.
+    pub fn insert_batch(&mut self, tuples: &[Tuple]) {
+        if !kernels::simd_active() {
+            for &t in tuples {
+                self.insert(t);
+            }
+            return;
+        }
+        let mut chunks = tuples.chunks(PROBE_GROUP);
+        let mut cur = match chunks.next() {
+            Some(g) => g,
+            None => return,
+        };
+        for t in cur {
+            kernels::prefetch_write(&self.slots[self.home(t.key)]);
+        }
+        loop {
+            let next = chunks.next();
+            if let Some(g) = next {
+                for t in g {
+                    kernels::prefetch_write(&self.slots[self.home(t.key)]);
+                }
+            }
+            for &t in cur {
+                self.insert(t);
+            }
+            match next {
+                Some(g) => cur = g,
+                None => return,
+            }
+        }
+    }
+
+    /// Group-prefetched batch probe: hash a group of [`PROBE_GROUP`] keys
+    /// and prefetch their home slots one group *ahead* of resolution, so
+    /// resolving group `k` overlaps the misses of group `k+1`. `f`
+    /// receives `(probe_tuple, build_payload)` per match, in probe order.
+    pub fn probe_batch<F: FnMut(&Tuple, Payload)>(&self, probes: &[Tuple], unique: bool, mut f: F) {
+        if !kernels::simd_active() {
+            if unique {
+                for t in probes {
+                    self.probe_first(t.key, |p| f(t, p));
+                }
+            } else {
+                for t in probes {
+                    self.probe(t.key, |p| f(t, p));
+                }
+            }
+            return;
+        }
+        let mut chunks = probes.chunks(PROBE_GROUP);
+        let mut cur = match chunks.next() {
+            Some(g) => g,
+            None => return,
+        };
+        for t in cur {
+            kernels::prefetch_read(&self.slots[self.home(t.key)]);
+        }
+        loop {
+            let next = chunks.next();
+            if let Some(g) = next {
+                for t in g {
+                    kernels::prefetch_read(&self.slots[self.home(t.key)]);
+                }
+            }
+            if unique {
+                for t in cur {
+                    self.probe_first(t.key, |p| f(t, p));
+                }
+            } else {
+                for t in cur {
+                    self.probe(t.key, |p| f(t, p));
+                }
+            }
+            match next {
+                Some(g) => cur = g,
+                None => return,
+            }
+        }
     }
 
     /// [`StLinearTable::insert`] with memory-access tracing (Table 4).
@@ -208,6 +298,16 @@ impl<H: KeyHash + Default> JoinTable for StLinearTable<H> {
         StLinearTable::probe_first(self, key, f)
     }
 
+    #[inline]
+    fn insert_batch(&mut self, tuples: &[Tuple]) {
+        StLinearTable::insert_batch(self, tuples)
+    }
+
+    #[inline]
+    fn probe_batch<F: FnMut(&Tuple, Payload)>(&self, probes: &[Tuple], unique: bool, f: F) {
+        StLinearTable::probe_batch(self, probes, unique, f)
+    }
+
     fn memory_bytes(&self) -> usize {
         self.slots.len() * 8
     }
@@ -231,7 +331,7 @@ pub struct ConcurrentLinearTable<H: KeyHash = IdentityHash> {
 
 impl<H: KeyHash + Default> ConcurrentLinearTable<H> {
     pub fn with_capacity(n: usize) -> Self {
-        let size = next_pow2(n * OVERALLOC);
+        let size = next_pow2((n * OVERALLOC).max(MIN_SLOTS));
         let mut v = Vec::with_capacity(size);
         v.resize_with(size, || AtomicU64::new(0));
         ConcurrentLinearTable {
@@ -244,24 +344,111 @@ impl<H: KeyHash + Default> ConcurrentLinearTable<H> {
 
 impl<H: KeyHash> ConcurrentLinearTable<H> {
     /// Insert from any thread.
+    ///
+    /// Panics as soon as the probe loop wraps all the way back to the
+    /// key's home slot without claiming anything: at that point every slot
+    /// has been observed occupied (there are no deletes), so the table is
+    /// full and further probing could spin forever.
     #[inline]
     pub fn insert(&self, t: Tuple) {
         debug_assert_ne!(t.key, 0, "key 0 is the EMPTY sentinel");
         let packed = t.pack();
-        let mut idx = self.hash.index(t.key, self.mask) as usize;
-        let mut wrapped = false;
+        let home = self.hash.index(t.key, self.mask) as usize;
+        let mut idx = home;
         loop {
             let slot = &self.slots[idx];
-            if slot.load(Ordering::Relaxed) == 0 {
-                match slot.compare_exchange(0, packed, Ordering::Relaxed, Ordering::Relaxed) {
-                    Ok(_) => return,
-                    Err(_) => { /* lost the race for this slot; keep probing */ }
-                }
+            if slot.load(Ordering::Relaxed) == 0
+                && slot
+                    .compare_exchange(0, packed, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
             }
             idx = (idx + 1) & self.mask as usize;
-            if idx == self.hash.index(t.key, self.mask) as usize {
-                assert!(!wrapped, "concurrent linear table full");
-                wrapped = true;
+            assert!(idx != home, "concurrent linear table full");
+        }
+    }
+
+    /// Group-prefetched batch insert (build phase of NOP): prefetch the
+    /// home slots of group `k+1` with write intent while inserting group
+    /// `k`.
+    pub fn insert_batch(&self, tuples: &[Tuple]) {
+        if !kernels::simd_active() {
+            for &t in tuples {
+                self.insert(t);
+            }
+            return;
+        }
+        let mut chunks = tuples.chunks(PROBE_GROUP);
+        let mut cur = match chunks.next() {
+            Some(g) => g,
+            None => return,
+        };
+        for t in cur {
+            kernels::prefetch_write(&self.slots[self.hash.index(t.key, self.mask) as usize]);
+        }
+        loop {
+            let next = chunks.next();
+            if let Some(g) = next {
+                for t in g {
+                    kernels::prefetch_write(
+                        &self.slots[self.hash.index(t.key, self.mask) as usize],
+                    );
+                }
+            }
+            for &t in cur {
+                self.insert(t);
+            }
+            match next {
+                Some(g) => cur = g,
+                None => return,
+            }
+        }
+    }
+
+    /// Group-prefetched batch probe (probe phase of NOP, after the build
+    /// barrier): prefetch one group ahead of resolution. `f` receives
+    /// `(probe_tuple, build_payload)` per match.
+    pub fn probe_batch<F: FnMut(&Tuple, Payload)>(&self, probes: &[Tuple], unique: bool, mut f: F) {
+        if !kernels::simd_active() {
+            if unique {
+                for t in probes {
+                    self.probe_first(t.key, |p| f(t, p));
+                }
+            } else {
+                for t in probes {
+                    self.probe(t.key, |p| f(t, p));
+                }
+            }
+            return;
+        }
+        let mut chunks = probes.chunks(PROBE_GROUP);
+        let mut cur = match chunks.next() {
+            Some(g) => g,
+            None => return,
+        };
+        for t in cur {
+            kernels::prefetch_read(&self.slots[self.hash.index(t.key, self.mask) as usize]);
+        }
+        loop {
+            let next = chunks.next();
+            if let Some(g) = next {
+                for t in g {
+                    kernels::prefetch_read(&self.slots[self.hash.index(t.key, self.mask) as usize]);
+                }
+            }
+            if unique {
+                for t in cur {
+                    self.probe_first(t.key, |p| f(t, p));
+                }
+            } else {
+                for t in cur {
+                    self.probe(t.key, |p| f(t, p));
+                }
+            }
+            match next {
+                Some(g) => cur = g,
+                None => return,
             }
         }
     }
@@ -428,6 +615,111 @@ mod tests {
         let mut t = StLinearTable::<IdentityHash>::with_capacity(1);
         for k in 1..=10u32 {
             t.insert(Tuple::new(k, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrent linear table full")]
+    fn concurrent_full_table_panics_on_first_wraparound() {
+        let t = ConcurrentLinearTable::<IdentityHash>::with_capacity(4);
+        assert_eq!(t.capacity(), 8);
+        for k in 1..=9u32 {
+            t.insert(Tuple::new(k, 0));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_tables_probe_safely() {
+        // An empty build relation must still yield a probeable table with
+        // at least one empty slot terminating every probe run.
+        let st = StLinearTable::<IdentityHash>::with_capacity(0);
+        let mut hits = Vec::new();
+        st.probe(1, |p| hits.push(p));
+        st.probe_first(7, |p| hits.push(p));
+        let ct = ConcurrentLinearTable::<IdentityHash>::with_capacity(0);
+        ct.probe(1, |p| hits.push(p));
+        ct.probe_first(7, |p| hits.push(p));
+        assert!(hits.is_empty());
+        assert!(st.memory_bytes() >= CACHE_LINE);
+        assert!(ct.memory_bytes() >= CACHE_LINE);
+    }
+
+    #[test]
+    fn st_batch_kernels_match_portable() {
+        use crate::test_support::check_batch_kernels;
+        let random = random_tuples(600, 120, 7);
+        let skewed: Vec<Tuple> = (0..64u32).map(|i| Tuple::new(5, i)).collect();
+        let dups = random_tuples(400, 40, 8);
+        for tuples in [&random, &skewed, &dups] {
+            let probes: Vec<Tuple> = (0..200u32).map(|i| Tuple::new(i % 140 + 1, i)).collect();
+            let spec = TableSpec::hashed(tuples.len());
+            check_batch_kernels::<StLinearTable<IdentityHash>>(&spec, tuples, &probes);
+            check_batch_kernels::<StLinearTable<crate::MurmurHash>>(&spec, tuples, &probes);
+        }
+    }
+
+    #[test]
+    fn concurrent_batch_from_many_threads() {
+        // Batched build from 4 threads, then batched probes from 4
+        // threads — the pattern NOP runs under the executor. Exercised
+        // under TSan in CI with the prefetch kernels forced on.
+        use mmjoin_util::kernels::{with_mode, KernelMode};
+        let n = 8_000usize;
+        let tuples: Vec<Tuple> = (0..n).map(|i| Tuple::new(i as u32 + 1, i as u32)).collect();
+        let table = ConcurrentLinearTable::<IdentityHash>::with_capacity(n);
+        with_mode(KernelMode::Simd, || {
+            std::thread::scope(|s| {
+                for chunk in tuples.chunks(n / 4) {
+                    let table = &table;
+                    s.spawn(move || table.insert_batch(chunk));
+                }
+            });
+            let total: usize = std::thread::scope(|s| {
+                let handles: Vec<_> = tuples
+                    .chunks(n / 4)
+                    .map(|chunk| {
+                        let table = &table;
+                        s.spawn(move || {
+                            let mut cnt = 0usize;
+                            table.probe_batch(chunk, true, |p, bp| {
+                                assert_eq!(p.payload, bp);
+                                cnt += 1;
+                            });
+                            cnt
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total, n);
+        });
+    }
+
+    #[test]
+    fn concurrent_batch_matches_scalar_in_both_modes() {
+        use mmjoin_util::kernels::{with_mode, KernelMode};
+        let tuples = random_tuples(500, 200, 9);
+        let probes: Vec<Tuple> = (0..300u32).map(|i| Tuple::new(i % 220 + 1, i)).collect();
+        let scalar = {
+            let t = ConcurrentLinearTable::<IdentityHash>::with_capacity(tuples.len());
+            for &b in &tuples {
+                t.insert(b);
+            }
+            let mut got = Vec::new();
+            for p in &probes {
+                t.probe(p.key, |bp| got.push((p.key, p.payload, bp)));
+            }
+            got
+        };
+        for mode in [KernelMode::Portable, KernelMode::Simd] {
+            let got = with_mode(mode, || {
+                let t = ConcurrentLinearTable::<IdentityHash>::with_capacity(tuples.len());
+                t.insert_batch(&tuples);
+                let mut got = Vec::new();
+                t.probe_batch(&probes, false, |p, bp| got.push((p.key, p.payload, bp)));
+                got
+            });
+            assert_eq!(got, scalar, "{mode:?}");
         }
     }
 }

@@ -212,6 +212,23 @@ mod tests {
         }
     }
 
+    /// Differential kernel test for the chunked partitioner.
+    #[test]
+    fn forced_portable_equals_dispatched_simd() {
+        use mmjoin_util::kernels::{with_mode, KernelMode};
+        let input = random_input(9_000, 12);
+        let a = with_mode(KernelMode::Portable, || {
+            chunked_partition(&input, RadixFn::new(5), 4, ScatterMode::Swwcb)
+        });
+        let b = with_mode(KernelMode::Simd, || {
+            chunked_partition(&input, RadixFn::new(5), 4, ScatterMode::Swwcb)
+        });
+        for (ca, cb) in a.chunks().iter().zip(b.chunks()) {
+            assert_eq!(ca.offsets, cb.offsets);
+            assert_eq!(ca.data.as_slice(), cb.data.as_slice());
+        }
+    }
+
     #[test]
     fn empty_and_tiny_inputs() {
         let cp = chunked_partition(&[], RadixFn::new(4), 8, ScatterMode::Swwcb);

@@ -380,6 +380,27 @@ mod tests {
         }
     }
 
+    /// Differential kernel test: forced-portable vs dispatched streaming
+    /// partitioning must be byte-identical (random, skewed, and
+    /// duplicate-key inputs).
+    #[test]
+    fn forced_portable_equals_dispatched_simd() {
+        use mmjoin_util::kernels::{with_mode, KernelMode};
+        let random = random_input(8_000, 11);
+        let skewed: Vec<Tuple> = (0..4_000).map(|i| Tuple::new(42, i)).collect();
+        let dups: Vec<Tuple> = (0..6_000).map(|i| Tuple::new((i % 97) + 1, i)).collect();
+        for input in [&random, &skewed, &dups] {
+            let a = with_mode(KernelMode::Portable, || {
+                partition_parallel(input, RadixFn::new(5), 3, ScatterMode::Swwcb)
+            });
+            let b = with_mode(KernelMode::Simd, || {
+                partition_parallel(input, RadixFn::new(5), 3, ScatterMode::Swwcb)
+            });
+            assert_eq!(a.offsets(), b.offsets());
+            assert_eq!(a.all_tuples(), b.all_tuples());
+        }
+    }
+
     #[test]
     fn empty_input() {
         let pr = partition_parallel(&[], RadixFn::new(4), 4, ScatterMode::Swwcb);

@@ -3,14 +3,25 @@
 //! Scattering tuples to hundreds of partitions touches hundreds of pages;
 //! without buffering every write risks a TLB miss. A SWWCB keeps one
 //! cache line of pending tuples per partition *in cache* and flushes full
-//! lines to the destination with (in the original) non-temporal stores.
-//! With a buffer of `N` tuples, TLB pressure drops by a factor of `N`.
+//! lines to the destination with non-temporal stores. With a buffer of
+//! `N` tuples, TLB pressure drops by a factor of `N`.
 //!
-//! This implementation keeps the per-partition line + output cursor and
-//! flushes whole lines with `copy_nonoverlapping` (the portable stand-in
-//! for `_mm_stream_si128`; the algorithmic effect the paper studies —
-//! write combining — is in the buffering, which is identical).
+//! Full-line flushes go through [`mmjoin_util::kernels::stream_cacheline`]
+//! — real `_mm_stream_si128`/`_mm256_stream_si256` non-temporal stores on
+//! x86_64 (so flushed lines bypass the cache instead of evicting the live
+//! bank), a plain `copy_nonoverlapping` in portable mode and on other
+//! architectures. Both paths produce bit-identical output.
+//!
+//! Streaming stores require a 64-byte-aligned destination. Output buffers
+//! come from [`mmjoin_util::alloc::AlignedBuf`] (always line-aligned), but
+//! a partition's *initial cursor* can sit mid-line. The bank therefore
+//! bootstraps alignment: the first flush of such a partition is a short
+//! plain copy up to the next line boundary, after which every full-line
+//! flush is aligned and streams. Because streamed stores are weakly
+//! ordered, [`SwwcBank::flush_all`] ends with an `sfence`, ahead of the
+//! phase barrier that publishes the partitions to other threads.
 
+use mmjoin_util::kernels;
 use mmjoin_util::tuple::Tuple;
 use mmjoin_util::{CACHE_LINE, TUPLES_PER_CACHELINE};
 
@@ -28,14 +39,27 @@ pub struct SwwcBank {
     lines: Vec<Line>,
     /// Tuples currently buffered per partition.
     fill: Vec<u8>,
+    /// Tuples to buffer before the next flush: `TUPLES_PER_CACHELINE`
+    /// once the cursor is line-aligned, fewer for the bootstrap flush of
+    /// a partition whose initial cursor starts mid-line.
+    target: Vec<u8>,
     /// Output cursor (tuple index in the destination buffer) per partition.
     cursor: Vec<usize>,
+    /// Whether full-line flushes use non-temporal stores (resolved from
+    /// [`mmjoin_util::kernels`] at construction).
+    streaming: bool,
 }
 
 impl SwwcBank {
     /// Create a bank for `parts` partitions with the given initial output
-    /// cursors (one per partition).
+    /// cursors (one per partition), using the process-wide kernel mode.
     pub fn new(cursors: &[usize]) -> Self {
+        Self::with_streaming(cursors, kernels::simd_active())
+    }
+
+    /// Create a bank with an explicit flush kernel choice (tests and the
+    /// A/B bench harness; [`SwwcBank::new`] resolves it automatically).
+    pub fn with_streaming(cursors: &[usize], streaming: bool) -> Self {
         SwwcBank {
             lines: vec![
                 Line {
@@ -44,7 +68,12 @@ impl SwwcBank {
                 cursors.len()
             ],
             fill: vec![0u8; cursors.len()],
+            target: cursors
+                .iter()
+                .map(|&c| (TUPLES_PER_CACHELINE - c % TUPLES_PER_CACHELINE) as u8)
+                .collect(),
             cursor: cursors.to_vec(),
+            streaming,
         }
     }
 
@@ -58,21 +87,32 @@ impl SwwcBank {
     pub unsafe fn push(&mut self, part: usize, t: Tuple, out: *mut Tuple) {
         let fill = self.fill[part] as usize;
         self.lines[part].tuples[fill] = t;
-        if fill + 1 == TUPLES_PER_CACHELINE {
+        if fill + 1 == self.target[part] as usize {
+            let n = fill + 1;
             let dst = out.add(self.cursor[part]);
-            std::ptr::copy_nonoverlapping(
-                self.lines[part].tuples.as_ptr(),
-                dst,
-                TUPLES_PER_CACHELINE,
-            );
-            self.cursor[part] += TUPLES_PER_CACHELINE;
+            if self.streaming
+                && n == TUPLES_PER_CACHELINE
+                && (dst as usize).is_multiple_of(CACHE_LINE)
+            {
+                // Full line to an aligned destination: bypass the cache.
+                kernels::stream_cacheline(
+                    dst.cast::<u8>(),
+                    self.lines[part].tuples.as_ptr().cast::<u8>(),
+                );
+            } else {
+                std::ptr::copy_nonoverlapping(self.lines[part].tuples.as_ptr(), dst, n);
+            }
+            self.cursor[part] += n;
             self.fill[part] = 0;
+            self.target[part] = TUPLES_PER_CACHELINE as u8;
         } else {
             self.fill[part] = fill as u8 + 1;
         }
     }
 
-    /// Flush all partially filled lines.
+    /// Flush all partially filled lines, then fence the streamed stores
+    /// (phase end: everything written is visible to the next phase's
+    /// readers once the caller crosses its barrier).
     ///
     /// # Safety
     /// Same contract as [`SwwcBank::push`].
@@ -84,7 +124,12 @@ impl SwwcBank {
                 std::ptr::copy_nonoverlapping(self.lines[part].tuples.as_ptr(), dst, fill);
                 self.cursor[part] += fill;
                 self.fill[part] = 0;
+                self.target[part] =
+                    (TUPLES_PER_CACHELINE - self.cursor[part] % TUPLES_PER_CACHELINE) as u8;
             }
+        }
+        if self.streaming {
+            kernels::sfence();
         }
     }
 
@@ -97,13 +142,16 @@ impl SwwcBank {
     /// in the LLC for partitioning to stay fast (Section 7.3's analysis of
     /// Figure 11).
     pub const fn bytes_per_partition() -> usize {
-        CACHE_LINE + std::mem::size_of::<u8>() + std::mem::size_of::<usize>()
+        CACHE_LINE + 2 * std::mem::size_of::<u8>() + std::mem::size_of::<usize>()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmjoin_util::alloc::AlignedBuf;
+    use mmjoin_util::kernels::KernelMode;
+    use mmjoin_util::rng::Xoshiro256;
 
     #[test]
     fn push_and_flush_exact_lines() {
@@ -147,7 +195,8 @@ mod tests {
     #[test]
     fn unaligned_start_cursor() {
         // Destination region starting mid-line must still be written
-        // correctly (flushes are plain copies, not aligned stores).
+        // correctly: the bootstrap flush is a short plain copy up to the
+        // line boundary, after which full lines stream.
         let mut out = vec![Tuple::new(0, 0); 32];
         let mut bank = SwwcBank::new(&[5]);
         unsafe {
@@ -161,5 +210,63 @@ mod tests {
         }
         assert_eq!(out[4].key, 0);
         assert_eq!(out[25].key, 0);
+    }
+
+    /// Differential kernel test: the forced-portable and the dispatched
+    /// streaming flush paths must produce bit-identical output for
+    /// random interleavings of partitions and start cursors.
+    #[test]
+    fn streaming_flushes_match_portable() {
+        let parts = 4usize;
+        let cursors = [3usize, 20, 40, 77];
+        let mut rng = Xoshiro256::new(99);
+        let pushes: Vec<(usize, Tuple)> = (0..200)
+            .map(|i| {
+                (
+                    rng.below(parts as u64) as usize,
+                    Tuple::new(i + 1, rng.next_u32()),
+                )
+            })
+            .collect();
+        // Count per-partition pushes so the fixed cursors stay in bounds.
+        let run = |mode: KernelMode| {
+            mmjoin_util::kernels::with_mode(mode, || {
+                let mut out = AlignedBuf::<Tuple>::zeroed(512);
+                let mut bank = SwwcBank::new(&cursors);
+                unsafe {
+                    for &(p, t) in &pushes {
+                        bank.push(p, t, out.as_mut_ptr());
+                    }
+                    bank.flush_all(out.as_mut_ptr());
+                }
+                out.as_slice().to_vec()
+            })
+        };
+        let portable = run(KernelMode::Portable);
+        let simd = run(KernelMode::Simd);
+        assert_eq!(portable, simd);
+    }
+
+    #[test]
+    fn aligned_buf_streaming_round_trip() {
+        // Aligned destination + aligned cursor: every flush takes the
+        // streaming path; the content must still round-trip exactly.
+        let mut out = AlignedBuf::<Tuple>::zeroed(64);
+        let mut bank = SwwcBank::with_streaming(&[0, 32], true);
+        unsafe {
+            for i in 0..24u32 {
+                bank.push(0, Tuple::new(i + 1, i), out.as_mut_ptr());
+            }
+            for i in 0..16u32 {
+                bank.push(1, Tuple::new(500 + i, i), out.as_mut_ptr());
+            }
+            bank.flush_all(out.as_mut_ptr());
+        }
+        for i in 0..24usize {
+            assert_eq!(out.as_slice()[i].key, i as u32 + 1);
+        }
+        for i in 0..16usize {
+            assert_eq!(out.as_slice()[32 + i].key, 500 + i as u32);
+        }
     }
 }

@@ -6,6 +6,8 @@
 //! * [`Tuple`] / [`Relation`] — the `<key, payload>` pairs of the paper
 //!   (4-byte key, 4-byte payload) and node-placement-tagged relations.
 //! * [`alloc::AlignedBuf`] — cache-line / page aligned buffers.
+//! * [`kernels`] — runtime-dispatched hardware kernels (non-temporal
+//!   streaming stores, software prefetch) with portable fallbacks.
 //! * [`rng`] — small deterministic PRNGs (SplitMix64 / Xoshiro256**).
 //! * [`checksum`] — order-independent join-result checksums used to verify
 //!   that all thirteen algorithms produce identical results.
@@ -16,6 +18,7 @@
 
 pub mod alloc;
 pub mod checksum;
+pub mod kernels;
 pub mod pool;
 pub mod rng;
 pub mod stats;
