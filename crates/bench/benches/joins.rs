@@ -1,12 +1,18 @@
 //! End-to-end criterion benches: all thirteen joins on one canonical
 //! (scaled) workload, plus the scheduling ablation (ablation 3).
 
-#![allow(deprecated)] // benches time the raw kernels via the run_join shim
-
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mmjoin_core::{run_join, Algorithm, JoinConfig};
+use mmjoin_core::{Algorithm, Join, JoinConfig};
 use mmjoin_datagen::{gen_build_dense, gen_probe_fk};
-use mmjoin_util::Placement;
+use mmjoin_util::{Placement, Relation};
+
+fn run(alg: Algorithm, r: &Relation, s: &Relation, cfg: &JoinConfig) -> u64 {
+    Join::new(alg)
+        .with_config(cfg.clone())
+        .run(r, s)
+        .expect("valid plan")
+        .matches
+}
 
 fn bench_all_joins(c: &mut Criterion) {
     let r_n = 1 << 19;
@@ -21,7 +27,7 @@ fn bench_all_joins(c: &mut Criterion) {
     g.throughput(Throughput::Elements((r_n + s_n) as u64));
     g.sample_size(10);
     for alg in Algorithm::ALL {
-        g.bench_function(alg.name(), |b| b.iter(|| run_join(alg, &r, &s, &cfg)));
+        g.bench_function(alg.name(), |b| b.iter(|| run(alg, &r, &s, &cfg)));
     }
     g.finish();
 }
@@ -39,10 +45,10 @@ fn bench_scheduling_ablation(c: &mut Criterion) {
     g.throughput(Throughput::Elements((r_n + s_n) as u64));
     g.sample_size(10);
     g.bench_function("PRL-sequential", |b| {
-        b.iter(|| run_join(Algorithm::Prl, &r, &s, &cfg))
+        b.iter(|| run(Algorithm::Prl, &r, &s, &cfg))
     });
     g.bench_function("PRLiS-round-robin", |b| {
-        b.iter(|| run_join(Algorithm::PrlIs, &r, &s, &cfg))
+        b.iter(|| run(Algorithm::PrlIs, &r, &s, &cfg))
     });
     g.finish();
 }

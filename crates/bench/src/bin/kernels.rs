@@ -141,9 +141,9 @@ fn bench_end_to_end(alg: Algorithm, opts: &HarnessOpts, r_m: usize, s_m: usize, 
     let (r, s) = opts.workload(r_m, s_m, 55);
     let run = |mode: KernelMode| {
         Join::new(alg)
-            .threads(opts.threads)
-            .simulate(false)
-            .kernel_mode(mode)
+            .with_threads(opts.threads)
+            .with_simulate(false)
+            .with_kernel_mode(mode)
             .run(&r, &s)
             .expect("join failed")
     };
@@ -183,9 +183,9 @@ fn checksum_sweep(opts: &HarnessOpts) -> bool {
     let mut ok = true;
     for alg in Algorithm::ALL {
         match Join::new(alg)
-            .threads(opts.threads)
-            .simulate(false)
-            .kernel_mode(KernelMode::Simd)
+            .with_threads(opts.threads)
+            .with_simulate(false)
+            .with_kernel_mode(KernelMode::Simd)
             .run(&r, &s)
         {
             Ok(res) if res.matches == expect.count && res.checksum == expect.digest => {}
@@ -287,7 +287,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"threads\": {},\n  \"checksums_ok\": {checksum_ok},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"meta\": {},\n  \"quick\": {quick},\n  \"threads\": {},\n  \"checksums_ok\": {checksum_ok},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        mmjoin_bench::harness::meta_json(),
         opts.threads,
         entries.join(",\n")
     );

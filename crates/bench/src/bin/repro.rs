@@ -68,7 +68,8 @@ fn main() {
     }
     if opts.json {
         println!(
-            "{{\"failed_trials\": {failed}, \"retried_trials\": {retried}, \"tables\": {}}}",
+            "{{\"meta\": {}, \"failed_trials\": {failed}, \"retried_trials\": {retried}, \"tables\": {}}}",
+            mmjoin_bench::harness::meta_json(),
             mmjoin_bench::harness::tables_to_json(&all_tables)
         );
     }

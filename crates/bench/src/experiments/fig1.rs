@@ -5,7 +5,9 @@
 //! Paper expectation: NOP fastest, then PRB, CHTJ, MWAY — the black-box
 //! baseline whose contradiction with later figures motivates the study.
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 
 use crate::harness::{mtps, HarnessOpts, Table};
 
@@ -28,7 +30,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         Algorithm::Prb,
         Algorithm::Nop,
     ] {
-        let res = run_join(alg, &r, &s, &cfg);
+        let res = run_alg(alg, &r, &s, &cfg);
         table.row(vec![
             alg.name().to_string(),
             mtps(res.sim_throughput_mtps(r.len(), s.len())),

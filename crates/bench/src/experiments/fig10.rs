@@ -7,7 +7,9 @@
 //! outgrows the LLC while the PR*/CPR* algorithms hold steady; MWAY is
 //! stable but below the radix joins; CHTJ is the most size-sensitive.
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 
 use crate::harness::{mtps, HarnessOpts, Table};
 
@@ -57,7 +59,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
             let mut row = vec![alg.name().to_string()];
             for (r, s) in &workloads {
                 let cfg = opts.cfg();
-                let res = run_join(alg, r, s, &cfg);
+                let res = run_alg(alg, r, s, &cfg);
                 row.push(mtps(res.sim_throughput_mtps(r.len(), s.len())));
             }
             table.row(row);

@@ -8,7 +8,9 @@
 //! Paper expectation: the join is only ~10–15% of the query; NOPA
 //! profits from Part being generated in key order.
 
-use mmjoin_core::{run_join, Algorithm, JoinConfig};
+use mmjoin_core::{Algorithm, JoinConfig};
+
+use super::run_alg;
 use mmjoin_tpch::q19::{run_q19, Q19Join};
 use mmjoin_tpch::{generate_tables, GenParams};
 use mmjoin_util::{Relation, Tuple};
@@ -56,7 +58,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         };
         let mut cfg = JoinConfig::new(opts.threads);
         cfg.simulate = false;
-        let micro = run_join(alg, &build, &probe, &cfg);
+        let micro = run_alg(alg, &build, &probe, &cfg);
         let query_ms = res.total_wall().as_secs_f64() * 1e3;
         let join_ms = micro.total_wall().as_secs_f64() * 1e3;
         table.row(vec![

@@ -6,7 +6,9 @@
 //! ones — partitioned joins suffer unbalanced partition loads while
 //! caches turn hot keys into hits for the global tables.
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 
 use crate::harness::{mtps, HarnessOpts, Table};
 
@@ -43,7 +45,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
             for (s, &theta) in probes.iter().zip(&thetas) {
                 let mut cfg = opts.cfg();
                 cfg.probe_theta = theta;
-                let res = run_join(alg, &r, s, &cfg);
+                let res = run_alg(alg, &r, s, &cfg);
                 row.push(mtps(res.sim_throughput_mtps(r.len(), s.len())));
             }
             table.row(row);

@@ -5,7 +5,9 @@
 //! beyond that (SMT), the partition-based joins get *worse* (hyper-
 //! threads share the private caches) and even NOP* barely gains.
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 
 use crate::harness::{mtps, HarnessOpts, Table};
 
@@ -46,7 +48,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
                 }
                 let mut cfg = opts.cfg();
                 cfg.sim_threads = Some(t);
-                let res = run_join(alg, &r, &s, &cfg);
+                let res = run_alg(alg, &r, &s, &cfg);
                 row.push(mtps(res.sim_throughput_mtps(r.len(), s.len())));
             }
             table.row(row);

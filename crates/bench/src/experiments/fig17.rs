@@ -7,7 +7,9 @@
 //! unless the number of partitions adapts to the domain (dashed lines),
 //! which restores their performance.
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 
 use crate::harness::{mtps, HarnessOpts, Table};
 
@@ -57,7 +59,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
                 // Solid lines: partition bits NOT adapted to the domain.
                 cfg.radix_bits = Some(dense_array_bits);
             }
-            let res = run_join(alg, r, s, &cfg);
+            let res = run_alg(alg, r, s, &cfg);
             row.push(mtps(res.sim_throughput_mtps(r.len(), s.len())));
         }
         table.row(row);
@@ -70,7 +72,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
             let mut cfg = opts.cfg();
             cfg.key_domain = k * r_n;
             // radix_bits unset => Equation (1) adapted to the domain.
-            let res = run_join(alg, r, s, &cfg);
+            let res = run_alg(alg, r, s, &cfg);
             row.push(mtps(res.sim_throughput_mtps(r.len(), s.len())));
         }
         table.row(row);

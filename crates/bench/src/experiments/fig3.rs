@@ -6,7 +6,9 @@
 //! and the three hash-table choices barely differ (the surprise that
 //! Section 6.2 later explains away).
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 
 use crate::harness::{mtps, HarnessOpts, Table};
 
@@ -27,7 +29,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         Algorithm::Prl,
         Algorithm::Pra,
     ] {
-        let res = run_join(alg, &r, &s, &cfg);
+        let res = run_alg(alg, &r, &s, &cfg);
         table.row(vec![
             alg.name().to_string(),
             mtps(res.sim_throughput_mtps(r.len(), s.len())),

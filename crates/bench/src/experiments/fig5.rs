@@ -5,7 +5,9 @@
 //! is cheaper (no remote writes) and — counter-intuitively, explained by
 //! Figure 6 — even the join phase is cheaper than unscheduled PR*.
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 
 use crate::harness::{ms, HarnessOpts, Table};
 
@@ -29,7 +31,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         Algorithm::Cprl,
         Algorithm::Cpra,
     ] {
-        let res = run_join(alg, &r, &s, &cfg);
+        let res = run_alg(alg, &r, &s, &cfg);
         table.row(vec![
             alg.name().to_string(),
             ms(res.sim_of("partition")),

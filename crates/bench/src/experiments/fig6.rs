@@ -5,7 +5,9 @@
 //! controller at a time (a "staircase" across nodes); PROiS and CPRL
 //! drive all four nodes simultaneously.
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 
 use crate::harness::{HarnessOpts, Table};
 
@@ -18,7 +20,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
 
     let mut out = Vec::new();
     for alg in [Algorithm::Pro, Algorithm::ProIs, Algorithm::Cprl] {
-        let res = run_join(alg, &r, &s, &cfg);
+        let res = run_alg(alg, &r, &s, &cfg);
         let Some((_, sim)) = res.timelines.iter().find(|(name, _)| *name == "join") else {
             continue;
         };

@@ -7,7 +7,9 @@
 //! ahead in total thanks to its cheaper partition phase. The table-kind
 //! differences (chained vs linear vs array) are now visible.
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 
 use crate::harness::{ms, HarnessOpts, Table};
 
@@ -28,7 +30,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         Algorithm::Cprl,
         Algorithm::Cpra,
     ] {
-        let res = run_join(alg, &r, &s, &cfg);
+        let res = run_alg(alg, &r, &s, &cfg);
         table.row(vec![
             alg.name().to_string(),
             ms(res.sim_of("partition")),

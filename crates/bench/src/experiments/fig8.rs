@@ -4,7 +4,9 @@
 //! PRB, whose unbuffered 128-way scatter fits the 256-entry 4 KB TLB but
 //! thrashes the 32-entry huge-page TLB.
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 use mmjoin_numamodel::topology::PageSize;
 
 use crate::harness::{mtps, HarnessOpts, Table};
@@ -20,7 +22,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         for page in [PageSize::Small4K, PageSize::Huge2M] {
             let mut cfg = opts.cfg();
             cfg.topology.page_size = page;
-            let res = run_join(alg, &r, &s, &cfg);
+            let res = run_alg(alg, &r, &s, &cfg);
             per_page.push(res.sim_throughput_mtps(r.len(), s.len()));
         }
         table.row(vec![

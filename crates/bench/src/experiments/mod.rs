@@ -1,11 +1,6 @@
 //! One module per paper table/figure. Each exposes
 //! `run(&HarnessOpts) -> Vec<Table>`.
 
-// The experiments drive every algorithm through the stable `run_join`
-// entry point on purpose: their configs are constructed in-harness and
-// known-valid, so the builder's validation adds nothing here.
-#![allow(deprecated)]
-
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -30,7 +25,21 @@ pub mod tab3;
 pub mod tab4;
 pub mod tuplerecon;
 
+use mmjoin_core::{Algorithm, Join, JoinConfig, JoinResult};
+use mmjoin_util::Relation;
+
 use crate::harness::{HarnessOpts, Table};
+
+/// Run `alg` over `(r, s)` under a harness-built config through the
+/// [`Join`] planner. Experiment configs are constructed in-harness and
+/// known-valid, so any planning or runtime error is a harness bug —
+/// abort the experiment loudly rather than tabulating garbage.
+pub fn run_alg(alg: Algorithm, r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
+    Join::new(alg)
+        .with_config(cfg.clone())
+        .run(r, s)
+        .unwrap_or_else(|e| panic!("{alg} failed: {e}"))
+}
 
 /// One registry entry: experiment name, one-line description, runner.
 pub type Experiment = (&'static str, &'static str, fn(&HarnessOpts) -> Vec<Table>);

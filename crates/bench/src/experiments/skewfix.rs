@@ -8,7 +8,9 @@
 //! (`JoinConfig::skew_handling`, see `mmjoin_core::skew`) and measures
 //! how much of the gap it closes on the Figure 15 workloads.
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 
 use crate::harness::{mtps, HarnessOpts, Table};
 
@@ -25,10 +27,10 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
         for alg in [Algorithm::PrlIs, Algorithm::Cprl, Algorithm::Cpra] {
             let mut base_cfg = opts.cfg();
             base_cfg.probe_theta = theta;
-            let base = run_join(alg, &r, &s, &base_cfg);
+            let base = run_alg(alg, &r, &s, &base_cfg);
             let mut fix_cfg = base_cfg.clone();
             fix_cfg.skew_handling = true;
-            let fixed = run_join(alg, &r, &s, &fix_cfg);
+            let fixed = run_alg(alg, &r, &s, &fix_cfg);
             assert_eq!(base.matches, fixed.matches, "skew handling changed results");
             let b = base.sim_throughput_mtps(r.len(), s.len());
             let f = fixed.sim_throughput_mtps(r.len(), s.len());

@@ -4,7 +4,9 @@
 //! Paper expectation: no method reaches the perfect 15×; CPRL/CPRA come
 //! closest (~12×), the NOP family lands around 10–11×.
 
-use mmjoin_core::{run_join, Algorithm};
+use mmjoin_core::Algorithm;
+
+use super::run_alg;
 
 use crate::harness::{HarnessOpts, Table};
 
@@ -41,7 +43,7 @@ pub fn run(opts: &HarnessOpts) -> Vec<Table> {
             let run_at = |t: usize| {
                 let mut cfg = opts.cfg();
                 cfg.sim_threads = Some(t);
-                run_join(alg, &r, &s, &cfg)
+                run_alg(alg, &r, &s, &cfg)
             };
             let r4 = run_at(4);
             let r60 = run_at(60);

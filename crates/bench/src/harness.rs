@@ -236,6 +236,40 @@ pub fn tables_to_json(tables: &[Table]) -> String {
     format!("[{}]", items.join(",\n "))
 }
 
+/// Host CPU model, from `/proc/cpuinfo`'s first `model name` line;
+/// `"unknown"` on hosts without one (non-Linux, some ARM kernels).
+pub fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Host-metadata block stamped into every machine-readable artifact
+/// (`BENCH_*.json`, `repro --json`, profile metrics): the CPU model,
+/// the resolved hardware-kernel mode, and whether native perf counters
+/// are usable by this process. Numbers from two hosts are only
+/// comparable when these match.
+pub fn meta_json() -> String {
+    let mode = match mmjoin_util::kernels::effective_mode() {
+        mmjoin_util::kernels::KernelMode::Simd => "simd",
+        mmjoin_util::kernels::KernelMode::Portable => "portable",
+        mmjoin_util::kernels::KernelMode::Auto => "auto",
+    };
+    format!(
+        "{{\"cpu_model\": {}, \"kernel_mode\": \"{}\", \"perf_counters\": {}}}",
+        json_escape(&cpu_model()),
+        mode,
+        mmjoin_util::perf::available()
+    )
+}
+
 /// Quote and escape `s` as a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -307,6 +341,16 @@ mod tests {
         let s = t.render();
         assert!(s.contains("demo"));
         assert!(s.contains("CPRL"));
+    }
+
+    #[test]
+    fn meta_json_shape() {
+        let m = meta_json();
+        assert!(m.contains("\"cpu_model\": \""));
+        assert!(m.contains("\"kernel_mode\": \""));
+        assert!(m.contains("\"perf_counters\": true") || m.contains("\"perf_counters\": false"));
+        assert!(!cpu_model().is_empty());
+        assert_eq!(m.matches('{').count(), m.matches('}').count());
     }
 
     #[test]

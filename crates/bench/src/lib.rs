@@ -15,5 +15,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod jsonv;
 
 pub use harness::{HarnessOpts, Table};

@@ -28,7 +28,7 @@ pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
     let ctx = FaultCtx::begin(Algorithm::Chtj, cfg);
     let mut result = JoinResult::new(Algorithm::Chtj);
     let pool = cfg.executor();
-    pool.drain_counters();
+    pool.start_recording(cfg.profile.enabled);
     let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Build (region-parallel bulkload inside).
@@ -46,7 +46,7 @@ pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
         spec::global_build_specs(cfg, r.len(), r.placement(), table_bytes, ops::BUILD + 2.0);
     let order: Vec<usize> = (0..build_specs.len()).collect();
     let (build_sim, _) = spec::run_phase(cfg, &build_specs, &order);
-    result.push_phase_exec("build", build_wall, build_sim, pool.drain_counters());
+    result.push_phase_pool("build", build_wall, build_sim, &pool);
     ctx.checkpoint(&result)?;
 
     // Probe: every lookup touches the bitmap word *and* the dense array —
@@ -77,7 +77,7 @@ pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
     );
     let order: Vec<usize> = (0..probe_specs.len()).collect();
     let (probe_sim, _) = spec::run_phase(cfg, &probe_specs, &order);
-    result.push_phase_exec("probe", probe_wall, probe_sim, pool.drain_counters());
+    result.push_phase_pool("probe", probe_wall, probe_sim, &pool);
     ctx.checkpoint(&result)?;
     Ok(result)
 }

@@ -22,6 +22,30 @@ pub enum TableKind {
     Array,
 }
 
+/// Observability configuration (see `mmjoin_core::observe` and
+/// DESIGN.md §10). Off by default; when enabled, every phase of a join
+/// records a [`mmjoin_util::pool::WorkerPhaseStat`] span per worker per
+/// barrier broadcast — start/stop timestamps, morsels run, steals, and
+/// native PMU counter deltas where the host exposes them (all `None`
+/// otherwise, never an error).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileConfig {
+    /// Record per-worker spans and native counter deltas.
+    pub enabled: bool,
+}
+
+impl ProfileConfig {
+    /// Profiling on.
+    pub const fn on() -> ProfileConfig {
+        ProfileConfig { enabled: true }
+    }
+
+    /// Profiling off (the default; the executor's zero-cost path).
+    pub const fn off() -> ProfileConfig {
+        ProfileConfig { enabled: false }
+    }
+}
+
 /// Configuration shared by all join algorithms.
 #[derive(Clone, Debug)]
 pub struct JoinConfig {
@@ -75,6 +99,8 @@ pub struct JoinConfig {
     /// Cooperative cancellation handle; cancel any clone of the token to
     /// make in-flight joins on this config return `JoinError::Cancelled`.
     pub cancel: CancelToken,
+    /// Per-worker span + native-counter recording (off by default).
+    pub profile: ProfileConfig,
     /// The persistent worker pool all phases of a join run on, resolved
     /// lazily from `threads` on first use (see [`JoinConfig::executor`]).
     exec: OnceLock<Arc<Executor>>,
@@ -99,6 +125,7 @@ impl JoinConfig {
             mem_limit: None,
             kernel_mode: None,
             cancel: CancelToken::new(),
+            profile: ProfileConfig::off(),
             exec: OnceLock::new(),
         }
     }

@@ -47,12 +47,13 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use mmjoin_partition::task::node_of_partition;
-use mmjoin_util::pool::{lock_recover, ExecCounters, WorkerPool};
+use mmjoin_util::perf::{CounterDelta, CounterGroup};
+use mmjoin_util::pool::{lock_recover, ExecCounters, WorkerPhaseStat, WorkerPool};
 
 use crate::fault::{panic_message, WorkerPanic};
 
@@ -105,6 +106,13 @@ thread_local! {
     /// (which would deadlock on the single-phase control) runs inline
     /// instead.
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// Each worker thread's native PMU counter group, opened lazily on
+    /// the first profiled phase it runs (perf fds count the opening
+    /// thread, so the group must be per-thread). `None` when the host
+    /// exposes no counters — spans then carry `CounterDelta::none()`.
+    static TL_COUNTERS: std::cell::OnceCell<Option<CounterGroup>> =
+        const { std::cell::OnceCell::new() };
 }
 
 /// Lifetime-erased pointer to the phase closure. Safe because
@@ -124,6 +132,8 @@ struct Control {
     remaining: usize,
     /// Phase start, for per-worker finish offsets (idle accounting).
     start: Instant,
+    /// Whether workers should take PMU snapshots for the current epoch.
+    profile: bool,
     /// Panic messages captured from workers during the current phase.
     panics: Vec<String>,
     shutdown: bool,
@@ -144,6 +154,21 @@ struct Shared {
     /// epoch was either accounted by a previous poll or finished the
     /// phase before dying.
     done_epoch: Vec<AtomicU64>,
+    /// Morsels each worker ran in the current `run_morsels` phase
+    /// (stored once per worker at the end of its drain loop; reset by
+    /// `broadcast_inner` when profiling).
+    worker_tasks: Vec<AtomicU64>,
+    /// Morsels each worker stole in the current `run_morsels` phase.
+    worker_steals: Vec<AtomicU64>,
+    /// Per-worker PMU deltas for the current profiled phase.
+    deltas: Vec<Mutex<CounterDelta>>,
+}
+
+/// Span-recording state for one profiling window (normally one join):
+/// the common time base and the spans accumulated since the last drain.
+struct Recording {
+    start: Instant,
+    spans: Vec<WorkerPhaseStat>,
 }
 
 /// A persistent pool of `workers` threads executing one phase at a time.
@@ -158,6 +183,11 @@ pub struct Executor {
     submit: Mutex<()>,
     /// Accumulated counters since the last [`Executor::drain_counters`].
     counters: Mutex<ExecCounters>,
+    /// Whether phases record per-worker spans + PMU deltas. One atomic
+    /// load per phase when off — the zero-cost disabled path.
+    profile: AtomicBool,
+    /// Spans accumulated since [`Executor::start_recording`].
+    recording: Mutex<Recording>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -180,6 +210,7 @@ impl Executor {
                 epoch: 0,
                 remaining: 0,
                 start: Instant::now(),
+                profile: false,
                 panics: Vec::new(),
                 shutdown: false,
             }),
@@ -187,6 +218,11 @@ impl Executor {
             done_cv: Condvar::new(),
             finish_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             done_epoch: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            worker_tasks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            worker_steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            deltas: (0..workers)
+                .map(|_| Mutex::new(CounterDelta::none()))
+                .collect(),
         });
         let handles = (0..workers).map(|w| spawn_worker(&shared, w, 0)).collect();
         Executor {
@@ -194,6 +230,11 @@ impl Executor {
             workers,
             submit: Mutex::new(()),
             counters: Mutex::new(ExecCounters::new()),
+            profile: AtomicBool::new(false),
+            recording: Mutex::new(Recording {
+                start: Instant::now(),
+                spans: Vec::new(),
+            }),
             handles: Mutex::new(handles),
         }
     }
@@ -226,6 +267,37 @@ impl Executor {
     /// boundaries in the join drivers).
     pub fn drain_counters(&self) -> ExecCounters {
         std::mem::take(&mut *lock_recover(&self.counters))
+    }
+
+    /// Start a fresh recording window (a join): clear any stale counters
+    /// and spans and, when `profile` is set, record a [`WorkerPhaseStat`]
+    /// span per worker per phase — timestamps relative to this call, plus
+    /// native PMU deltas where the host exposes counters.
+    ///
+    /// The window belongs to the pool, not to a join: two joins profiled
+    /// concurrently on the *same* pool interleave their spans, the same
+    /// (documented) sharing the aggregate counters already have. When
+    /// `profile` is false this leaves the pool on its zero-cost path —
+    /// phases pay one relaxed atomic load.
+    pub fn start_recording(&self, profile: bool) {
+        self.profile.store(profile, Ordering::Relaxed);
+        {
+            let mut rec = lock_recover(&self.recording);
+            rec.start = Instant::now();
+            rec.spans.clear();
+        }
+        self.drain_counters();
+    }
+
+    /// Take the spans recorded since the last drain (phase boundaries in
+    /// the join drivers). Empty when profiling is off.
+    pub fn drain_spans(&self) -> Vec<WorkerPhaseStat> {
+        std::mem::take(&mut lock_recover(&self.recording).spans)
+    }
+
+    /// Whether span recording is currently on.
+    pub fn profiling(&self) -> bool {
+        self.profile.load(Ordering::Relaxed)
     }
 
     /// Respawn any worker thread that has died. Task panics are caught
@@ -293,6 +365,10 @@ impl Executor {
                 }
                 tasks.fetch_add(my_tasks, Ordering::Relaxed);
                 steals.fetch_add(my_steals, Ordering::Relaxed);
+                // Per-worker totals for span recording (one store per
+                // worker per phase; read only when profiling).
+                self.shared.worker_tasks[w].store(my_tasks, Ordering::Relaxed);
+                self.shared.worker_steals[w].store(my_steals, Ordering::Relaxed);
             },
             false,
         );
@@ -319,6 +395,9 @@ impl Executor {
         // are preserved (every index invoked once, writes visible to the
         // continuation), only parallelism is lost. An inline panic
         // unwinds into the enclosing worker task's own catch_unwind.
+        // When profiling, an inline nested phase emits no spans of its
+        // own — its time and counters fold into the enclosing worker's
+        // span (its tasks still reach the aggregate counters).
         if IN_WORKER.with(|c| c.get()) {
             for w in 0..self.workers {
                 f(w);
@@ -330,8 +409,16 @@ impl Executor {
         }
 
         let _phase = lock_recover(&self.submit);
+        let profile = self.profile.load(Ordering::Relaxed);
         for slot in &self.shared.finish_ns {
             slot.store(0, Ordering::Relaxed);
+        }
+        if profile {
+            for w in 0..self.workers {
+                self.shared.worker_tasks[w].store(0, Ordering::Relaxed);
+                self.shared.worker_steals[w].store(0, Ordering::Relaxed);
+                *lock_recover(&self.shared.deltas[w]) = CounterDelta::none();
+            }
         }
         // SAFETY: only the lifetime is erased; the job slot is cleared
         // below before `f` can go out of scope.
@@ -340,15 +427,16 @@ impl Executor {
                 f as *const (dyn Fn(usize) + Sync),
             )
         };
-        let epoch = {
+        let (epoch, phase_start) = {
             let mut ctl = lock_recover(&self.shared.ctl);
             ctl.job = Some(Job(erased));
             ctl.epoch += 1;
             ctl.remaining = self.workers;
             ctl.start = Instant::now();
+            ctl.profile = profile;
             ctl.panics.clear();
             self.shared.work_cv.notify_all();
-            ctl.epoch
+            (ctl.epoch, ctl.start)
         };
         let panics = {
             // Phase barrier: re-acquiring `ctl` after the last worker's
@@ -409,6 +497,36 @@ impl Executor {
             c.tasks += self.workers as u64;
         }
         drop(c);
+        if profile {
+            // One span per worker per broadcast. For a plain broadcast
+            // each worker ran exactly one task; for a morsel phase the
+            // per-worker totals were stored by the drain loop — either
+            // way the spans of a phase sum to its ExecCounters.
+            let mut rec = lock_recover(&self.recording);
+            let start_ns = phase_start
+                .checked_duration_since(rec.start)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            for (w, &dur_ns) in finishes.iter().enumerate() {
+                let counters = std::mem::take(&mut *lock_recover(&self.shared.deltas[w]));
+                let (tasks, steals) = if count_tasks {
+                    (1, 0)
+                } else {
+                    (
+                        self.shared.worker_tasks[w].load(Ordering::Relaxed),
+                        self.shared.worker_steals[w].load(Ordering::Relaxed),
+                    )
+                };
+                rec.spans.push(WorkerPhaseStat {
+                    worker: w,
+                    start_ns,
+                    dur_ns,
+                    tasks,
+                    steals,
+                    counters,
+                });
+            }
+        }
         if panics.is_empty() {
             Ok(())
         } else {
@@ -459,7 +577,7 @@ fn worker_loop(shared: &Shared, w: usize, start_epoch: u64) {
     IN_WORKER.with(|c| c.set(true));
     let mut seen_epoch = start_epoch;
     loop {
-        let (job, start) = {
+        let (job, start, profile) = {
             let mut ctl = lock_recover(&shared.ctl);
             loop {
                 if ctl.shutdown {
@@ -468,7 +586,7 @@ fn worker_loop(shared: &Shared, w: usize, start_epoch: u64) {
                 if ctl.epoch > seen_epoch {
                     seen_epoch = ctl.epoch;
                     let job = ctl.job.as_ref().expect("phase epoch without job").0;
-                    break (job, ctl.start);
+                    break (job, ctl.start, ctl.profile);
                 }
                 ctl = shared
                     .work_cv
@@ -479,6 +597,19 @@ fn worker_loop(shared: &Shared, w: usize, start_epoch: u64) {
         // SAFETY: `broadcast_inner` keeps the closure alive until every
         // worker has decremented `remaining` for this epoch.
         let f: &(dyn Fn(usize) + Sync) = unsafe { &*job };
+        // Native counter snapshot around the task, only when profiling —
+        // the disabled path never touches the perf module. The group is
+        // opened lazily once per worker thread; on hosts without PMU
+        // access it stays `None` and the span carries empty deltas.
+        let snap = if profile {
+            TL_COUNTERS.with(|c| {
+                c.get_or_init(CounterGroup::open)
+                    .as_ref()
+                    .map(|g| g.snapshot())
+            })
+        } else {
+            None
+        };
         // Contain task panics: the phase barrier must complete even when
         // a task fails, or every later join on this shared pool would
         // deadlock. The unwind cannot leave `f`'s data in a state the
@@ -486,6 +617,15 @@ fn worker_loop(shared: &Shared, w: usize, start_epoch: u64) {
         // before looking at any phase output.
         let caught = catch_unwind(AssertUnwindSafe(|| f(w))).err();
         shared.finish_ns[w].store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if profile {
+            let delta = TL_COUNTERS.with(|c| {
+                match (c.get_or_init(CounterGroup::open).as_ref(), snap.as_ref()) {
+                    (Some(g), Some(s)) => g.delta_since(s),
+                    _ => CounterDelta::none(),
+                }
+            });
+            *lock_recover(&shared.deltas[w]) = delta;
+        }
         let mut ctl = lock_recover(&shared.ctl);
         if let Some(payload) = caught {
             ctl.panics.push(panic_message(payload.as_ref()));
@@ -680,6 +820,62 @@ mod tests {
         for d in &done {
             assert_eq!(d.load(Ordering::Relaxed), 1);
         }
+    }
+
+    #[test]
+    fn spans_empty_when_profiling_off() {
+        let exec = Executor::new(3);
+        exec.start_recording(false);
+        exec.broadcast(&|_| {});
+        exec.run_morsels(&[(0..8).collect()], &|_, _| {});
+        assert!(exec.drain_spans().is_empty());
+        assert!(!exec.profiling());
+    }
+
+    #[test]
+    fn profiled_spans_sum_to_counters() {
+        let exec = Executor::new(4);
+        exec.start_recording(true);
+        assert!(exec.profiling());
+        exec.broadcast(&|_| {});
+        let queues = vec![(0..32).collect::<Vec<_>>(), Vec::new()];
+        exec.run_morsels(&queues, &|_, _| {
+            std::hint::black_box((0..500).sum::<u64>());
+        });
+        let c = exec.drain_counters();
+        let spans = exec.drain_spans();
+        // One span per worker per broadcast: one plain + one morsel phase.
+        assert_eq!(spans.len(), 2 * 4);
+        let span_tasks: u64 = spans.iter().map(|s| s.tasks).sum();
+        let span_steals: u64 = spans.iter().map(|s| s.steals).sum();
+        assert_eq!(
+            span_tasks, c.tasks,
+            "span tasks must sum to the phase total"
+        );
+        assert_eq!(span_steals, c.steals);
+        assert!(span_steals <= span_tasks);
+        for s in &spans {
+            assert!(s.worker < 4);
+        }
+        // Timestamps are relative to start_recording and ordered: the
+        // second broadcast starts no earlier than the first.
+        let first_start = spans[0].start_ns;
+        let second_start = spans[spans.len() - 1].start_ns;
+        assert!(second_start >= first_start);
+        exec.start_recording(false);
+    }
+
+    #[test]
+    fn start_recording_clears_stale_spans() {
+        let exec = Executor::new(2);
+        exec.start_recording(true);
+        exec.broadcast(&|_| {});
+        // A fresh window drops anything the last join left behind.
+        exec.start_recording(true);
+        assert!(exec.drain_spans().is_empty());
+        exec.broadcast(&|_| {});
+        assert_eq!(exec.drain_spans().len(), 2);
+        exec.start_recording(false);
     }
 
     #[test]

@@ -33,15 +33,16 @@
 //! let r = gen_build_dense(10_000, 42, Placement::Chunked { parts: 4 });
 //! let s = gen_probe_fk(100_000, 10_000, 43, Placement::Chunked { parts: 4 });
 //! let result = Join::new(Algorithm::Cprl)
-//!     .threads(4)
+//!     .with_threads(4)
 //!     .run(&r, &s)
 //!     .expect("valid plan");
 //! assert_eq!(result.matches, 100_000); // every FK finds its PK
 //! ```
 //!
 //! Shared knobs live on [`JoinConfig`], built the same way
-//! (`JoinConfig::builder().threads(8).zipf(0.75).build()?`) and reusable
-//! across plans via [`Join::config`]. [`Algorithm::descriptor`] exposes
+//! (`JoinConfig::builder().with_threads(8).with_zipf(0.75).build()?`)
+//! and reusable across plans via [`Join::with_config`].
+//! [`Algorithm::descriptor`] exposes
 //! each variant's Table-2 classification (family, table, scheduling,
 //! partitioning) without running it.
 //!
@@ -62,6 +63,7 @@ pub mod instrumented;
 pub mod materialize;
 pub mod mway;
 pub mod nop;
+pub mod observe;
 pub mod plan;
 pub mod prb;
 pub mod pro;
@@ -70,17 +72,17 @@ pub mod skew;
 pub mod spec;
 pub mod stats;
 
-pub use config::{JoinConfig, TableKind};
+pub use config::{JoinConfig, ProfileConfig, TableKind};
 pub use executor::{Executor, QueuePolicy};
 pub use fault::{CancelToken, MemBudget};
 pub use mmjoin_util::kernels::KernelMode;
+pub use mmjoin_util::perf::CounterDelta;
+pub use mmjoin_util::pool::WorkerPhaseStat;
 pub use plan::{
     AlgorithmDescriptor, Family, Join, JoinConfigBuilder, JoinError, Partitioning, Scheduling,
     TableFlavor,
 };
 pub use stats::{JoinResult, PhaseStat};
-
-use mmjoin_util::Relation;
 
 /// The thirteen join algorithms of the study.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -188,18 +190,6 @@ impl std::fmt::Display for Algorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
-}
-
-/// Run `algorithm` on build relation `r` and probe relation `s`.
-///
-/// Thin shim over the same dispatch [`Join::run`] uses, minus the
-/// validation and the typed runtime errors: a sparse build key fed to an
-/// array join, a worker panic, or a tripped deadline/budget all panic
-/// here instead of returning a `JoinError`. New code should use the
-/// builder.
-#[deprecated(since = "0.2.0", note = "use the validated `Join` builder instead")]
-pub fn run_join(algorithm: Algorithm, r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinResult {
-    plan::dispatch(algorithm, r, s, cfg).unwrap_or_else(|e| panic!("join failed: {e}"))
 }
 
 #[cfg(test)]

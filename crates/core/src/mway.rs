@@ -41,7 +41,7 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
     let f = RadixFn::new(bits);
 
     let pool = cfg.executor();
-    pool.drain_counters();
+    pool.start_recording(cfg.profile.enabled);
     let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Phase 1: partition both inputs (single pass, SWWCB).
@@ -66,7 +66,7 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
         let order: Vec<usize> = (0..specs.len()).collect();
         part_sim += spec::run_phase(cfg, &specs, &order).0;
     }
-    result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
+    result.push_phase_pool("partition", part_wall, part_sim, &pool);
     ctx.checkpoint(&result)?;
 
     // Phase 2: sort every partition of both sides (morsel per partition).
@@ -94,7 +94,7 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
     let sort_specs = sort_phase_specs(cfg, &pr, &ps);
     let order = task_order(parts, ScheduleOrder::Sequential);
     let (sort_sim, _) = spec::run_phase(cfg, &sort_specs, &order);
-    result.push_phase_exec("sort", sort_wall, sort_sim, pool.drain_counters());
+    result.push_phase_pool("sort", sort_wall, sort_sim, &pool);
     ctx.checkpoint(&result)?;
 
     // Phase 3: merge-join co-partitions.
@@ -124,7 +124,7 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
         0.0, // no table: pure streaming merge
     );
     let (join_sim, _) = spec::run_phase(cfg, &tasks, &order);
-    result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
+    result.push_phase_pool("join", join_wall, join_sim, &pool);
     ctx.checkpoint(&result)?;
     Ok(result)
 }

@@ -32,7 +32,7 @@ pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResu
     let ctx = FaultCtx::begin(Algorithm::Nop, cfg);
     let mut result = JoinResult::new(Algorithm::Nop);
     let pool = cfg.executor();
-    pool.drain_counters();
+    pool.start_recording(cfg.profile.enabled);
     let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Build phase.
@@ -56,7 +56,7 @@ pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResu
         spec::global_build_specs(cfg, r.len(), r.placement(), table_bytes, ops::BUILD);
     let order: Vec<usize> = (0..build_specs.len()).collect();
     let (build_sim, build_phase) = spec::run_phase(cfg, &build_specs, &order);
-    result.push_phase_exec("build", build_wall, build_sim, pool.drain_counters());
+    result.push_phase_pool("build", build_wall, build_sim, &pool);
     if cfg.keep_timelines {
         result.timelines.push(("build", build_phase));
     }
@@ -83,7 +83,7 @@ pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResu
         spec::global_probe_specs(cfg, s.len(), s.placement(), table_bytes, 1.0, ops::PROBE);
     let order: Vec<usize> = (0..probe_specs.len()).collect();
     let (probe_sim, probe_phase) = spec::run_phase(cfg, &probe_specs, &order);
-    result.push_phase_exec("probe", probe_wall, probe_sim, pool.drain_counters());
+    result.push_phase_pool("probe", probe_wall, probe_sim, &pool);
     if cfg.keep_timelines {
         result.timelines.push(("probe", probe_phase));
     }
@@ -96,7 +96,7 @@ pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
     let ctx = FaultCtx::begin(Algorithm::Nopa, cfg);
     let mut result = JoinResult::new(Algorithm::Nopa);
     let pool = cfg.executor();
-    pool.drain_counters();
+    pool.start_recording(cfg.profile.enabled);
     let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     ctx.enter_phase("build");
@@ -120,7 +120,7 @@ pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
         spec::global_build_specs(cfg, r.len(), r.placement(), table_bytes, ops::ARRAY);
     let order: Vec<usize> = (0..build_specs.len()).collect();
     let (build_sim, _) = spec::run_phase(cfg, &build_specs, &order);
-    result.push_phase_exec("build", build_wall, build_sim, pool.drain_counters());
+    result.push_phase_pool("build", build_wall, build_sim, &pool);
     ctx.checkpoint(&result)?;
 
     ctx.enter_phase("probe");
@@ -141,7 +141,7 @@ pub fn join_nopa(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
         spec::global_probe_specs(cfg, s.len(), s.placement(), table_bytes, 1.0, ops::ARRAY);
     let order: Vec<usize> = (0..probe_specs.len()).collect();
     let (probe_sim, _) = spec::run_phase(cfg, &probe_specs, &order);
-    result.push_phase_exec("probe", probe_wall, probe_sim, pool.drain_counters());
+    result.push_phase_pool("probe", probe_wall, probe_sim, &pool);
     ctx.checkpoint(&result)?;
     Ok(result)
 }

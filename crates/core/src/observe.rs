@@ -1,0 +1,348 @@
+//! Exporters for the observability layer (DESIGN.md §10).
+//!
+//! Two formats, both hand-rolled JSON (the workspace takes no serde
+//! dependency):
+//!
+//! * [`chrome_trace`] — chrome://tracing / Perfetto trace-event JSON.
+//!   Each [`JoinResult`] becomes one "process"; tid 0 carries the phase
+//!   bars, tid `w + 1` worker `w`'s spans, so the timeline shows the
+//!   barrier structure and per-worker imbalance directly.
+//! * [`metrics`] — a flat metrics document (one object per run, one per
+//!   phase, one per worker span) for scripted consumption, with an
+//!   optional caller-supplied `"meta"` block (host CPU model, kernel
+//!   mode, counter availability — see the bench harness).
+//!
+//! Native counters that were unavailable are emitted as JSON `null`,
+//! keeping the schema identical on hosts with and without PMU access.
+
+use crate::stats::{JoinResult, PhaseStat};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `Some(v)` → `v`, `None` → `null`.
+fn opt(v: Option<u64>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn push_event(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("  ");
+    out.push_str(body);
+}
+
+/// `[ts, end)` of a phase bar in ns since recording start: span extents
+/// when profiling recorded any, else synthesized sequentially from
+/// `cursor_ns` (profiling off still yields a readable trace).
+fn phase_extent(p: &PhaseStat, cursor_ns: u64) -> (u64, u64) {
+    let starts = p.workers.iter().map(|w| w.start_ns).min();
+    match starts {
+        Some(ts) => {
+            let end = p
+                .workers
+                .iter()
+                .map(|w| w.start_ns + w.dur_ns)
+                .max()
+                .unwrap_or(ts);
+            (ts, end.max(ts))
+        }
+        None => (cursor_ns, cursor_ns + p.wall.as_nanos() as u64),
+    }
+}
+
+fn counters_json(p: &PhaseStat) -> String {
+    let t = p.counter_totals();
+    format!(
+        "\"cycles\": {}, \"instructions\": {}, \"llc_misses\": {}, \
+         \"dtlb_misses\": {}, \"task_clock_ns\": {}",
+        opt(t.cycles),
+        opt(t.instructions),
+        opt(t.llc_misses),
+        opt(t.dtlb_misses),
+        opt(t.task_clock_ns)
+    )
+}
+
+/// Render `results` as chrome://tracing trace-event JSON (the "JSON
+/// array format"; load via chrome://tracing "Load" or ui.perfetto.dev).
+/// Timestamps are microseconds since each run's recording start.
+pub fn chrome_trace(results: &[JoinResult]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for (i, r) in results.iter().enumerate() {
+        let pid = i + 1;
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                esc(r.algorithm.name())
+            ),
+        );
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+                 \"args\": {{\"name\": \"phases\"}}}}"
+            ),
+        );
+        let workers = r
+            .phases
+            .iter()
+            .flat_map(|p| p.workers.iter())
+            .map(|w| w.worker + 1)
+            .max()
+            .unwrap_or(0);
+        for w in 0..workers {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \
+                     \"tid\": {}, \"args\": {{\"name\": \"worker {w}\"}}}}",
+                    w + 1
+                ),
+            );
+        }
+        let mut cursor_ns = 0u64;
+        for p in &r.phases {
+            let (ts, end) = phase_extent(p, cursor_ns);
+            cursor_ns = end;
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
+                     \"pid\": {pid}, \"tid\": 0, \"args\": {{\"wall_ms\": {:.3}, \
+                     \"sim_ms\": {:.3}, \"tasks\": {}, \"steals\": {}, \"idle_ms\": {:.3}, {}}}}}",
+                    esc(p.name),
+                    ts as f64 / 1e3,
+                    (end - ts) as f64 / 1e3,
+                    p.wall.as_secs_f64() * 1e3,
+                    p.sim_seconds * 1e3,
+                    p.exec.tasks,
+                    p.exec.steals,
+                    p.exec.idle_ns as f64 / 1e6,
+                    counters_json(p)
+                ),
+            );
+            for w in &p.workers {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "{{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
+                         \"pid\": {pid}, \"tid\": {}, \"args\": {{\"tasks\": {}, \
+                         \"steals\": {}, \"cycles\": {}, \"instructions\": {}, \
+                         \"llc_misses\": {}, \"dtlb_misses\": {}, \"task_clock_ns\": {}}}}}",
+                        esc(p.name),
+                        w.start_ns as f64 / 1e3,
+                        w.dur_ns as f64 / 1e3,
+                        w.worker + 1,
+                        w.tasks,
+                        w.steals,
+                        opt(w.counters.cycles),
+                        opt(w.counters.instructions),
+                        opt(w.counters.llc_misses),
+                        opt(w.counters.dtlb_misses),
+                        opt(w.counters.task_clock_ns)
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn phase_json(p: &PhaseStat) -> String {
+    let workers: Vec<String> = p
+        .workers
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"worker\": {}, \"start_us\": {:.3}, \"dur_us\": {:.3}, \
+                 \"tasks\": {}, \"steals\": {}, \"cycles\": {}, \"instructions\": {}, \
+                 \"llc_misses\": {}, \"dtlb_misses\": {}, \"task_clock_ns\": {}}}",
+                w.worker,
+                w.start_ns as f64 / 1e3,
+                w.dur_ns as f64 / 1e3,
+                w.tasks,
+                w.steals,
+                opt(w.counters.cycles),
+                opt(w.counters.instructions),
+                opt(w.counters.llc_misses),
+                opt(w.counters.dtlb_misses),
+                opt(w.counters.task_clock_ns)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_ms\": {:.3}, \"tasks\": {}, \
+         \"steals\": {}, \"idle_ms\": {:.3}, {}, \"workers\": [{}]}}",
+        esc(p.name),
+        p.wall.as_secs_f64() * 1e3,
+        p.sim_seconds * 1e3,
+        p.exec.tasks,
+        p.exec.steals,
+        p.exec.idle_ns as f64 / 1e6,
+        counters_json(p),
+        workers.join(", ")
+    )
+}
+
+fn run_json(r: &JoinResult) -> String {
+    let radix = match r.radix_bits {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    };
+    let phases: Vec<String> = r.phases.iter().map(phase_json).collect();
+    format!(
+        "{{\"algorithm\": \"{}\", \"matches\": {}, \"checksum\": \"{:#018x}\", \
+         \"radix_bits\": {radix}, \"total_wall_ms\": {:.3}, \"phases\": [{}]}}",
+        esc(r.algorithm.name()),
+        r.matches,
+        r.checksum,
+        r.total_wall().as_secs_f64() * 1e3,
+        phases.join(", ")
+    )
+}
+
+/// Render `results` as a flat metrics document:
+/// `{"meta": ..., "runs": [...]}`. `meta_json`, when given, must be a
+/// well-formed JSON value (the bench harness's host-metadata block); it
+/// is `null` otherwise. The checksum is a hex *string* — as a JSON
+/// number it would exceed the 2^53 integer precision most parsers keep.
+pub fn metrics(results: &[JoinResult], meta_json: Option<&str>) -> String {
+    let runs: Vec<String> = results.iter().map(run_json).collect();
+    format!(
+        "{{\n  \"meta\": {},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        meta_json.unwrap_or("null"),
+        runs.join(",\n    ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+    use mmjoin_util::perf::CounterDelta;
+    use mmjoin_util::pool::{ExecCounters, WorkerPhaseStat};
+    use std::time::Duration;
+
+    fn sample() -> JoinResult {
+        let mut r = JoinResult::new(Algorithm::Pro);
+        r.matches = 42;
+        r.checksum = u64::MAX;
+        r.radix_bits = Some(11);
+        r.phases.push(PhaseStat {
+            name: "partition",
+            wall: Duration::from_millis(3),
+            sim_seconds: 0.001,
+            exec: ExecCounters {
+                tasks: 2,
+                steals: 1,
+                idle_ns: 500,
+            },
+            workers: vec![
+                WorkerPhaseStat {
+                    worker: 0,
+                    start_ns: 1_000,
+                    dur_ns: 2_000,
+                    tasks: 1,
+                    steals: 0,
+                    counters: CounterDelta {
+                        cycles: Some(123),
+                        ..CounterDelta::none()
+                    },
+                },
+                WorkerPhaseStat {
+                    worker: 1,
+                    start_ns: 1_000,
+                    dur_ns: 1_500,
+                    tasks: 1,
+                    steals: 1,
+                    counters: CounterDelta::none(),
+                },
+            ],
+        });
+        r.push_phase("join", Duration::from_millis(5), 0.002);
+        r
+    }
+
+    #[test]
+    fn chrome_trace_structure() {
+        let t = chrome_trace(&[sample()]);
+        assert!(t.starts_with("[\n"));
+        assert!(t.trim_end().ends_with(']'));
+        assert!(t.contains("\"process_name\""));
+        assert!(t.contains("\"name\": \"PRO\""));
+        assert!(t.contains("\"worker 1\""));
+        // Phase bar + two worker spans for "partition".
+        assert_eq!(t.matches("\"name\": \"partition\"").count(), 3);
+        // Unprofiled phase still gets a bar, synthesized sequentially.
+        assert_eq!(t.matches("\"name\": \"join\"").count(), 1);
+        // Unavailable counters are null, not absent.
+        assert!(t.contains("\"cycles\": null"));
+        assert!(t.contains("\"cycles\": 123"));
+        // Braces and brackets balance (cheap well-formedness check; the
+        // profile bin's validator does the real parse).
+        assert_eq!(t.matches('{').count(), t.matches('}').count());
+        assert_eq!(t.matches('[').count(), t.matches(']').count());
+    }
+
+    #[test]
+    fn metrics_structure() {
+        let m = metrics(&[sample()], Some("{\"cpu_model\": \"test\"}"));
+        assert!(m.contains("\"meta\": {\"cpu_model\": \"test\"}"));
+        assert!(m.contains("\"algorithm\": \"PRO\""));
+        assert!(m.contains("\"checksum\": \"0xffffffffffffffff\""));
+        assert!(m.contains("\"radix_bits\": 11"));
+        assert!(m.contains("\"workers\": []"));
+        assert_eq!(m.matches('{').count(), m.matches('}').count());
+        let no_meta = metrics(&[], None);
+        assert!(no_meta.contains("\"meta\": null"));
+        assert!(no_meta.contains("\"runs\": ["));
+    }
+
+    #[test]
+    fn phase_extent_synthesis() {
+        let r = sample();
+        // Profiled phase: extent from spans.
+        let (ts, end) = phase_extent(&r.phases[0], 0);
+        assert_eq!(ts, 1_000);
+        assert_eq!(end, 3_000);
+        // Unprofiled phase: sequential from the cursor.
+        let (ts, end) = phase_extent(&r.phases[1], 3_000);
+        assert_eq!(ts, 3_000);
+        assert_eq!(end, 3_000 + 5_000_000);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

@@ -9,7 +9,7 @@
 //! let r = gen_build_dense(10_000, 42, Placement::Chunked { parts: 4 });
 //! let s = gen_probe_fk(100_000, 10_000, 43, Placement::Chunked { parts: 4 });
 //! let result = Join::new(Algorithm::Cprl)
-//!     .threads(4)
+//!     .with_threads(4)
 //!     .run(&r, &s)
 //!     .unwrap();
 //! assert_eq!(result.matches, 100_000);
@@ -26,7 +26,7 @@ use std::time::Duration;
 use mmjoin_util::kernels::KernelMode;
 use mmjoin_util::Relation;
 
-use crate::config::{JoinConfig, TableKind};
+use crate::config::{JoinConfig, ProfileConfig, TableKind};
 use crate::fault::CancelToken;
 use crate::stats::{JoinResult, PhaseStat};
 use crate::Algorithm;
@@ -277,66 +277,67 @@ pub struct JoinConfigBuilder {
     mem_limit: Option<usize>,
     kernel_mode: Option<KernelMode>,
     cancel: Option<CancelToken>,
+    profile: Option<ProfileConfig>,
 }
 
 impl JoinConfigBuilder {
     /// Host worker threads (must be >= 1).
-    pub fn threads(mut self, threads: usize) -> Self {
+    pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
     }
 
     /// Thread count presented to the NUMA cost model (must be >= 1).
-    pub fn sim_threads(mut self, sim_threads: usize) -> Self {
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
         self.sim_threads = Some(sim_threads);
         self
     }
 
     /// Override Equation (1)'s radix bits (must be in `1..=24`).
-    pub fn radix_bits(mut self, bits: u32) -> Self {
+    pub fn with_radix_bits(mut self, bits: u32) -> Self {
         self.radix_bits = Some(bits);
         self
     }
 
     /// Upper bound of the build key domain (0 = dense, derive from |R|).
-    pub fn key_domain(mut self, domain: usize) -> Self {
+    pub fn with_key_domain(mut self, domain: usize) -> Self {
         self.key_domain = Some(domain);
         self
     }
 
     /// Zipf skew of the probe keys fed to the cost model.
-    pub fn zipf(mut self, theta: f64) -> Self {
+    pub fn with_zipf(mut self, theta: f64) -> Self {
         self.probe_theta = Some(theta);
         self
     }
 
     /// Cooperative processing of oversized co-partitions.
-    pub fn skew_handling(mut self, on: bool) -> Self {
+    pub fn with_skew_handling(mut self, on: bool) -> Self {
         self.skew_handling = Some(on);
         self
     }
 
     /// Compute simulated NUMA phase times alongside wall time.
-    pub fn simulate(mut self, on: bool) -> Self {
+    pub fn with_simulate(mut self, on: bool) -> Self {
         self.simulate = Some(on);
         self
     }
 
     /// Whether build keys are unique (the study's PK assumption).
-    pub fn unique_build_keys(mut self, unique: bool) -> Self {
+    pub fn with_unique_build_keys(mut self, unique: bool) -> Self {
         self.unique_build_keys = Some(unique);
         self
     }
 
     /// Wall-clock bound on the whole join (`JoinError::Timedout`).
-    pub fn deadline(mut self, deadline: Duration) -> Self {
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
     }
 
     /// Byte budget for large allocations
     /// (`JoinError::MemoryBudgetExceeded`).
-    pub fn mem_limit(mut self, bytes: usize) -> Self {
+    pub fn with_mem_limit(mut self, bytes: usize) -> Self {
         self.mem_limit = Some(bytes);
         self
     }
@@ -346,15 +347,22 @@ impl JoinConfigBuilder {
     /// streaming-store + prefetch paths (where the CPU has them),
     /// `KernelMode::Auto` re-resolves from `MMJOIN_KERNELS` / CPU
     /// detection. The mode is installed process-wide when the join runs.
-    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
         self.kernel_mode = Some(mode);
         self
     }
 
     /// Cancellation handle; keep a clone and call
     /// [`CancelToken::cancel`] to abort in-flight joins.
-    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Per-worker span + native PMU counter recording
+    /// (`ProfileConfig::on()` / `off()`; off by default).
+    pub fn with_profile(mut self, profile: ProfileConfig) -> Self {
+        self.profile = Some(profile);
         self
     }
 
@@ -396,7 +404,75 @@ impl JoinConfigBuilder {
         if let Some(token) = self.cancel {
             cfg.cancel = token;
         }
+        if let Some(profile) = self.profile {
+            cfg.profile = profile;
+        }
         Ok(cfg)
+    }
+}
+
+/// Pre-0.4 setter names, kept as thin aliases for one release. The
+/// builder's canonical vocabulary is the `with_*` family shared with
+/// [`Join`].
+impl JoinConfigBuilder {
+    #[deprecated(since = "0.4.0", note = "renamed to `with_threads`")]
+    pub fn threads(self, threads: usize) -> Self {
+        self.with_threads(threads)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_sim_threads`")]
+    pub fn sim_threads(self, sim_threads: usize) -> Self {
+        self.with_sim_threads(sim_threads)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_radix_bits`")]
+    pub fn radix_bits(self, bits: u32) -> Self {
+        self.with_radix_bits(bits)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_key_domain`")]
+    pub fn key_domain(self, domain: usize) -> Self {
+        self.with_key_domain(domain)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_zipf`")]
+    pub fn zipf(self, theta: f64) -> Self {
+        self.with_zipf(theta)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_skew_handling`")]
+    pub fn skew_handling(self, on: bool) -> Self {
+        self.with_skew_handling(on)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_simulate`")]
+    pub fn simulate(self, on: bool) -> Self {
+        self.with_simulate(on)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_unique_build_keys`")]
+    pub fn unique_build_keys(self, unique: bool) -> Self {
+        self.with_unique_build_keys(unique)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_deadline`")]
+    pub fn deadline(self, deadline: Duration) -> Self {
+        self.with_deadline(deadline)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_mem_limit`")]
+    pub fn mem_limit(self, bytes: usize) -> Self {
+        self.with_mem_limit(bytes)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_kernel_mode`")]
+    pub fn kernel_mode(self, mode: KernelMode) -> Self {
+        self.with_kernel_mode(mode)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_cancel_token`")]
+    pub fn cancel_token(self, token: CancelToken) -> Self {
+        self.with_cancel_token(token)
     }
 }
 
@@ -407,12 +483,10 @@ impl JoinConfig {
     }
 }
 
-/// A fluent, validated join plan: pick an [`Algorithm`], set the knobs,
-/// and [`run`](Join::run) it.
-///
-/// Prefer this over the deprecated free function `run_join`: the same
-/// thirteen kernels execute underneath, but configuration mistakes come
-/// back as [`JoinError`] instead of panicking mid-phase.
+/// A fluent, validated join plan: pick an [`Algorithm`], set the
+/// `with_*` knobs, and [`run`](Join::run) it. The sole entry point —
+/// configuration mistakes come back as [`JoinError`] before any
+/// partitioning work starts, instead of panicking mid-phase.
 #[derive(Clone, Debug)]
 pub struct Join {
     algorithm: Algorithm,
@@ -441,86 +515,169 @@ impl Join {
     }
 
     /// Host worker threads.
-    pub fn threads(mut self, threads: usize) -> Self {
-        self.builder = self.builder.threads(threads);
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.builder = self.builder.with_threads(threads);
         self
     }
 
     /// Cost-model thread count.
-    pub fn sim_threads(mut self, sim_threads: usize) -> Self {
-        self.builder = self.builder.sim_threads(sim_threads);
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.builder = self.builder.with_sim_threads(sim_threads);
         self
     }
 
     /// Radix-bits override.
-    pub fn radix_bits(mut self, bits: u32) -> Self {
-        self.builder = self.builder.radix_bits(bits);
+    pub fn with_radix_bits(mut self, bits: u32) -> Self {
+        self.builder = self.builder.with_radix_bits(bits);
         self
     }
 
     /// Build key domain bound.
-    pub fn key_domain(mut self, domain: usize) -> Self {
-        self.builder = self.builder.key_domain(domain);
+    pub fn with_key_domain(mut self, domain: usize) -> Self {
+        self.builder = self.builder.with_key_domain(domain);
         self
     }
 
     /// Probe-side Zipf skew for the cost model.
-    pub fn zipf(mut self, theta: f64) -> Self {
-        self.builder = self.builder.zipf(theta);
+    pub fn with_zipf(mut self, theta: f64) -> Self {
+        self.builder = self.builder.with_zipf(theta);
         self
     }
 
     /// Cooperative skew handling.
-    pub fn skew_handling(mut self, on: bool) -> Self {
-        self.builder = self.builder.skew_handling(on);
+    pub fn with_skew_handling(mut self, on: bool) -> Self {
+        self.builder = self.builder.with_skew_handling(on);
         self
     }
 
     /// Simulated NUMA timing on/off.
-    pub fn simulate(mut self, on: bool) -> Self {
-        self.builder = self.builder.simulate(on);
+    pub fn with_simulate(mut self, on: bool) -> Self {
+        self.builder = self.builder.with_simulate(on);
         self
     }
 
     /// Unique-build-keys (PK) assumption.
-    pub fn unique_build_keys(mut self, unique: bool) -> Self {
-        self.builder = self.builder.unique_build_keys(unique);
+    pub fn with_unique_build_keys(mut self, unique: bool) -> Self {
+        self.builder = self.builder.with_unique_build_keys(unique);
         self
     }
 
     /// Wall-clock bound on the whole join.
-    pub fn deadline(mut self, deadline: Duration) -> Self {
-        self.builder = self.builder.deadline(deadline);
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.builder = self.builder.with_deadline(deadline);
         self
     }
 
     /// Byte budget for the join's large allocations.
-    pub fn mem_limit(mut self, bytes: usize) -> Self {
-        self.builder = self.builder.mem_limit(bytes);
+    pub fn with_mem_limit(mut self, bytes: usize) -> Self {
+        self.builder = self.builder.with_mem_limit(bytes);
         self
     }
 
-    /// Hardware-kernel selection (see [`JoinConfigBuilder::kernel_mode`]).
-    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
-        self.builder = self.builder.kernel_mode(mode);
+    /// Hardware-kernel selection (see
+    /// [`JoinConfigBuilder::with_kernel_mode`]).
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.builder = self.builder.with_kernel_mode(mode);
         self
     }
 
     /// Cancellation handle for this plan's runs.
-    pub fn cancel_token(mut self, token: CancelToken) -> Self {
-        self.builder = self.builder.cancel_token(token);
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.builder = self.builder.with_cancel_token(token);
+        self
+    }
+
+    /// Per-worker span + native-counter recording (see
+    /// [`JoinConfigBuilder::with_profile`] and `mmjoin_core::observe`).
+    pub fn with_profile(mut self, profile: ProfileConfig) -> Self {
+        self.builder = self.builder.with_profile(profile);
         self
     }
 
     /// Use a fully-formed configuration, bypassing the builder knobs
     /// (they are ignored when this is set).
-    pub fn config(mut self, cfg: JoinConfig) -> Self {
+    pub fn with_config(mut self, cfg: JoinConfig) -> Self {
         self.config = Some(cfg);
         self
     }
 
     /// Validate the plan against the actual relations and execute it.
     pub fn run(&self, r: &Relation, s: &Relation) -> Result<JoinResult, JoinError> {
+        self.run_inner(r, s)
+    }
+}
+
+/// Pre-0.4 setter names, kept as thin aliases for one release (see
+/// the `with_*` family above).
+impl Join {
+    #[deprecated(since = "0.4.0", note = "renamed to `with_threads`")]
+    pub fn threads(self, threads: usize) -> Self {
+        self.with_threads(threads)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_sim_threads`")]
+    pub fn sim_threads(self, sim_threads: usize) -> Self {
+        self.with_sim_threads(sim_threads)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_radix_bits`")]
+    pub fn radix_bits(self, bits: u32) -> Self {
+        self.with_radix_bits(bits)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_key_domain`")]
+    pub fn key_domain(self, domain: usize) -> Self {
+        self.with_key_domain(domain)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_zipf`")]
+    pub fn zipf(self, theta: f64) -> Self {
+        self.with_zipf(theta)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_skew_handling`")]
+    pub fn skew_handling(self, on: bool) -> Self {
+        self.with_skew_handling(on)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_simulate`")]
+    pub fn simulate(self, on: bool) -> Self {
+        self.with_simulate(on)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_unique_build_keys`")]
+    pub fn unique_build_keys(self, unique: bool) -> Self {
+        self.with_unique_build_keys(unique)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_deadline`")]
+    pub fn deadline(self, deadline: Duration) -> Self {
+        self.with_deadline(deadline)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_mem_limit`")]
+    pub fn mem_limit(self, bytes: usize) -> Self {
+        self.with_mem_limit(bytes)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_kernel_mode`")]
+    pub fn kernel_mode(self, mode: KernelMode) -> Self {
+        self.with_kernel_mode(mode)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_cancel_token`")]
+    pub fn cancel_token(self, token: CancelToken) -> Self {
+        self.with_cancel_token(token)
+    }
+
+    #[deprecated(since = "0.4.0", note = "renamed to `with_config`")]
+    pub fn config(self, cfg: JoinConfig) -> Self {
+        self.with_config(cfg)
+    }
+}
+
+impl Join {
+    fn run_inner(&self, r: &Relation, s: &Relation) -> Result<JoinResult, JoinError> {
         let cfg = match &self.config {
             Some(cfg) => cfg.clone(),
             None => self.builder.clone().build()?,
@@ -543,7 +700,7 @@ impl Join {
     }
 }
 
-/// Shared dispatch used by both [`Join::run`] and the legacy `run_join`.
+/// Dispatch underneath [`Join::run`].
 ///
 /// The `catch_unwind` here is the outer fault boundary: a panic that
 /// escapes a driver — a [`crate::fault::WorkerPanic`] re-raised by the
@@ -598,16 +755,19 @@ mod tests {
     #[test]
     fn builder_validates_threads() {
         assert_eq!(
-            JoinConfig::builder().threads(0).build().unwrap_err(),
+            JoinConfig::builder().with_threads(0).build().unwrap_err(),
             JoinError::ZeroThreads
         );
         assert_eq!(
-            JoinConfig::builder().sim_threads(0).build().unwrap_err(),
+            JoinConfig::builder()
+                .with_sim_threads(0)
+                .build()
+                .unwrap_err(),
             JoinError::ZeroSimThreads
         );
         let cfg = JoinConfig::builder()
-            .threads(3)
-            .sim_threads(32)
+            .with_threads(3)
+            .with_sim_threads(32)
             .build()
             .unwrap();
         assert_eq!(cfg.threads, 3);
@@ -618,22 +778,25 @@ mod tests {
     fn builder_validates_radix_bits() {
         for bits in [0, MAX_RADIX_BITS + 1, 99] {
             assert_eq!(
-                JoinConfig::builder().radix_bits(bits).build().unwrap_err(),
+                JoinConfig::builder()
+                    .with_radix_bits(bits)
+                    .build()
+                    .unwrap_err(),
                 JoinError::RadixBitsOutOfRange { bits }
             );
         }
-        let cfg = JoinConfig::builder().radix_bits(10).build().unwrap();
+        let cfg = JoinConfig::builder().with_radix_bits(10).build().unwrap();
         assert_eq!(cfg.radix_bits, Some(10));
     }
 
     #[test]
     fn builder_knobs_land_in_config() {
         let cfg = JoinConfig::builder()
-            .zipf(0.75)
-            .key_domain(123_456)
-            .skew_handling(true)
-            .simulate(false)
-            .unique_build_keys(false)
+            .with_zipf(0.75)
+            .with_key_domain(123_456)
+            .with_skew_handling(true)
+            .with_simulate(false)
+            .with_unique_build_keys(false)
             .build()
             .unwrap();
         assert_eq!(cfg.probe_theta, 0.75);
@@ -651,8 +814,8 @@ mod tests {
         );
         let s = Relation::from_tuples(&[Tuple::new(5, 9)], Placement::Interleaved);
         let err = Join::new(Algorithm::Pra)
-            .threads(2)
-            .simulate(false)
+            .with_threads(2)
+            .with_simulate(false)
             .run(&r, &s)
             .unwrap_err();
         match err {
@@ -669,9 +832,9 @@ mod tests {
         }
         // Widening the declared domain makes the same plan valid.
         let ok = Join::new(Algorithm::Pra)
-            .threads(2)
-            .simulate(false)
-            .key_domain(1_000_000)
+            .with_threads(2)
+            .with_simulate(false)
+            .with_key_domain(1_000_000)
             .run(&r, &s)
             .unwrap();
         assert_eq!(ok.matches, 1);
@@ -682,9 +845,9 @@ mod tests {
         let r = gen_build_dense(2_000, 51, Placement::Interleaved);
         let s = gen_probe_fk(8_000, 2_000, 52, Placement::Interleaved);
         let res = Join::new(Algorithm::Prl)
-            .threads(4)
-            .radix_bits(5)
-            .simulate(false)
+            .with_threads(4)
+            .with_radix_bits(5)
+            .with_simulate(false)
             .run(&r, &s)
             .unwrap();
         assert_eq!(res.matches, 8_000);
@@ -698,8 +861,8 @@ mod tests {
         cfg.simulate = false;
         // Builder knobs are ignored once an explicit config is supplied.
         let res = Join::new(Algorithm::Nop)
-            .threads(999)
-            .config(cfg)
+            .with_threads(999)
+            .with_config(cfg)
             .run(&r, &s)
             .unwrap();
         assert_eq!(res.matches, 1_000);
@@ -753,8 +916,8 @@ mod tests {
         let s = gen_probe_fk(2_000, 500, 71, Placement::Interleaved);
         for alg in Algorithm::ALL {
             let res = Join::new(alg)
-                .threads(2)
-                .simulate(false)
+                .with_threads(2)
+                .with_simulate(false)
                 .run(&r, &s)
                 .unwrap();
             assert_eq!(res.matches, 0, "{alg}");
@@ -773,9 +936,9 @@ mod tests {
         for alg in Algorithm::ALL {
             let run = |mode| {
                 Join::new(alg)
-                    .threads(4)
-                    .simulate(false)
-                    .kernel_mode(mode)
+                    .with_threads(4)
+                    .with_simulate(false)
+                    .with_kernel_mode(mode)
                     .run(&r, &s)
                     .unwrap()
             };

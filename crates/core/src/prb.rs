@@ -39,7 +39,7 @@ pub fn join_prb(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResu
     let domain = cfg.domain(r.len());
 
     let pool = cfg.executor();
-    pool.drain_counters();
+    pool.start_recording(cfg.profile.enabled);
     let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Partition phase: two passes, no SWWCB.
@@ -67,7 +67,7 @@ pub fn join_prb(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResu
             part_sim += spec::run_phase(cfg, &specs, &order).0;
         }
     }
-    result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
+    result.push_phase_pool("partition", part_wall, part_sim, &pool);
     ctx.checkpoint(&result)?;
 
     // Join phase.
@@ -110,7 +110,7 @@ pub fn join_prb(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResu
         table_bytes_per_tuple(kind, domain, total_bits, r.len()),
     );
     let (join_sim, sim) = spec::run_phase(cfg, &tasks, &order);
-    result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
+    result.push_phase_pool("join", join_wall, join_sim, &pool);
     if cfg.keep_timelines {
         result.timelines.push(("join", sim));
     }

@@ -141,7 +141,7 @@ pub fn join_pro(
     let domain = cfg.domain(r.len());
 
     let pool = cfg.executor();
-    pool.drain_counters();
+    pool.start_recording(cfg.profile.enabled);
     let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Partition phase (R then S, like the original driver).
@@ -170,7 +170,7 @@ pub fn join_pro(
             result.timelines.push(("partition", sim));
         }
     }
-    result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
+    result.push_phase_pool("partition", part_wall, part_sim, &pool);
     ctx.checkpoint(&result)?;
 
     // Join phase. The simulator still sees the queue *insertion order*
@@ -216,7 +216,7 @@ pub fn join_pro(
         table_bytes_per_tuple(kind, domain, bits, r.len()),
     );
     let (join_sim, sim) = spec::run_phase(cfg, &tasks, &order);
-    result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
+    result.push_phase_pool("join", join_wall, join_sim, &pool);
     if cfg.keep_timelines {
         result.timelines.push(("join", sim));
     }
@@ -321,7 +321,7 @@ pub fn join_pro_two_pass(
     let domain = cfg.domain(r.len());
 
     let pool = cfg.executor();
-    pool.drain_counters();
+    pool.start_recording(cfg.profile.enabled);
     let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     ctx.enter_phase("partition");
@@ -359,7 +359,7 @@ pub fn join_pro_two_pass(
             part_sim += spec::run_phase(cfg, &specs, &order).0;
         }
     }
-    result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
+    result.push_phase_pool("partition", part_wall, part_sim, &pool);
     ctx.checkpoint(&result)?;
 
     ctx.enter_phase("join");
@@ -391,7 +391,7 @@ pub fn join_pro_two_pass(
         table_bytes_per_tuple(kind, domain, total_bits, r.len()),
     );
     let (join_sim, _) = spec::run_phase(cfg, &tasks, &order);
-    result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
+    result.push_phase_pool("join", join_wall, join_sim, &pool);
     ctx.checkpoint(&result)?;
     Ok(result)
 }
@@ -417,7 +417,7 @@ pub fn join_cpr(
     let domain = cfg.domain(r.len());
 
     let pool = cfg.executor();
-    pool.drain_counters();
+    pool.start_recording(cfg.profile.enabled);
     let cpool = CtxPool::new(pool.as_ref(), &ctx);
 
     // Chunk-local partition phase.
@@ -445,7 +445,7 @@ pub fn join_cpr(
             result.timelines.push(("partition", sim));
         }
     }
-    result.push_phase_exec("partition", part_wall, part_sim, pool.drain_counters());
+    result.push_phase_pool("partition", part_wall, part_sim, &pool);
     ctx.checkpoint(&result)?;
 
     // Join phase: gather chunk slices per partition.
@@ -485,7 +485,7 @@ pub fn join_cpr(
         table_bytes_per_tuple(kind, domain, bits, r.len()),
     );
     let (join_sim, sim) = spec::run_phase(cfg, &tasks, &order);
-    result.push_phase_exec("join", join_wall, join_sim, pool.drain_counters());
+    result.push_phase_pool("join", join_wall, join_sim, &pool);
     if cfg.keep_timelines {
         result.timelines.push(("join", sim));
     }

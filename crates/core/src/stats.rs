@@ -5,8 +5,10 @@ use std::time::Duration;
 
 use mmjoin_numamodel::PhaseSim;
 use mmjoin_util::checksum::JoinChecksum;
-use mmjoin_util::pool::ExecCounters;
+use mmjoin_util::perf::CounterDelta;
+use mmjoin_util::pool::{ExecCounters, WorkerPhaseStat};
 
+use crate::executor::Executor;
 use crate::Algorithm;
 
 /// One barrier-delimited phase of a join.
@@ -20,6 +22,22 @@ pub struct PhaseStat {
     /// Executor scheduling counters for this phase (tasks run, steals,
     /// worker idle time at the barrier).
     pub exec: ExecCounters,
+    /// Per-worker spans (one per worker per barrier broadcast) with
+    /// native PMU deltas, recorded only when `JoinConfig::profile` is
+    /// enabled; empty otherwise.
+    pub workers: Vec<WorkerPhaseStat>,
+}
+
+impl PhaseStat {
+    /// Native counter totals over this phase's worker spans. All `None`
+    /// when profiling was off or the host exposes no counters.
+    pub fn counter_totals(&self) -> CounterDelta {
+        let mut total = CounterDelta::none();
+        for w in &self.workers {
+            total.merge(&w.counters);
+        }
+        total
+    }
 }
 
 /// Result of one join execution.
@@ -73,7 +91,37 @@ impl JoinResult {
             wall,
             sim_seconds,
             exec,
+            workers: Vec::new(),
         });
+    }
+
+    /// The phase-boundary drain every driver uses: take the aggregate
+    /// counters *and* the per-worker spans accumulated on `pool` since
+    /// the previous boundary and record them as one phase.
+    pub fn push_phase_pool(
+        &mut self,
+        name: &'static str,
+        wall: Duration,
+        sim_seconds: f64,
+        pool: &Executor,
+    ) {
+        self.phases.push(PhaseStat {
+            name,
+            wall,
+            sim_seconds,
+            exec: pool.drain_counters(),
+            workers: pool.drain_spans(),
+        });
+    }
+
+    /// Native counter totals over all phases (see
+    /// [`PhaseStat::counter_totals`]).
+    pub fn counter_totals(&self) -> CounterDelta {
+        let mut total = CounterDelta::none();
+        for p in &self.phases {
+            total.merge(&p.counter_totals());
+        }
+        total
     }
 
     /// Sum of executor counters over all phases.

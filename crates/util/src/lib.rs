@@ -19,6 +19,7 @@
 pub mod alloc;
 pub mod checksum;
 pub mod kernels;
+pub mod perf;
 pub mod pool;
 pub mod rng;
 pub mod stats;

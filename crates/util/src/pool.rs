@@ -10,6 +10,8 @@
 
 use std::sync::{Mutex, MutexGuard};
 
+use crate::perf::CounterDelta;
+
 /// Lock a mutex, recovering from poison.
 ///
 /// A mutex is poisoned when a thread panicked while holding it. All the
@@ -61,6 +63,28 @@ impl ExecCounters {
         self.steals += other.steals;
         self.idle_ns += other.idle_ns;
     }
+}
+
+/// One worker's slice of one executed phase (a *span*), recorded by the
+/// executor when profiling is enabled. A driver phase made of several
+/// barrier broadcasts yields several spans per worker; their `tasks` /
+/// `steals` sum to the phase's [`ExecCounters`], which is the invariant
+/// the observability tests pin down.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerPhaseStat {
+    /// Worker index in `0..workers()`.
+    pub worker: usize,
+    /// Span start, ns since the recording epoch (the join start).
+    pub start_ns: u64,
+    /// Span duration in ns (this worker's time to its barrier arrival).
+    pub dur_ns: u64,
+    /// Morsels this worker executed during the span.
+    pub tasks: u64,
+    /// Morsels it claimed from a remote NUMA node's queue.
+    pub steals: u64,
+    /// Native PMU deltas for the span; all `None` when the host exposes
+    /// no counters (see `crate::perf`).
+    pub counters: CounterDelta,
 }
 
 /// A pool of `workers()` threads that can execute one phase at a time.

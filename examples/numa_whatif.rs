@@ -32,8 +32,8 @@ fn main() {
     for sim_threads in [4usize, 8, 16, 32, 60, 120] {
         let plan = |alg| {
             Join::new(alg)
-                .threads(host_threads)
-                .sim_threads(sim_threads)
+                .with_threads(host_threads)
+                .with_sim_threads(sim_threads)
                 .run(&r, &s)
                 .expect("valid plan")
         };
@@ -48,8 +48,8 @@ fn main() {
     println!("\nwhat-if: what does bad task scheduling cost PRO? (Fig. 6/7)");
     let plan = |alg| {
         Join::new(alg)
-            .threads(host_threads)
-            .sim_threads(60)
+            .with_threads(host_threads)
+            .with_sim_threads(60)
             .run(&r, &s)
             .expect("valid plan")
     };

@@ -31,9 +31,9 @@ fn main() {
     let fact = gen_probe_zipf(sales, customers, 0.5, 8, placement);
 
     let cfg = JoinConfig::builder()
-        .threads(threads)
-        .sim_threads(32)
-        .zipf(0.5)
+        .with_threads(threads)
+        .with_sim_threads(32)
+        .with_zipf(0.5)
         .build()
         .expect("valid configuration");
 
@@ -49,7 +49,7 @@ fn main() {
         Algorithm::PraIs,
     ] {
         let res = Join::new(alg)
-            .config(cfg.clone())
+            .with_config(cfg.clone())
             .run(&dim, &fact)
             .expect("valid plan");
         let t = res.total_sim();

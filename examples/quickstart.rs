@@ -23,15 +23,15 @@ fn main() {
     let s = gen_probe_fk(s_n, r_n, 43, placement);
 
     let cfg = JoinConfig::builder()
-        .threads(threads)
-        .sim_threads(32) // evaluate on the paper's 32-thread setup
+        .with_threads(threads)
+        .with_sim_threads(32) // evaluate on the paper's 32-thread setup
         .build()
         .expect("valid configuration");
 
     let mut rows: Vec<(String, f64, f64, u64)> = Vec::new();
     for alg in Algorithm::ALL {
         let res = Join::new(alg)
-            .config(cfg.clone())
+            .with_config(cfg.clone())
             .run(&r, &s)
             .expect("valid plan");
         rows.push((

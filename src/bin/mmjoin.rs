@@ -7,7 +7,7 @@
 //! mmjoin tpch  --sf 0.2 [--threads N]               # Q19 with 4 joins
 //! ```
 
-use mmjoin::core::{Algorithm, Join, JoinConfig};
+use mmjoin::core::{observe, Algorithm, Join, JoinConfig, ProfileConfig};
 use mmjoin::datagen::{gen_build_dense, gen_probe_fk, gen_probe_zipf};
 use mmjoin::util::Placement;
 
@@ -87,6 +87,7 @@ fn usage() -> ! {
     eprintln!("usage: mmjoin <join|race|tpch> [options]");
     eprintln!("  join --algo NAME --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
     eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB]");
+    eprintln!("       [--profile] [--trace-out FILE.json] [--metrics-out FILE.json]");
     eprintln!("  race --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
     eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB]");
     eprintln!("  tpch --sf F [--threads N]");
@@ -115,19 +116,27 @@ fn workload(args: &Args) -> (mmjoin::util::Relation, mmjoin::util::Relation, f64
 
 fn config(args: &Args, theta: f64) -> JoinConfig {
     let mut builder = JoinConfig::builder()
-        .threads(args.get("threads", 4))
-        .zipf(theta)
-        .skew_handling(args.has("skew-handling"));
+        .with_threads(args.get("threads", 4))
+        .with_zipf(theta)
+        .with_skew_handling(args.has("skew-handling"));
     if args.get_str("bits").is_some() {
-        builder = builder.radix_bits(args.get("bits", 0));
+        builder = builder.with_radix_bits(args.get("bits", 0));
     }
     if args.get_str("deadline-ms").is_some() {
         let ms: u64 = args.get("deadline-ms", 0);
-        builder = builder.deadline(std::time::Duration::from_millis(ms));
+        builder = builder.with_deadline(std::time::Duration::from_millis(ms));
     }
     if args.get_str("mem-limit-mb").is_some() {
         let mb: usize = args.get("mem-limit-mb", 0);
-        builder = builder.mem_limit(mb.saturating_mul(1024 * 1024));
+        builder = builder.with_mem_limit(mb.saturating_mul(1024 * 1024));
+    }
+    // --trace-out / --metrics-out are pointless without spans, so either
+    // one implies --profile.
+    if args.has("profile")
+        || args.get_str("trace-out").is_some()
+        || args.get_str("metrics-out").is_some()
+    {
+        builder = builder.with_profile(ProfileConfig::on());
     }
     builder.build().unwrap_or_else(|e| {
         eprintln!("invalid configuration: {e}");
@@ -154,8 +163,10 @@ fn main() {
                     "bits",
                     "deadline-ms",
                     "mem-limit-mb",
+                    "trace-out",
+                    "metrics-out",
                 ],
-                &["skew-handling"],
+                &["skew-handling", "profile"],
             );
             let Some(name) = args.get_str("algo") else {
                 eprintln!("missing required option --algo");
@@ -168,7 +179,7 @@ fn main() {
             let (r, s, theta) = workload(&args);
             let cfg = config(&args, theta);
             let res = Join::new(alg)
-                .config(cfg.clone())
+                .with_config(cfg.clone())
                 .run(&r, &s)
                 .unwrap_or_else(|e| {
                     eprintln!("join failed: {e}");
@@ -189,6 +200,22 @@ fn main() {
                     cfg.sim_threads(),
                     p.sim_seconds * 1e3
                 );
+                if cfg.profile.enabled {
+                    let t = p.counter_totals();
+                    let fmt = |v: Option<u64>| match v {
+                        Some(x) => format!("{x}"),
+                        None => "n/a".to_string(),
+                    };
+                    println!(
+                        "             tasks {}  steals {}  cycles {}  instr {}  LLC-miss {}  dTLB-miss {}",
+                        p.exec.tasks,
+                        p.exec.steals,
+                        fmt(t.cycles),
+                        fmt(t.instructions),
+                        fmt(t.llc_misses),
+                        fmt(t.dtlb_misses)
+                    );
+                }
             }
             println!(
                 "  total      wall {:>9.2} ms   matches {}   wall throughput {:.0} Mtps",
@@ -198,6 +225,23 @@ fn main() {
             );
             if let Some(bits) = res.radix_bits {
                 println!("  radix bits: {bits}");
+            }
+            let results = [res];
+            if let Some(path) = args.get_str("trace-out") {
+                let trace = observe::chrome_trace(&results);
+                std::fs::write(path, trace).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                println!("  trace written to {path} (open in chrome://tracing)");
+            }
+            if let Some(path) = args.get_str("metrics-out") {
+                let metrics = observe::metrics(&results, None);
+                std::fs::write(path, metrics).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                println!("  metrics written to {path}");
             }
         }
         "race" => {
@@ -221,7 +265,7 @@ fn main() {
             let mut rows: Vec<(&str, f64, u64)> = Algorithm::ALL
                 .iter()
                 .filter_map(
-                    |&alg| match Join::new(alg).config(cfg.clone()).run(&r, &s) {
+                    |&alg| match Join::new(alg).with_config(cfg.clone()).run(&r, &s) {
                         Ok(res) => Some((
                             alg.name(),
                             res.total_wall().as_secs_f64() * 1e3,

@@ -27,7 +27,7 @@
 //! let s = gen_probe_fk(1_000_000, 100_000, 43, placement);
 //!
 //! let result = Join::new(Algorithm::Cpra)
-//!     .threads(4)
+//!     .with_threads(4)
 //!     .run(&r, &s)
 //!     .expect("valid plan");
 //! assert_eq!(result.matches, 1_000_000);

@@ -18,7 +18,7 @@ fn cfg(threads: usize) -> JoinConfig {
 
 fn run_join(alg: Algorithm, r: &Relation, s: &Relation, c: &JoinConfig) -> JoinResult {
     Join::new(alg)
-        .config(c.clone())
+        .with_config(c.clone())
         .run(r, s)
         .expect("valid plan")
 }

@@ -69,18 +69,24 @@ fn pool_is_reused_across_joins_and_configs() {
     let r = gen_build_dense(2_000, 71, Placement::Chunked { parts: 4 });
     let s = gen_probe_fk(8_000, 2_000, 72, Placement::Chunked { parts: 4 });
     let cfg_a = JoinConfig::builder()
-        .threads(threads)
-        .simulate(false)
+        .with_threads(threads)
+        .with_simulate(false)
         .build()
         .unwrap();
     let cfg_b = JoinConfig::builder()
-        .threads(threads)
-        .simulate(false)
+        .with_threads(threads)
+        .with_simulate(false)
         .build()
         .unwrap();
     for alg in [Algorithm::Pro, Algorithm::Cprl] {
-        let a = Join::new(alg).config(cfg_a.clone()).run(&r, &s).unwrap();
-        let b = Join::new(alg).config(cfg_b.clone()).run(&r, &s).unwrap();
+        let a = Join::new(alg)
+            .with_config(cfg_a.clone())
+            .run(&r, &s)
+            .unwrap();
+        let b = Join::new(alg)
+            .with_config(cfg_b.clone())
+            .run(&r, &s)
+            .unwrap();
         assert_eq!(a.matches, 8_000);
         assert_eq!(a.checksum, b.checksum);
         // Both runs carried executor counters in every phase.

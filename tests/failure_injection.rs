@@ -19,7 +19,7 @@ fn cfg(threads: usize, bits: Option<u32>) -> JoinConfig {
 
 fn run_join(alg: Algorithm, r: &Relation, s: &Relation, c: &JoinConfig) -> JoinResult {
     Join::new(alg)
-        .config(c.clone())
+        .with_config(c.clone())
         .run(r, s)
         .expect("valid plan")
 }
@@ -150,7 +150,7 @@ fn runtime_limits_honored_by_all_thirteen() {
         let mut c = cfg(4, Some(5));
         c.unique_build_keys = true;
         c.deadline = Some(std::time::Duration::ZERO);
-        match Join::new(alg).config(c).run(&r, &s) {
+        match Join::new(alg).with_config(c).run(&r, &s) {
             Err(JoinError::Timedout { .. }) => {}
             other => panic!("{name}: expected Timedout with zero deadline, got {other:?}"),
         }
@@ -158,7 +158,7 @@ fn runtime_limits_honored_by_all_thirteen() {
         let mut c = cfg(4, Some(5));
         c.unique_build_keys = true;
         c.cancel.cancel();
-        match Join::new(alg).config(c).run(&r, &s) {
+        match Join::new(alg).with_config(c).run(&r, &s) {
             Err(JoinError::Cancelled { .. }) => {}
             other => panic!("{name}: expected Cancelled with tripped token, got {other:?}"),
         }
@@ -166,7 +166,7 @@ fn runtime_limits_honored_by_all_thirteen() {
         let mut c = cfg(4, Some(5));
         c.unique_build_keys = true;
         c.mem_limit = Some(1);
-        match Join::new(alg).config(c).run(&r, &s) {
+        match Join::new(alg).with_config(c).run(&r, &s) {
             Err(JoinError::MemoryBudgetExceeded {
                 requested, limit, ..
             }) => {
@@ -187,7 +187,7 @@ fn cancellation_mid_join_from_another_thread() {
     let c = cfg(4, Some(5));
     let token = c.cancel.clone();
     token.cancel();
-    match Join::new(Algorithm::Pro).config(c).run(&r, &s) {
+    match Join::new(Algorithm::Pro).with_config(c).run(&r, &s) {
         Err(JoinError::Cancelled { .. }) => {}
         other => panic!("expected Cancelled via cloned token, got {other:?}"),
     }

@@ -46,7 +46,7 @@ fn cfg() -> JoinConfig {
 }
 
 fn run(alg: Algorithm, r: &Relation, s: &Relation) -> Result<mmjoin::core::JoinResult, JoinError> {
-    Join::new(alg).config(cfg()).run(r, s)
+    Join::new(alg).with_config(cfg()).run(r, s)
 }
 
 /// Panic in `phase` of `alg` must yield `WorkerPanicked` naming that
@@ -118,7 +118,7 @@ fn sleep_failpoint_trips_a_real_deadline() {
     let _g = arm_local("PRO.join", FailAction::Sleep(30));
     let mut c = cfg();
     c.deadline = Some(Duration::from_millis(10));
-    match Join::new(Algorithm::Pro).config(c).run(&r, &s) {
+    match Join::new(Algorithm::Pro).with_config(c).run(&r, &s) {
         Err(JoinError::Timedout {
             phase,
             elapsed,

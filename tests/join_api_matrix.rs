@@ -1,6 +1,7 @@
 //! The thirteen algorithms through the typed `Join` builder: edge-case
-//! matrix (empty build, empty probe, single tuples), shim equivalence,
-//! and the no-respawn guarantee of the persistent executor.
+//! matrix (empty build, empty probe, single tuples), builder-vs-config
+//! equivalence, deprecated-alias compatibility, and the no-respawn
+//! guarantee of the persistent executor.
 //!
 //! The spawn-counter assertions live here and nowhere else in this test
 //! binary: `Executor::total_threads_spawned()` is process-global, so the
@@ -14,9 +15,9 @@ const THREADS: usize = 3;
 
 fn run(alg: Algorithm, r: &Relation, s: &Relation) -> JoinResult {
     Join::new(alg)
-        .threads(THREADS)
-        .radix_bits(4)
-        .simulate(false)
+        .with_threads(THREADS)
+        .with_radix_bits(4)
+        .with_simulate(false)
         .run(r, s)
         .expect("valid plan")
 }
@@ -34,33 +35,74 @@ fn edge_case_matrix_all_thirteen() {
         assert_eq!(run(alg, &empty, &empty).matches, 0, "{alg}: both empty");
         assert_eq!(run(alg, &one_r, &one_hit).matches, 1, "{alg}: single hit");
         let miss = Join::new(alg)
-            .threads(THREADS)
-            .radix_bits(4)
-            .simulate(false)
-            .key_domain(128) // cover key 77 for the array variants
+            .with_threads(THREADS)
+            .with_radix_bits(4)
+            .with_simulate(false)
+            .with_key_domain(128) // cover key 77 for the array variants
             .run(&one_r, &one_miss)
             .expect("valid plan");
         assert_eq!(miss.matches, 0, "{alg}: single miss");
     }
 }
 
+/// Per-setter builder calls and a shared pre-built `JoinConfig` describe
+/// the same plan: both paths produce identical matches and checksums.
+/// (This replaces the old equivalence test against the deleted
+/// `run_join` shim.)
 #[test]
-fn builder_and_shim_agree_on_all_thirteen() {
+fn builder_and_config_agree_on_all_thirteen() {
     let r = gen_build_dense(3_000, 83, Placement::Chunked { parts: 4 });
     let s = gen_probe_fk(12_000, 3_000, 84, Placement::Chunked { parts: 4 });
     let mut cfg = JoinConfig::new(THREADS);
     cfg.simulate = false;
     for alg in Algorithm::ALL {
-        #[allow(deprecated)]
-        let old = mmjoin::core::run_join(alg, &r, &s, &cfg);
-        let new = Join::new(alg)
-            .threads(THREADS)
-            .simulate(false)
+        let via_config = Join::new(alg)
+            .with_config(cfg.clone())
             .run(&r, &s)
             .expect("valid plan");
-        assert_eq!(old.matches, new.matches, "{alg}");
-        assert_eq!(old.checksum, new.checksum, "{alg}");
+        let via_setters = Join::new(alg)
+            .with_threads(THREADS)
+            .with_simulate(false)
+            .run(&r, &s)
+            .expect("valid plan");
+        assert_eq!(via_config.matches, via_setters.matches, "{alg}");
+        assert_eq!(via_config.checksum, via_setters.checksum, "{alg}");
     }
+}
+
+/// The pre-0.4 setter names still compile and behave identically to the
+/// `with_*` family they now alias (one release of grace before removal).
+#[test]
+#[allow(deprecated)]
+fn deprecated_aliases_still_work() {
+    let r = gen_build_dense(2_000, 87, Placement::Interleaved);
+    let s = gen_probe_fk(8_000, 2_000, 88, Placement::Interleaved);
+    let old = Join::new(Algorithm::Cprl)
+        .threads(THREADS)
+        .radix_bits(4)
+        .simulate(false)
+        .run(&r, &s)
+        .expect("valid plan");
+    let new = Join::new(Algorithm::Cprl)
+        .with_threads(THREADS)
+        .with_radix_bits(4)
+        .with_simulate(false)
+        .run(&r, &s)
+        .expect("valid plan");
+    assert_eq!(old.matches, new.matches);
+    assert_eq!(old.checksum, new.checksum);
+    let old_cfg = JoinConfig::builder()
+        .threads(THREADS)
+        .simulate(false)
+        .build()
+        .expect("valid config");
+    let new_cfg = JoinConfig::builder()
+        .with_threads(THREADS)
+        .with_simulate(false)
+        .build()
+        .expect("valid config");
+    assert_eq!(old_cfg.threads, new_cfg.threads);
+    assert_eq!(old_cfg.simulate, new_cfg.simulate);
 }
 
 /// The tentpole guarantee: racing all thirteen algorithms creates at
@@ -87,9 +129,9 @@ fn thirteen_race_spawns_at_most_threads_workers() {
     };
     let first = race();
     assert!(first.iter().all(|&(m, c)| (m, c) == first[0]), "{first:?}");
-    // NOTE: the edge-case and shim tests above may run concurrently, but
-    // every join in this binary uses THREADS workers, so exactly one
-    // pool can ever exist in this process.
+    // NOTE: the edge-case and equivalence tests above may run
+    // concurrently, but every join in this binary uses THREADS workers,
+    // so exactly one pool can ever exist in this process.
     let spawned = Executor::total_threads_spawned();
     assert_eq!(spawned, THREADS, "one pool for the whole race");
     let second = race();

@@ -50,7 +50,7 @@ proptest! {
             cfg.radix_bits = Some(4);
             cfg.key_domain = 96;
             cfg.unique_build_keys = false; // arbitrary multisets
-            let res = Join::new(alg).config(cfg).run(&r, &s).expect("valid plan");
+            let res = Join::new(alg).with_config(cfg).run(&r, &s).expect("valid plan");
             prop_assert_eq!(res.matches, expect.count, "{}", alg.name());
             prop_assert_eq!(res.checksum, expect.digest, "{}", alg.name());
         }
