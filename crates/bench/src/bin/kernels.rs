@@ -13,11 +13,15 @@
 //! Emits `BENCH_kernels.json` (override with `--out PATH`). With
 //! `--check`, exits non-zero if the dispatched kernels are more than 5%
 //! slower than the portable ones on the partition microkernel, or if any
-//! algorithm's checksum diverges — the CI perf-regression gate.
+//! algorithm's checksum diverges — the CI perf-regression gate. With
+//! `--ledger PATH`, also appends a provenance-stamped entry holding the
+//! raw repeat vectors to the run ledger, so `sentinel` can compare this
+//! run against history (DESIGN.md §11).
 
 use std::time::Instant;
 
 use mmjoin_bench::harness::HarnessOpts;
+use mmjoin_bench::ledger::{self, SampleSet};
 use mmjoin_core::reference::reference_join;
 use mmjoin_core::{Algorithm, Join, KernelMode};
 use mmjoin_hashtable::{IdentityHash, JoinTable, StLinearTable, TableSpec};
@@ -30,20 +34,29 @@ use mmjoin_util::Tuple;
 
 struct Ab {
     name: &'static str,
-    portable_s: f64,
-    simd_s: f64,
+    /// Raw repeat wall times, in run order (the ledger stores these).
+    portable: Vec<f64>,
+    simd: Vec<f64>,
 }
 
 impl Ab {
+    fn portable_s(&self) -> f64 {
+        mmjoin_util::stats::median(&self.portable)
+    }
+
+    fn simd_s(&self) -> f64 {
+        mmjoin_util::stats::median(&self.simd)
+    }
+
     /// Portable time over dispatched time: > 1 means the kernels win.
     fn speedup(&self) -> f64 {
-        self.portable_s / self.simd_s.max(1e-12)
+        self.portable_s() / self.simd_s().max(1e-12)
     }
 }
 
-/// Median wall time of `reps` runs of `f` under `mode`.
-fn time_under<F: FnMut()>(mode: KernelMode, reps: usize, mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..reps)
+/// Raw wall times of `reps` runs of `f` under `mode`, in run order.
+fn time_under<F: FnMut()>(mode: KernelMode, reps: usize, mut f: F) -> Vec<f64> {
+    (0..reps)
         .map(|_| {
             with_mode(mode, || {
                 let start = Instant::now();
@@ -51,9 +64,7 @@ fn time_under<F: FnMut()>(mode: KernelMode, reps: usize, mut f: F) -> f64 {
                 start.elapsed().as_secs_f64()
             })
         })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
+        .collect()
 }
 
 fn ab<F: FnMut()>(name: &'static str, reps: usize, mut f: F) -> Ab {
@@ -61,8 +72,8 @@ fn ab<F: FnMut()>(name: &'static str, reps: usize, mut f: F) -> Ab {
     with_mode(KernelMode::Portable, &mut f);
     Ab {
         name,
-        portable_s: time_under(KernelMode::Portable, reps, &mut f),
-        simd_s: time_under(KernelMode::Simd, reps, &mut f),
+        portable: time_under(KernelMode::Portable, reps, &mut f),
+        simd: time_under(KernelMode::Simd, reps, &mut f),
     }
 }
 
@@ -149,16 +160,14 @@ fn bench_end_to_end(alg: Algorithm, opts: &HarnessOpts, r_m: usize, s_m: usize, 
     };
     // Warm-up (pool spin-up, page faults).
     run(KernelMode::Portable);
-    let time = |mode: KernelMode| {
-        let mut samples: Vec<f64> = (0..reps)
+    let time = |mode: KernelMode| -> Vec<f64> {
+        (0..reps)
             .map(|_| {
                 let start = Instant::now();
                 run(mode);
                 start.elapsed().as_secs_f64()
             })
-            .collect();
-        samples.sort_by(|a, b| a.total_cmp(b));
-        samples[samples.len() / 2]
+            .collect()
     };
     let name = match alg {
         Algorithm::Pro => "e2e_PRO",
@@ -168,8 +177,8 @@ fn bench_end_to_end(alg: Algorithm, opts: &HarnessOpts, r_m: usize, s_m: usize, 
     };
     Ab {
         name,
-        portable_s: time(KernelMode::Portable),
-        simd_s: time(KernelMode::Simd),
+        portable: time(KernelMode::Portable),
+        simd: time(KernelMode::Simd),
     }
 }
 
@@ -217,6 +226,7 @@ fn main() {
     let mut quick = false;
     let mut check = false;
     let mut out_path = "BENCH_kernels.json".to_string();
+    let mut ledger_path: Option<String> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -229,18 +239,29 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--ledger" => match it.next() {
+                Some(p) => ledger_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --ledger needs a value");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("error: unknown flag {other}");
                 std::process::exit(2);
             }
         }
     }
+    let counters_before = mmjoin_bench::harness::TrialCounters::snapshot();
 
     // Sizes: out-of-cache on any recent LLC. Quick mode shrinks the
     // inputs (still several MB of table) and the repetition count so the
     // CI smoke job finishes in seconds.
     let (part_n, build_n, probe_build_n, probe_n, reps, e2e) = if quick {
-        (1 << 21, 1 << 20, 1 << 21, 1 << 21, 3, (2, 8, 1))
+        // Three e2e repeats even in quick mode: the ledger's sentinel
+        // can only *confirm* a regression from a repeat distribution,
+        // and the runs are ~1 ms each.
+        (1 << 21, 1 << 20, 1 << 21, 1 << 21, 3, (2, 8, 3))
     } else {
         (1 << 23, 1 << 22, 1 << 22, 1 << 23, 5, (16, 64, 3))
     };
@@ -264,8 +285,8 @@ fn main() {
         println!(
             "{:<12} {:>12.2} {:>12.2} {:>8.2}x",
             r.name,
-            r.portable_s * 1e3,
-            r.simd_s * 1e3,
+            r.portable_s() * 1e3,
+            r.simd_s() * 1e3,
             r.speedup()
         );
     }
@@ -280,8 +301,8 @@ fn main() {
             format!(
                 "    {{\"name\": \"{}\", \"portable_ms\": {:.3}, \"simd_ms\": {:.3}, \"speedup\": {:.4}}}",
                 r.name,
-                r.portable_s * 1e3,
-                r.simd_s * 1e3,
+                r.portable_s() * 1e3,
+                r.simd_s() * 1e3,
                 r.speedup()
             )
         })
@@ -298,11 +319,45 @@ fn main() {
     }
     eprintln!("wrote {out_path}");
 
+    if let Some(path) = &ledger_path {
+        let workload = if quick { "quick" } else { "full" };
+        let samples: Vec<SampleSet> = results
+            .iter()
+            .flat_map(|r| {
+                [
+                    SampleSet {
+                        algorithm: r.name.to_string(),
+                        workload: workload.to_string(),
+                        kernel_mode: "portable".to_string(),
+                        secs: r.portable.clone(),
+                    },
+                    SampleSet {
+                        algorithm: r.name.to_string(),
+                        workload: workload.to_string(),
+                        kernel_mode: "simd".to_string(),
+                        secs: r.simd.clone(),
+                    },
+                ]
+            })
+            .collect();
+        let mut entry = ledger::Entry::stamped("kernels", opts.threads, samples);
+        let delta = counters_before.delta();
+        entry.retried_trials = delta.retried;
+        entry.failed_trials = delta.failed;
+        match ledger::append(std::path::Path::new(path), &entry) {
+            Ok(()) => eprintln!("ledger: appended {} to {path}", entry.describe()),
+            Err(e) => {
+                eprintln!("error: cannot append to ledger {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     if check {
         let partition = &results[0];
         // Gate: dispatched must not be >5% slower than portable on the
         // partition microkernel, and every checksum must match.
-        let slowdown = partition.simd_s / partition.portable_s.max(1e-12);
+        let slowdown = partition.simd_s() / partition.portable_s().max(1e-12);
         if slowdown > 1.05 {
             eprintln!(
                 "FAIL: dispatched partition kernel {:.1}% slower than portable",

@@ -22,6 +22,7 @@
 
 use mmjoin_bench::harness::{self, HarnessOpts, Table};
 use mmjoin_bench::jsonv::{self, Value};
+use mmjoin_bench::ledger;
 use mmjoin_core::instrumented::{instrument, PageConfig};
 use mmjoin_core::{observe, Algorithm, Join, JoinResult, ProfileConfig};
 use mmjoin_util::perf;
@@ -29,7 +30,7 @@ use mmjoin_util::perf;
 fn usage() -> ! {
     eprintln!(
         "usage: profile [--quick] [--check] [--algo NAME] [--no-memsim]\n\
-         \x20              [--trace-out PATH] [--metrics-out PATH]\n\
+         \x20              [--trace-out PATH] [--metrics-out PATH] [--ledger PATH]\n\
          \x20              [--scale N] [--threads N] [--sim-threads N]"
     );
     std::process::exit(2);
@@ -42,6 +43,7 @@ struct Opts {
     algorithms: Vec<Algorithm>,
     trace_out: String,
     metrics_out: String,
+    ledger: Option<String>,
     harness: HarnessOpts,
 }
 
@@ -58,6 +60,7 @@ fn parse_opts() -> Opts {
         algorithms: Algorithm::ALL.to_vec(),
         trace_out: "PROFILE_trace.json".to_string(),
         metrics_out: "PROFILE_metrics.json".to_string(),
+        ledger: None,
         harness: hopts,
     };
     let mut it = rest.into_iter();
@@ -88,6 +91,12 @@ fn parse_opts() -> Opts {
                     eprintln!("--metrics-out needs a value");
                     usage();
                 })
+            }
+            "--ledger" => {
+                opts.ledger = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--ledger needs a value");
+                    usage();
+                }))
             }
             other => {
                 eprintln!("unknown option {other:?}");
@@ -358,6 +367,35 @@ fn main() {
             cross.note("native counters unavailable on this host; ratios reported as n/a");
         }
         cross.print();
+    }
+
+    if let Some(path) = &opts.ledger {
+        // One wall-time sample per profiled algorithm: profiling runs are
+        // single-shot, so the ledger cell carries a length-1 raw vector
+        // (the sentinel then compares via bootstrap intervals, degenerate
+        // but deterministic).
+        let workload = if opts.quick {
+            "profile-quick"
+        } else {
+            "profile-full"
+        };
+        let samples: Vec<ledger::SampleSet> = results
+            .iter()
+            .map(|res| ledger::SampleSet {
+                algorithm: res.algorithm.name().to_string(),
+                workload: workload.to_string(),
+                kernel_mode: ledger::kernel_mode_name(),
+                secs: vec![res.total_wall().as_secs_f64()],
+            })
+            .collect();
+        let entry = ledger::Entry::stamped("profile", cfg.threads, samples);
+        match ledger::append(std::path::Path::new(path), &entry) {
+            Ok(()) => eprintln!("ledger: appended {} to {path}", entry.describe()),
+            Err(e) => {
+                eprintln!("error: cannot append to ledger {path}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     let trace = observe::chrome_trace(&results);

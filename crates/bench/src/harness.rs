@@ -2,6 +2,7 @@
 //! the fault-tolerant trial runner.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use mmjoin_core::{JoinConfig, JoinError, JoinResult};
@@ -12,6 +13,67 @@ use mmjoin_util::{Placement, Relation};
 static FAILED_TRIALS: AtomicU64 = AtomicU64::new(0);
 /// Trials whose first attempt failed (whether or not the retry passed).
 static RETRIED_TRIALS: AtomicU64 = AtomicU64::new(0);
+
+/// Opt-in per-trial sample log: `(trial label, wall seconds)` for every
+/// successful trial, in completion order. Off (None) unless a ledger
+/// recorder enabled it — the raw repeat vectors behind `repro --ledger`.
+static SAMPLE_LOG: Mutex<Option<Vec<(String, f64)>>> = Mutex::new(None);
+
+/// A point-in-time view of the process-wide retry/failure counters.
+///
+/// The counters themselves are process-global and monotonic; a sweep
+/// that wants *its own* counts (a second sweep in the same process, the
+/// sentinel's back-to-back runs) takes a snapshot before starting and
+/// reads `delta()` after, instead of re-reporting everything that came
+/// before it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrialCounters {
+    /// Trials whose first attempt failed (retry may have passed).
+    pub retried: u64,
+    /// Trials that failed both attempts.
+    pub failed: u64,
+}
+
+impl TrialCounters {
+    /// Current value of the process-wide counters.
+    pub fn snapshot() -> TrialCounters {
+        TrialCounters {
+            retried: RETRIED_TRIALS.load(Ordering::Relaxed),
+            failed: FAILED_TRIALS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts accumulated since this snapshot was taken.
+    pub fn delta(&self) -> TrialCounters {
+        let now = TrialCounters::snapshot();
+        TrialCounters {
+            retried: now.retried.saturating_sub(self.retried),
+            failed: now.failed.saturating_sub(self.failed),
+        }
+    }
+}
+
+/// Start recording `(label, seconds)` for every successful trial.
+/// Clears anything a previous recording left behind.
+pub fn enable_sample_log() {
+    let mut log = SAMPLE_LOG.lock().unwrap_or_else(|e| e.into_inner());
+    *log = Some(Vec::new());
+}
+
+/// Stop recording and hand back everything recorded since
+/// [`enable_sample_log`]. Returns an empty vec when recording was never
+/// enabled.
+pub fn take_sample_log() -> Vec<(String, f64)> {
+    let mut log = SAMPLE_LOG.lock().unwrap_or_else(|e| e.into_inner());
+    log.take().unwrap_or_default()
+}
+
+fn record_sample(label: &str, secs: f64) {
+    let mut log = SAMPLE_LOG.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(samples) = log.as_mut() {
+        samples.push((label.to_string(), secs));
+    }
+}
 
 /// Pause before retrying a failed trial, so transient conditions (a
 /// healing worker pool, a contended machine) get a chance to clear.
@@ -27,7 +89,7 @@ pub fn run_trial_with<F>(label: &str, mut f: F) -> Option<JoinResult>
 where
     F: FnMut() -> Result<JoinResult, JoinError>,
 {
-    match f() {
+    let res = match f() {
         Ok(res) => Some(res),
         Err(first) => {
             RETRIED_TRIALS.fetch_add(1, Ordering::Relaxed);
@@ -42,17 +104,21 @@ where
                 }
             }
         }
+    };
+    if let Some(res) = &res {
+        record_sample(label, res.total_wall().as_secs_f64());
     }
+    res
 }
 
 /// Trials that failed both attempts so far in this process.
 pub fn failed_trials() -> u64 {
-    FAILED_TRIALS.load(Ordering::Relaxed)
+    TrialCounters::snapshot().failed
 }
 
 /// Trials whose first attempt failed so far in this process.
 pub fn retried_trials() -> u64 {
-    RETRIED_TRIALS.load(Ordering::Relaxed)
+    TrialCounters::snapshot().retried
 }
 
 /// Table cell for a metric of an optional (possibly failed) trial.
@@ -271,7 +337,7 @@ pub fn meta_json() -> String {
 }
 
 /// Quote and escape `s` as a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -351,6 +417,46 @@ mod tests {
         assert!(m.contains("\"perf_counters\": true") || m.contains("\"perf_counters\": false"));
         assert!(!cpu_model().is_empty());
         assert_eq!(m.matches('{').count(), m.matches('}').count());
+    }
+
+    #[test]
+    fn trial_counters_snapshot_delta() {
+        // The globals are process-wide and other tests may race on them;
+        // assert on deltas relative to our own snapshots only, and only
+        // with failures we inject ourselves (failures are monotonic).
+        let before = TrialCounters::snapshot();
+        let res = run_trial_with("snapshot-test", || {
+            Err::<JoinResult, _>(JoinError::ZeroThreads)
+        });
+        assert!(res.is_none());
+        let d = before.delta();
+        assert!(d.retried >= 1, "our failed trial retried once: {d:?}");
+        assert!(d.failed >= 1, "our failed trial failed twice: {d:?}");
+        // A fresh snapshot taken now sees none of the history.
+        let after = TrialCounters::snapshot();
+        let d2 = after.delta();
+        assert_eq!(d2, TrialCounters::default());
+    }
+
+    #[test]
+    fn sample_log_records_successful_trials() {
+        enable_sample_log();
+        let res = run_trial_with("sample-log-test", || {
+            let mut r = JoinResult::new(mmjoin_core::Algorithm::Nop);
+            r.matches = 1;
+            Ok(r)
+        });
+        assert!(res.is_some());
+        let samples = take_sample_log();
+        assert!(
+            samples.iter().any(|(l, _)| l == "sample-log-test"),
+            "{samples:?}"
+        );
+        // Disabled again after take: nothing accumulates.
+        run_trial_with("sample-log-test-2", || {
+            Ok(JoinResult::new(mmjoin_core::Algorithm::Nop))
+        });
+        assert!(take_sample_log().is_empty());
     }
 
     #[test]

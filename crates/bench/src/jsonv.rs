@@ -1,10 +1,11 @@
 //! A minimal JSON parser, just enough to validate the workspace's own
-//! hand-rolled artifacts (`BENCH_*.json`, profile traces/metrics) in CI
-//! without an external serde dependency. Strict where it matters —
-//! rejects trailing garbage, unterminated strings, malformed numbers —
-//! and deliberately simple everywhere else (numbers come back as `f64`;
-//! `\uXXXX` escapes decode the BMP only, surrogate pairs come back as
-//! replacement chars).
+//! hand-rolled artifacts (`BENCH_*.json`, profile traces/metrics, the
+//! run ledger) in CI without an external serde dependency. Strict where
+//! it matters — rejects trailing garbage, unterminated strings,
+//! malformed numbers — and deliberately simple everywhere else (numbers
+//! come back as `f64`; `\uXXXX` escapes decode the full plane:
+//! surrogate pairs combine into the astral code point they encode, and
+//! only *lone* surrogates degrade to replacement chars).
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -210,17 +211,38 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex_escape(self.pos + 1)?;
                             self.pos += 4;
+                            match code {
+                                // High surrogate: only meaningful as the
+                                // first half of a `\uD8xx\uDCxx` pair
+                                // (how the ledger's host/CPU strings
+                                // round-trip emoji and other astral
+                                // chars through other JSON writers).
+                                0xD800..=0xDBFF => {
+                                    let paired = self.bytes.get(self.pos + 1) == Some(&b'\\')
+                                        && self.bytes.get(self.pos + 2) == Some(&b'u');
+                                    let low = if paired {
+                                        self.hex_escape(self.pos + 3).ok()
+                                    } else {
+                                        None
+                                    };
+                                    match low {
+                                        Some(low @ 0xDC00..=0xDFFF) => {
+                                            let c =
+                                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                            out.push(char::from_u32(c).unwrap_or('\u{fffd}'));
+                                            self.pos += 6;
+                                        }
+                                        // Lone high surrogate: not a
+                                        // valid scalar value.
+                                        _ => out.push('\u{fffd}'),
+                                    }
+                                }
+                                // Lone low surrogate: same degradation.
+                                0xDC00..=0xDFFF => out.push('\u{fffd}'),
+                                c => out.push(char::from_u32(c).unwrap_or('\u{fffd}')),
+                            }
                         }
                         other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
                     }
@@ -241,6 +263,17 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Four hex digits starting at byte `at` (the body of a `\uXXXX`
+    /// escape), as a code unit.
+    fn hex_escape(&self, at: usize) -> Result<u32, String> {
+        let hex = self.bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+        let text = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+        if !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("bad \\u escape {text:?}"));
+        }
+        u32::from_str_radix(text, 16).map_err(|e| e.to_string())
     }
 
     fn number(&mut self) -> Result<Value, String> {
@@ -296,6 +329,46 @@ mod tests {
         assert_eq!(arr[0].as_num(), Some(1.0));
         assert!(arr[1].get("b").unwrap().is_null());
         assert!(arr[1].get("b").unwrap().is_num_or_null());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // 😀 is U+1F600, encoded in JSON as the pair \uD83D\uDE00.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("😀".to_string())
+        );
+        assert_eq!(
+            parse("\"a\\uD83D\\uDE00b\"").unwrap(),
+            Value::Str("a😀b".to_string())
+        );
+        // Raw (non-escaped) astral chars pass through untouched, so the
+        // escaped and raw spellings of the same string round-trip to the
+        // same value — the property the ledger's host strings rely on.
+        assert_eq!(
+            parse("\"😀\"").unwrap(),
+            parse("\"\\uD83D\\uDE00\"").unwrap()
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_degrade_to_replacement() {
+        // Lone high, lone low, and high-followed-by-BMP-escape all
+        // produce a single replacement char for the invalid unit.
+        assert_eq!(
+            parse("\"\\uD83Dx\"").unwrap(),
+            Value::Str("\u{fffd}x".to_string())
+        );
+        assert_eq!(
+            parse("\"\\uDE00\"").unwrap(),
+            Value::Str("\u{fffd}".to_string())
+        );
+        assert_eq!(
+            parse("\"\\uD83D\\u0041\"").unwrap(),
+            Value::Str("\u{fffd}A".to_string())
+        );
+        // A truncated pair is still a parse error, not silent data loss.
+        assert!(parse("\"\\uD8\"").is_err());
     }
 
     #[test]

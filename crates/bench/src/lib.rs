@@ -16,5 +16,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod jsonv;
+pub mod ledger;
+pub mod sentinel;
 
 pub use harness::{HarnessOpts, Table};

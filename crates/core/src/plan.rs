@@ -411,71 +411,6 @@ impl JoinConfigBuilder {
     }
 }
 
-/// Pre-0.4 setter names, kept as thin aliases for one release. The
-/// builder's canonical vocabulary is the `with_*` family shared with
-/// [`Join`].
-impl JoinConfigBuilder {
-    #[deprecated(since = "0.4.0", note = "renamed to `with_threads`")]
-    pub fn threads(self, threads: usize) -> Self {
-        self.with_threads(threads)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_sim_threads`")]
-    pub fn sim_threads(self, sim_threads: usize) -> Self {
-        self.with_sim_threads(sim_threads)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_radix_bits`")]
-    pub fn radix_bits(self, bits: u32) -> Self {
-        self.with_radix_bits(bits)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_key_domain`")]
-    pub fn key_domain(self, domain: usize) -> Self {
-        self.with_key_domain(domain)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_zipf`")]
-    pub fn zipf(self, theta: f64) -> Self {
-        self.with_zipf(theta)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_skew_handling`")]
-    pub fn skew_handling(self, on: bool) -> Self {
-        self.with_skew_handling(on)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_simulate`")]
-    pub fn simulate(self, on: bool) -> Self {
-        self.with_simulate(on)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_unique_build_keys`")]
-    pub fn unique_build_keys(self, unique: bool) -> Self {
-        self.with_unique_build_keys(unique)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_deadline`")]
-    pub fn deadline(self, deadline: Duration) -> Self {
-        self.with_deadline(deadline)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_mem_limit`")]
-    pub fn mem_limit(self, bytes: usize) -> Self {
-        self.with_mem_limit(bytes)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_kernel_mode`")]
-    pub fn kernel_mode(self, mode: KernelMode) -> Self {
-        self.with_kernel_mode(mode)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_cancel_token`")]
-    pub fn cancel_token(self, token: CancelToken) -> Self {
-        self.with_cancel_token(token)
-    }
-}
-
 impl JoinConfig {
     /// Start a validating configuration builder.
     pub fn builder() -> JoinConfigBuilder {
@@ -604,75 +539,6 @@ impl Join {
     /// Validate the plan against the actual relations and execute it.
     pub fn run(&self, r: &Relation, s: &Relation) -> Result<JoinResult, JoinError> {
         self.run_inner(r, s)
-    }
-}
-
-/// Pre-0.4 setter names, kept as thin aliases for one release (see
-/// the `with_*` family above).
-impl Join {
-    #[deprecated(since = "0.4.0", note = "renamed to `with_threads`")]
-    pub fn threads(self, threads: usize) -> Self {
-        self.with_threads(threads)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_sim_threads`")]
-    pub fn sim_threads(self, sim_threads: usize) -> Self {
-        self.with_sim_threads(sim_threads)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_radix_bits`")]
-    pub fn radix_bits(self, bits: u32) -> Self {
-        self.with_radix_bits(bits)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_key_domain`")]
-    pub fn key_domain(self, domain: usize) -> Self {
-        self.with_key_domain(domain)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_zipf`")]
-    pub fn zipf(self, theta: f64) -> Self {
-        self.with_zipf(theta)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_skew_handling`")]
-    pub fn skew_handling(self, on: bool) -> Self {
-        self.with_skew_handling(on)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_simulate`")]
-    pub fn simulate(self, on: bool) -> Self {
-        self.with_simulate(on)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_unique_build_keys`")]
-    pub fn unique_build_keys(self, unique: bool) -> Self {
-        self.with_unique_build_keys(unique)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_deadline`")]
-    pub fn deadline(self, deadline: Duration) -> Self {
-        self.with_deadline(deadline)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_mem_limit`")]
-    pub fn mem_limit(self, bytes: usize) -> Self {
-        self.with_mem_limit(bytes)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_kernel_mode`")]
-    pub fn kernel_mode(self, mode: KernelMode) -> Self {
-        self.with_kernel_mode(mode)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_cancel_token`")]
-    pub fn cancel_token(self, token: CancelToken) -> Self {
-        self.with_cancel_token(token)
-    }
-
-    #[deprecated(since = "0.4.0", note = "renamed to `with_config`")]
-    pub fn config(self, cfg: JoinConfig) -> Self {
-        self.with_config(cfg)
     }
 }
 

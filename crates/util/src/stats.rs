@@ -1,7 +1,11 @@
-//! Tiny descriptive-statistics helpers for the experiment harness
-//! (median-of-repeats reporting, throughput conversion).
+//! Descriptive and comparative statistics for the experiment harness:
+//! median-of-repeats reporting, throughput conversion, and the
+//! distribution-aware tools the regression sentinel runs over raw
+//! repeat vectors (bootstrap confidence intervals, Mann-Whitney U).
 
 use std::time::Duration;
+
+use crate::rng::Xoshiro256;
 
 /// Throughput in the paper's metric: `(|R| + |S|) / runtime`, in million
 /// input tuples per second. (The study deliberately uses the
@@ -57,6 +61,121 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
+/// Bootstrap confidence interval for the median of `xs`: resample with
+/// replacement `iters` times, take the `(1-confidence)/2` percentiles of
+/// the resampled medians. Deterministic for a given `seed`, so two runs
+/// of the sentinel agree on every verdict.
+///
+/// Degenerate inputs collapse gracefully: an empty slice yields
+/// `(0.0, 0.0)`, a single sample yields `(x, x)`.
+pub fn bootstrap_median_ci(xs: &[f64], iters: usize, confidence: f64, seed: u64) -> (f64, f64) {
+    if xs.is_empty() || iters == 0 {
+        return (0.0, 0.0);
+    }
+    let mut rng = Xoshiro256::new(seed);
+    let mut buf = vec![0.0f64; xs.len()];
+    let mut medians = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.below(xs.len() as u64) as usize];
+        }
+        medians.push(median(&buf));
+    }
+    medians.sort_by(|a, b| a.total_cmp(b));
+    let alpha = (1.0 - confidence.clamp(0.0, 1.0)) / 2.0;
+    let lo = ((iters as f64 * alpha).floor() as usize).min(iters - 1);
+    let hi = (((iters as f64) * (1.0 - alpha)).ceil() as usize)
+        .saturating_sub(1)
+        .clamp(lo, iters - 1);
+    (medians[lo], medians[hi])
+}
+
+/// Outcome of a two-sided Mann-Whitney U test over two raw sample
+/// vectors.
+#[derive(Clone, Copy, Debug)]
+pub struct MannWhitney {
+    /// The test statistic `min(U1, U2)`.
+    pub u: f64,
+    /// Tie-corrected, continuity-corrected normal approximation score.
+    pub z: f64,
+    /// Two-sided p-value under the normal approximation. Small sample
+    /// counts bound it away from zero (n1 = n2 = 3 cannot reach 0.05),
+    /// which is why the sentinel also consults bootstrap intervals.
+    pub p: f64,
+}
+
+/// Two-sided Mann-Whitney U test: does one sample tend to produce larger
+/// values than the other? Rank-based, so robust to the heavy right tail
+/// benchmark timings have. Ties receive average ranks and the variance
+/// uses the standard tie correction. Empty inputs and all-tied inputs
+/// report `p = 1.0`.
+pub fn mann_whitney(xs: &[f64], ys: &[f64]) -> MannWhitney {
+    let (n1, n2) = (xs.len(), ys.len());
+    if n1 == 0 || n2 == 0 {
+        return MannWhitney {
+            u: 0.0,
+            z: 0.0,
+            p: 1.0,
+        };
+    }
+    // Pool, sort, assign average ranks to tie runs.
+    let mut pooled: Vec<(f64, bool)> = xs
+        .iter()
+        .map(|&v| (v, true))
+        .chain(ys.iter().map(|&v| (v, false)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let n = n1 + n2;
+    let mut rank_sum_x = 0.0f64;
+    let mut tie_term = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && pooled[j].0 == pooled[i].0 {
+            j += 1;
+        }
+        let run = (j - i) as f64;
+        // Ranks are 1-based: positions i..j share the average rank.
+        let avg_rank = (i + 1 + j) as f64 / 2.0;
+        for item in &pooled[i..j] {
+            if item.1 {
+                rank_sum_x += avg_rank;
+            }
+        }
+        tie_term += run * run * run - run;
+        i = j;
+    }
+    let u1 = rank_sum_x - (n1 * (n1 + 1)) as f64 / 2.0;
+    let u2 = (n1 * n2) as f64 - u1;
+    let u = u1.min(u2);
+    let mean_u = (n1 * n2) as f64 / 2.0;
+    let nf = n as f64;
+    let var = (n1 * n2) as f64 / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0).max(1.0)));
+    if var <= 0.0 {
+        // Every observation tied: the distributions are indistinguishable.
+        return MannWhitney { u, z: 0.0, p: 1.0 };
+    }
+    // Continuity correction pulls |z| toward zero by half a rank unit.
+    let z = (u - mean_u + 0.5) / var.sqrt();
+    let p = (2.0 * normal_cdf(-z.abs())).min(1.0);
+    MannWhitney { u, z, p }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7 — far below any decision threshold
+/// the sentinel uses).
+pub fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = sign * (1.0 - poly * (-x * x).exp());
+    0.5 * (1.0 + erf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +203,79 @@ mod tests {
     #[test]
     fn stddev_constant_is_zero() {
         assert_eq!(stddev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_known_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959964) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.959964) - 0.025).abs() < 1e-4);
+        assert!(normal_cdf(6.0) > 0.999999);
+    }
+
+    #[test]
+    fn mann_whitney_fully_separated() {
+        // R1 = 6, U1 = 0, U2 = 9; z = (0 - 4.5 + 0.5)/sqrt(5.25).
+        let mw = mann_whitney(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(mw.u, 0.0);
+        assert!((mw.z - (-4.0 / 5.25f64.sqrt())).abs() < 1e-9);
+        assert!((mw.p - 0.0809).abs() < 5e-3, "p = {}", mw.p);
+    }
+
+    #[test]
+    fn mann_whitney_tie_handling() {
+        // Pooled [1, 2,2,2, 3,3,3, 4]: the 2-run gets avg rank 3, the
+        // 3-run avg rank 6. R1 = 1 + 3 + 3 + 6 = 13, U = min(3, 13) = 3.
+        // Tie correction: sum(t^3 - t) = 24 + 24 = 48 over n = 8, so
+        // var = (16/12) * (9 - 48/56) and p ≈ 0.172.
+        let mw = mann_whitney(&[1.0, 2.0, 2.0, 3.0], &[2.0, 3.0, 3.0, 4.0]);
+        assert_eq!(mw.u, 3.0);
+        assert!((mw.p - 0.172).abs() < 5e-3, "p = {}", mw.p);
+    }
+
+    #[test]
+    fn mann_whitney_degenerate_inputs() {
+        // Identical samples: no evidence of a shift.
+        let mw = mann_whitney(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert!(mw.p > 0.5, "p = {}", mw.p);
+        // Every observation tied: variance collapses, p pegs at 1.
+        let mw = mann_whitney(&[5.0, 5.0], &[5.0, 5.0]);
+        assert_eq!(mw.p, 1.0);
+        // Empty side: no test possible.
+        assert_eq!(mann_whitney(&[], &[1.0]).p, 1.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_deterministic_and_ordered() {
+        let xs = [1.0, 1.2, 0.9, 1.1, 1.05, 0.95, 1.15];
+        let a = bootstrap_median_ci(&xs, 2000, 0.95, 42);
+        let b = bootstrap_median_ci(&xs, 2000, 0.95, 42);
+        assert_eq!(a, b, "same seed, same interval");
+        assert!(a.0 <= a.1);
+        // The sample median lies inside its own bootstrap interval.
+        let m = median(&xs);
+        assert!(a.0 <= m && m <= a.1, "{a:?} should contain {m}");
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_inputs() {
+        assert_eq!(bootstrap_median_ci(&[], 100, 0.95, 1), (0.0, 0.0));
+        assert_eq!(bootstrap_median_ci(&[7.0], 100, 0.95, 1), (7.0, 7.0));
+        assert_eq!(
+            bootstrap_median_ci(&[3.0, 3.0, 3.0, 3.0], 100, 0.95, 1),
+            (3.0, 3.0)
+        );
+    }
+
+    #[test]
+    fn bootstrap_ci_separates_a_2x_shift() {
+        let fast = [1.0, 1.1, 1.05];
+        let slow: Vec<f64> = fast.iter().map(|x| x * 2.0).collect();
+        let ci_fast = bootstrap_median_ci(&fast, 2000, 0.95, 7);
+        let ci_slow = bootstrap_median_ci(&slow, 2000, 0.95, 7);
+        assert!(
+            ci_slow.0 > ci_fast.1,
+            "2x-shifted intervals must be disjoint: {ci_fast:?} vs {ci_slow:?}"
+        );
     }
 }

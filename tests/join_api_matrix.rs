@@ -1,7 +1,6 @@
 //! The thirteen algorithms through the typed `Join` builder: edge-case
 //! matrix (empty build, empty probe, single tuples), builder-vs-config
-//! equivalence, deprecated-alias compatibility, and the no-respawn
-//! guarantee of the persistent executor.
+//! equivalence, and the no-respawn guarantee of the persistent executor.
 //!
 //! The spawn-counter assertions live here and nowhere else in this test
 //! binary: `Executor::total_threads_spawned()` is process-global, so the
@@ -68,41 +67,6 @@ fn builder_and_config_agree_on_all_thirteen() {
         assert_eq!(via_config.matches, via_setters.matches, "{alg}");
         assert_eq!(via_config.checksum, via_setters.checksum, "{alg}");
     }
-}
-
-/// The pre-0.4 setter names still compile and behave identically to the
-/// `with_*` family they now alias (one release of grace before removal).
-#[test]
-#[allow(deprecated)]
-fn deprecated_aliases_still_work() {
-    let r = gen_build_dense(2_000, 87, Placement::Interleaved);
-    let s = gen_probe_fk(8_000, 2_000, 88, Placement::Interleaved);
-    let old = Join::new(Algorithm::Cprl)
-        .threads(THREADS)
-        .radix_bits(4)
-        .simulate(false)
-        .run(&r, &s)
-        .expect("valid plan");
-    let new = Join::new(Algorithm::Cprl)
-        .with_threads(THREADS)
-        .with_radix_bits(4)
-        .with_simulate(false)
-        .run(&r, &s)
-        .expect("valid plan");
-    assert_eq!(old.matches, new.matches);
-    assert_eq!(old.checksum, new.checksum);
-    let old_cfg = JoinConfig::builder()
-        .threads(THREADS)
-        .simulate(false)
-        .build()
-        .expect("valid config");
-    let new_cfg = JoinConfig::builder()
-        .with_threads(THREADS)
-        .with_simulate(false)
-        .build()
-        .expect("valid config");
-    assert_eq!(old_cfg.threads, new_cfg.threads);
-    assert_eq!(old_cfg.simulate, new_cfg.simulate);
 }
 
 /// The tentpole guarantee: racing all thirteen algorithms creates at
