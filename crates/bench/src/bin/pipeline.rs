@@ -1,0 +1,225 @@
+//! Fused-pipeline perf harness: the composable operator pipeline
+//! (DESIGN.md §12) against the materialized two-step baseline on a
+//! two-join chain, per ported driver.
+//!
+//! ```text
+//! cargo run -p mmjoin-bench --release --bin pipeline            # full
+//! cargo run -p mmjoin-bench --release --bin pipeline -- --quick # CI smoke
+//! cargo run -p mmjoin-bench --release --bin pipeline -- --quick --check
+//! ```
+//!
+//! Emits `BENCH_pipeline.json` (override with `--out PATH`). With
+//! `--check`, exits non-zero if any driver's fused checksum diverges
+//! from the two-step baseline or reports zero bytes avoided — the CI
+//! correctness gate. With `--ledger PATH`, appends a provenance-stamped
+//! entry holding the raw repeat vectors (`fused_NOP` / `twostep_NOP`
+//! cells), so `sentinel` can compare this run against history and
+//! confirm fused-vs-materialized regressions statistically.
+
+use mmjoin_bench::experiments::pipeline::{chain_workload, run_chain, ChainRun};
+use mmjoin_bench::harness::HarnessOpts;
+use mmjoin_bench::ledger::{self, SampleSet};
+use mmjoin_core::pipeline::PORTED;
+use mmjoin_core::Algorithm;
+
+struct DriverRuns {
+    alg: Algorithm,
+    /// Raw repeat wall times, in run order (the ledger stores these).
+    fused: Vec<f64>,
+    two_step: Vec<f64>,
+    bytes_avoided: u64,
+    intermediate_matches: u64,
+    checksum_ok: bool,
+}
+
+impl DriverRuns {
+    fn fused_s(&self) -> f64 {
+        mmjoin_util::stats::median(&self.fused)
+    }
+
+    fn two_step_s(&self) -> f64 {
+        mmjoin_util::stats::median(&self.two_step)
+    }
+
+    /// Two-step time over fused time: > 1 means fusion wins.
+    fn speedup(&self) -> f64 {
+        self.two_step_s() / self.fused_s().max(1e-12)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = match HarnessOpts::parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut quick = false;
+    let mut check = false;
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut ledger_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("error: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--ledger" => match it.next() {
+                Some(p) => ledger_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --ledger needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let counters_before = mmjoin_bench::harness::TrialCounters::snapshot();
+
+    // Paper-million chain sizes, shrunk by --scale. Quick mode keeps
+    // three repeats so the sentinel still sees a distribution.
+    let ((r1_m, r2_m, s_m), reps) = if quick {
+        ((2, 1, 8), 3)
+    } else {
+        ((16, 4, 64), 5)
+    };
+    eprintln!(
+        "pipeline fused vs two-step: quick={quick} threads={}",
+        opts.threads
+    );
+    let (r1, r2, s) = chain_workload(&opts, r1_m, r2_m, s_m, 0xF1B);
+
+    let mut results: Vec<DriverRuns> = Vec::new();
+    for alg in PORTED {
+        // Warm-up run outside the timed samples (pool spin-up, faults).
+        let warm = run_chain(alg, &r1, &r2, &s, opts.threads);
+        let mut runs = DriverRuns {
+            alg,
+            fused: Vec::with_capacity(reps),
+            two_step: Vec::with_capacity(reps),
+            bytes_avoided: warm.bytes_avoided,
+            intermediate_matches: warm.intermediate_matches,
+            checksum_ok: warm.checksum_ok,
+        };
+        for _ in 0..reps {
+            let t: ChainRun = run_chain(alg, &r1, &r2, &s, opts.threads);
+            runs.fused.push(t.fused_secs);
+            runs.two_step.push(t.two_step_secs);
+            runs.checksum_ok &= t.checksum_ok;
+        }
+        results.push(runs);
+    }
+
+    println!(
+        "{:<8} {:>10} {:>12} {:>9} {:>14} {:>13} {:>9}",
+        "driver", "fused_ms", "twostep_ms", "speedup", "interm_tuples", "bytes_avoided", "checksum"
+    );
+    for r in &results {
+        println!(
+            "{:<8} {:>10.2} {:>12.2} {:>8.2}x {:>14} {:>13} {:>9}",
+            r.alg.name(),
+            r.fused_s() * 1e3,
+            r.two_step_s() * 1e3,
+            r.speedup(),
+            r.intermediate_matches,
+            r.bytes_avoided,
+            if r.checksum_ok { "ok" } else { "FAILED" }
+        );
+    }
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"driver\": \"{}\", \"fused_ms\": {:.3}, \"twostep_ms\": {:.3}, \"speedup\": {:.4}, \"intermediate_matches\": {}, \"bytes_avoided\": {}, \"checksum_ok\": {}}}",
+                r.alg.name(),
+                r.fused_s() * 1e3,
+                r.two_step_s() * 1e3,
+                r.speedup(),
+                r.intermediate_matches,
+                r.bytes_avoided,
+                r.checksum_ok
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"meta\": {},\n  \"quick\": {quick},\n  \"threads\": {},\n  \"drivers\": [\n{}\n  ]\n}}\n",
+        mmjoin_bench::harness::meta_json(),
+        opts.threads,
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {out_path}");
+
+    if let Some(path) = &ledger_path {
+        let workload = if quick { "quick" } else { "full" };
+        let samples: Vec<SampleSet> = results
+            .iter()
+            .flat_map(|r| {
+                [
+                    SampleSet {
+                        algorithm: format!("fused_{}", r.alg.name()),
+                        workload: workload.to_string(),
+                        kernel_mode: "auto".to_string(),
+                        secs: r.fused.clone(),
+                    },
+                    SampleSet {
+                        algorithm: format!("twostep_{}", r.alg.name()),
+                        workload: workload.to_string(),
+                        kernel_mode: "auto".to_string(),
+                        secs: r.two_step.clone(),
+                    },
+                ]
+            })
+            .collect();
+        let mut entry = ledger::Entry::stamped("pipeline", opts.threads, samples);
+        let delta = counters_before.delta();
+        entry.retried_trials = delta.retried;
+        entry.failed_trials = delta.failed;
+        match ledger::append(std::path::Path::new(path), &entry) {
+            Ok(()) => eprintln!("ledger: appended {} to {path}", entry.describe()),
+            Err(e) => {
+                eprintln!("error: cannot append to ledger {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if check {
+        // Gate: every driver's fused checksum must equal the two-step
+        // baseline's, and every fused chain must actually have avoided
+        // materializing intermediate bytes.
+        let mut fail = false;
+        for r in &results {
+            if !r.checksum_ok {
+                eprintln!(
+                    "FAIL: {} fused checksum diverges from two-step",
+                    r.alg.name()
+                );
+                fail = true;
+            }
+            if r.bytes_avoided == 0 {
+                eprintln!("FAIL: {} avoided zero intermediate bytes", r.alg.name());
+                fail = true;
+            }
+        }
+        if fail {
+            std::process::exit(1);
+        }
+        eprintln!("check passed");
+    }
+}

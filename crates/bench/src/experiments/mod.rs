@@ -20,6 +20,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod hashfn;
+pub mod pipeline;
 pub mod skewfix;
 pub mod tab3;
 pub mod tab4;
@@ -121,6 +122,11 @@ pub fn registry() -> Vec<Experiment> {
             "tuplerecon",
             "extension: early vs late materialization in Q19",
             tuplerecon::run,
+        ),
+        (
+            "pipeline",
+            "extension: fused operator pipeline vs two-step chain",
+            pipeline::run,
         ),
     ]
 }

@@ -426,7 +426,11 @@ mod tests {
         // with failures we inject ourselves (failures are monotonic).
         let before = TrialCounters::snapshot();
         let res = run_trial_with("snapshot-test", || {
-            Err::<JoinResult, _>(JoinError::ZeroThreads)
+            Err::<JoinResult, _>(JoinError::InvalidConfig {
+                field: "threads",
+                value: 0,
+                reason: "must be >= 1",
+            })
         });
         assert!(res.is_none());
         let d = before.delta();

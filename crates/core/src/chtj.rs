@@ -12,16 +12,12 @@ use mmjoin_util::checksum::JoinChecksum;
 use mmjoin_util::Relation;
 
 use crate::config::JoinConfig;
-use crate::exec::{merge_checksums, parallel_chunks};
+use crate::exec::{merge_checksums, parallel_chunks, MORSEL};
 use crate::fault::{CtxPool, FaultCtx};
 use crate::plan::JoinError;
 use crate::spec::{self, ops};
 use crate::stats::JoinResult;
 use crate::Algorithm;
-
-/// Tuples processed between cancellation/deadline checks inside a
-/// worker's probe chunk.
-const MORSEL: usize = 4096;
 
 /// CHTJ: bulkloaded concise hash table + chunk-parallel probe.
 pub fn join_chtj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResult, JoinError> {

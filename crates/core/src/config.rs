@@ -101,6 +101,11 @@ pub struct JoinConfig {
     pub cancel: CancelToken,
     /// Per-worker span + native-counter recording (off by default).
     pub profile: ProfileConfig,
+    /// Tuples per batch flowing between pipeline operators (see
+    /// `mmjoin_core::pipeline` and DESIGN.md §12). 1024 tuples × 8 B
+    /// keeps a batch and its per-stage output inside L1 alongside the
+    /// probe pipeline's prefetch groups.
+    pub pipeline_batch: usize,
     /// The persistent worker pool all phases of a join run on, resolved
     /// lazily from `threads` on first use (see [`JoinConfig::executor`]).
     exec: OnceLock<Arc<Executor>>,
@@ -126,6 +131,7 @@ impl JoinConfig {
             kernel_mode: None,
             cancel: CancelToken::new(),
             profile: ProfileConfig::off(),
+            pipeline_batch: 1024,
             exec: OnceLock::new(),
         }
     }

@@ -22,6 +22,11 @@ use mmjoin_util::tuple::Tuple;
 
 use crate::executor::{build_queues, Executor, QueuePolicy};
 
+/// Tuples processed between cancellation/deadline checks inside a
+/// worker's chunk — shared by every chunk-parallel driver phase and the
+/// fused pipeline's probe loop.
+pub(crate) const MORSEL: usize = 4096;
+
 /// Run `f(worker_idx, chunk)` over equal chunks of `items` on the pool;
 /// collect the per-worker results in worker order.
 pub fn parallel_chunks<R, F>(pool: &dyn WorkerPool, items: &[Tuple], f: F) -> Vec<R>

@@ -64,6 +64,7 @@ pub mod materialize;
 pub mod mway;
 pub mod nop;
 pub mod observe;
+pub mod pipeline;
 pub mod plan;
 pub mod prb;
 pub mod pro;
@@ -78,6 +79,7 @@ pub use fault::{CancelToken, MemBudget};
 pub use mmjoin_util::kernels::KernelMode;
 pub use mmjoin_util::perf::CounterDelta;
 pub use mmjoin_util::pool::WorkerPhaseStat;
+pub use pipeline::{BuildSide, OperatorKind, Pipeline, PipelineResult};
 pub use plan::{
     AlgorithmDescriptor, Family, Join, JoinConfigBuilder, JoinError, Partitioning, Scheduling,
     TableFlavor,

@@ -15,7 +15,7 @@
 
 use mmjoin_hashtable::{IdentityHash, StLinearTable};
 use mmjoin_partition::{chunked_partition_on, RadixFn, ScatterMode};
-use mmjoin_util::Relation;
+use mmjoin_util::{Placement, Relation, Tuple};
 
 use crate::config::JoinConfig;
 use crate::exec::morsel_map;
@@ -122,6 +122,33 @@ pub fn join_index(
     result.set_checksum(mmjoin_util::checksum::JoinChecksum::new());
     ctx.checkpoint(&result)?;
     Ok(out)
+}
+
+/// The materialized two-step baseline for a two-join chain
+/// `(first ⋈ s) ⋈ second` on `first.payload == second.key`.
+///
+/// Step one materializes `first ⋈ s` as a full join index; step two
+/// re-runs `final_alg` with the intermediate `(first.payload, s.payload)`
+/// relation as its probe side. The fused pipeline
+/// (`crate::pipeline::Pipeline` with two stages) computes the same
+/// checksum without ever allocating the intermediate — the differential
+/// tests pin the two paths against each other, and the `pipeline` bench
+/// experiment reports the bytes this baseline writes that the fused plan
+/// avoids.
+pub fn chain_two_step(
+    first: &Relation,
+    second: &Relation,
+    s: &Relation,
+    final_alg: Algorithm,
+    cfg: &JoinConfig,
+) -> Result<crate::stats::JoinResult, JoinError> {
+    let idx = join_index(first, s, cfg)?;
+    let mid: Vec<Tuple> = idx
+        .iter()
+        .map(|m| Tuple::new(m.build_payload, m.probe_payload))
+        .collect();
+    let mid_rel = Relation::from_tuples(&mid, Placement::Interleaved);
+    crate::plan::dispatch(final_alg, second, &mid_rel, cfg)
 }
 
 #[cfg(test)]

@@ -16,16 +16,12 @@ use mmjoin_util::checksum::JoinChecksum;
 use mmjoin_util::Relation;
 
 use crate::config::JoinConfig;
-use crate::exec::{merge_checksums, parallel_chunks};
+use crate::exec::{merge_checksums, parallel_chunks, MORSEL};
 use crate::fault::{CtxPool, FaultCtx};
 use crate::plan::JoinError;
 use crate::spec::{self, ops};
 use crate::stats::JoinResult;
 use crate::Algorithm;
-
-/// Tuples processed between cancellation/deadline checks inside a
-/// worker's chunk.
-const MORSEL: usize = 4096;
 
 /// NOP: lock-free linear-probing global table.
 pub fn join_nop(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResult, JoinError> {

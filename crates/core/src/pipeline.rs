@@ -1,0 +1,906 @@
+//! The composable operator pipeline — fused multi-join execution with
+//! late materialization (DESIGN.md §12).
+//!
+//! The thirteen classic drivers each own their morsel loops end-to-end,
+//! so a query chaining two joins pays a full materialization of the
+//! intermediate result between them. This module decomposes the ported
+//! drivers into the four operator roles of a push-based pipeline:
+//!
+//! * **Partition** — radix-route a batch to a partitioned build side's
+//!   per-partition tables (PR* stages only; fused into the probe here,
+//!   it never materializes a partitioned copy of the probe input).
+//! * **Build** — construct a stage's immutable build side. Runs once,
+//!   at [`BuildSide::prepare`] time; the result is `Arc`-held and
+//!   reusable across pipelines (the hook for a hot-relation cache).
+//! * **Probe** — probe one build side with a cache-resident batch of
+//!   `(key, rid)` pairs, emitting `(build_payload, rid)` pairs.
+//! * **Materialize** — the sink: gather the probe-side payload by `rid`
+//!   and fold matches into the order-independent [`JoinChecksum`].
+//!
+//! Between stages only fixed-size batches of 8-byte `(key, rid)` tuples
+//! flow — payload columns are gathered *once*, at the sink (late
+//! materialization), so an `n`-join chain avoids `n-1` materialized
+//! intermediate relations entirely.
+//!
+//! Fault plumbing (PR 2) and per-phase spans (PR 4) flow through
+//! unchanged: every phase runs under a [`FaultCtx`] with deadline /
+//! cancellation checks at morsel granularity, memory charges before
+//! large allocations, and `push_phase_pool` span collection.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mmjoin_hashtable::{
+    ArrayTable, ConciseHashTable, ConcurrentArrayTable, ConcurrentLinearTable, IdentityHash,
+    JoinTable, MultiplicativeHash, ProbeOperator, StChainedTable, StLinearTable,
+};
+use mmjoin_partition::{partition_parallel_on, PartitionedRelation, RadixFn, ScatterMode};
+use mmjoin_util::checksum::JoinChecksum;
+use mmjoin_util::chunk_range;
+use mmjoin_util::pool::{broadcast_map, WorkerPool};
+use mmjoin_util::tuple::{Payload, Tuple};
+use mmjoin_util::Relation;
+
+use crate::config::{JoinConfig, TableKind};
+use crate::exec::{morsel_map, parallel_chunks, MORSEL};
+use crate::executor::{Executor, QueuePolicy};
+use crate::fault::{CtxPool, FaultCtx};
+use crate::plan::{JoinConfigBuilder, JoinError};
+use crate::spec::{self, ops, FusedStageModel, PartitionLayout, PartitionWrites};
+use crate::stats::{JoinResult, PhaseStat};
+use crate::Algorithm;
+
+/// Bytes of one materialized intermediate tuple a fused stage avoids —
+/// the [`crate::materialize::JoinMatch`] a two-step plan would write and
+/// re-read per match.
+pub const INTERMEDIATE_TUPLE_BYTES: u64 =
+    std::mem::size_of::<crate::materialize::JoinMatch>() as u64;
+
+/// Drivers ported onto the operator pipeline; the rest still run only
+/// through their monolithic drivers (see the matrix in README.md).
+pub const PORTED: [Algorithm; 6] = [
+    Algorithm::Nop,
+    Algorithm::Nopa,
+    Algorithm::Chtj,
+    Algorithm::Pro,
+    Algorithm::Prl,
+    Algorithm::Pra,
+];
+
+/// Whether `algorithm` has an operator-pipeline port.
+pub fn is_ported(algorithm: Algorithm) -> bool {
+    PORTED.contains(&algorithm)
+}
+
+/// The operator roles a pipeline composes (see the module docs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum OperatorKind {
+    /// Radix-route batches to a partitioned build side's tables.
+    Partition,
+    /// Construct a stage's immutable build side (runs at prepare time).
+    Build,
+    /// Batched probe of one build side.
+    Probe,
+    /// Gather probe payloads by row id and fold into the checksum.
+    Materialize,
+}
+
+/// One stage's immutable build side: the algorithm-specific table(s)
+/// plus the phase stats of their construction. `Arc`-held and reusable
+/// across pipelines — build once, probe from many plans.
+pub struct BuildSide {
+    algorithm: Algorithm,
+    inner: BuildInner,
+    phases: Vec<PhaseStat>,
+    radix_bits: Option<u32>,
+    memory_bytes: usize,
+    /// Cost-model shape of one probe into this side.
+    accesses_per_probe: f64,
+    cpu_per_probe: f64,
+}
+
+enum BuildInner {
+    /// NOP: one global lock-free linear-probing table.
+    Linear(ConcurrentLinearTable<IdentityHash>),
+    /// NOPA: one global payload array over the dense key domain.
+    Array(ConcurrentArrayTable),
+    /// CHTJ: the bulkloaded, read-only concise hash table.
+    Concise(ConciseHashTable<MultiplicativeHash>),
+    /// PRO/PRL/PRA: per-partition tables; probes are radix-routed.
+    Partitioned { radix: RadixFn, tables: PartTables },
+}
+
+enum PartTables {
+    Chained(Vec<StChainedTable<IdentityHash>>),
+    Linear(Vec<StLinearTable<IdentityHash>>),
+    Array(Vec<ArrayTable>),
+}
+
+impl PartTables {
+    fn probe<F: FnMut(&Tuple, Payload)>(
+        &self,
+        p: usize,
+        probes: &[Tuple],
+        unique: bool,
+        f: &mut F,
+    ) {
+        match self {
+            PartTables::Chained(v) => JoinTable::probe_batch(&v[p], probes, unique, f),
+            PartTables::Linear(v) => JoinTable::probe_batch(&v[p], probes, unique, f),
+            PartTables::Array(v) => JoinTable::probe_batch(&v[p], probes, unique, f),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            PartTables::Chained(v) => v.iter().map(|t| t.memory_bytes()).sum(),
+            PartTables::Linear(v) => v.iter().map(|t| t.memory_bytes()).sum(),
+            PartTables::Array(v) => v.iter().map(|t| t.memory_bytes()).sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for BuildSide {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuildSide")
+            .field("algorithm", &self.algorithm)
+            .field("memory_bytes", &self.memory_bytes)
+            .field("radix_bits", &self.radix_bits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BuildSide {
+    /// Run `algorithm`'s build-side phases over `r` and freeze the
+    /// result for probing. Exactly the monolithic driver's partition +
+    /// build work — same memory charges, same failpoints, same phase
+    /// spans — minus everything probe-related.
+    ///
+    /// The memory budget is charged for the construction-time peak and
+    /// released when this returns; how long the `Arc` lives afterwards
+    /// is the caller's concern.
+    pub fn prepare(
+        algorithm: Algorithm,
+        r: &Relation,
+        cfg: &JoinConfig,
+    ) -> Result<Arc<BuildSide>, JoinError> {
+        match catch_unwind(AssertUnwindSafe(|| prepare_inner(algorithm, r, cfg))) {
+            Ok(res) => res,
+            Err(payload) => Err(JoinError::WorkerPanicked {
+                phase: crate::fault::current_phase(),
+                payload: crate::fault::panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// The driver this side was built for.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Bytes resident in the frozen table(s).
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_bytes
+    }
+
+    /// Radix bits of a partitioned side (`None` for global tables).
+    pub fn radix_bits(&self) -> Option<u32> {
+        self.radix_bits
+    }
+
+    /// Phase stats of the build-side construction.
+    pub fn build_phases(&self) -> &[PhaseStat] {
+        &self.phases
+    }
+
+    /// The operator roles this side contributes to a pipeline's probe
+    /// path (build itself already ran).
+    fn probe_operators(&self) -> &'static [OperatorKind] {
+        match self.inner {
+            BuildInner::Partitioned { .. } => &[OperatorKind::Partition, OperatorKind::Probe],
+            _ => &[OperatorKind::Probe],
+        }
+    }
+
+    /// Probe one batch, invoking `f(probe_tuple, build_payload)` per
+    /// match. Partitioned sides route the batch by radix digit first —
+    /// the fused Partition operator: a sort of ≤ one batch, never a
+    /// materialized partitioned copy of the probe input.
+    fn probe_batch<F: FnMut(&Tuple, Payload)>(&self, probes: &[Tuple], unique: bool, mut f: F) {
+        match &self.inner {
+            BuildInner::Linear(t) => t.probe_op(probes, unique, &mut f),
+            BuildInner::Array(t) => t.probe_op(probes, unique, &mut f),
+            BuildInner::Concise(t) => t.probe_op(probes, unique, &mut f),
+            BuildInner::Partitioned { radix, tables } => {
+                let mut routed = probes.to_vec();
+                routed.sort_unstable_by_key(|t| radix.part(t.key));
+                let mut i = 0;
+                while i < routed.len() {
+                    let p = radix.part(routed[i].key);
+                    let mut j = i + 1;
+                    while j < routed.len() && radix.part(routed[j].key) == p {
+                        j += 1;
+                    }
+                    tables.probe(p, &routed[i..j], unique, &mut f);
+                    i = j;
+                }
+            }
+        }
+    }
+}
+
+fn prepare_inner(
+    algorithm: Algorithm,
+    r: &Relation,
+    cfg: &JoinConfig,
+) -> Result<Arc<BuildSide>, JoinError> {
+    if !is_ported(algorithm) {
+        return Err(JoinError::PipelineUnsupported { algorithm });
+    }
+    // Same front-door validation as `Join::run`: array sides index a
+    // payload array by key.
+    if algorithm.needs_dense_domain() {
+        if let Some(max_key) = r.tuples().iter().map(|t| t.key).max() {
+            let domain = cfg.domain(r.len());
+            if max_key as usize > domain {
+                return Err(JoinError::DomainExceeded {
+                    algorithm,
+                    max_key,
+                    domain,
+                });
+            }
+        }
+    }
+
+    let ctx = FaultCtx::begin(algorithm, cfg);
+    let mut result = JoinResult::new(algorithm);
+    let pool = cfg.executor();
+    pool.start_recording(cfg.profile.enabled);
+    let cpool = CtxPool::new(pool.as_ref(), &ctx);
+
+    let mut radix_bits = None;
+    let (inner, accesses, cpu) = match algorithm {
+        Algorithm::Nop => {
+            ctx.enter_phase("build");
+            let _table_charge = ctx.charge((2 * r.len().max(1)).next_power_of_two() * 8)?;
+            let table = ConcurrentLinearTable::<IdentityHash>::with_capacity(r.len());
+            let table_bytes = table.memory_bytes() as f64;
+            let start = Instant::now();
+            parallel_chunks(&cpool, r.tuples(), |_, chunk| {
+                for block in chunk.chunks(MORSEL) {
+                    if ctx.should_stop() {
+                        return;
+                    }
+                    table.insert_batch(block);
+                }
+            });
+            let build_wall = start.elapsed();
+            let specs =
+                spec::global_build_specs(cfg, r.len(), r.placement(), table_bytes, ops::BUILD);
+            let order: Vec<usize> = (0..specs.len()).collect();
+            let (build_sim, _) = spec::run_phase(cfg, &specs, &order);
+            result.push_phase_pool("build", build_wall, build_sim, &pool);
+            ctx.checkpoint(&result)?;
+            (BuildInner::Linear(table), 1.0, ops::PROBE)
+        }
+        Algorithm::Nopa => {
+            ctx.enter_phase("build");
+            let domain = cfg.domain(r.len());
+            let _table_charge = ctx.charge((domain + 1) * 8)?;
+            let table = ConcurrentArrayTable::new(domain + 1, 1);
+            let table_bytes = table.memory_bytes() as f64;
+            let start = Instant::now();
+            parallel_chunks(&cpool, r.tuples(), |_, chunk| {
+                for block in chunk.chunks(MORSEL) {
+                    if ctx.should_stop() {
+                        return;
+                    }
+                    table.insert_batch(block);
+                }
+            });
+            let build_wall = start.elapsed();
+            let specs =
+                spec::global_build_specs(cfg, r.len(), r.placement(), table_bytes, ops::ARRAY);
+            let order: Vec<usize> = (0..specs.len()).collect();
+            let (build_sim, _) = spec::run_phase(cfg, &specs, &order);
+            result.push_phase_pool("build", build_wall, build_sim, &pool);
+            ctx.checkpoint(&result)?;
+            (BuildInner::Array(table), 1.0, ops::ARRAY)
+        }
+        Algorithm::Chtj => {
+            ctx.enter_phase("build");
+            let _table_charge = ctx.charge(r.len() * 16)?;
+            let start = Instant::now();
+            let cht = ConciseHashTable::<MultiplicativeHash>::build_on(r.tuples(), &cpool);
+            let build_wall = start.elapsed();
+            let table_bytes = cht.memory_bytes() as f64;
+            let specs = spec::global_build_specs(
+                cfg,
+                r.len(),
+                r.placement(),
+                table_bytes,
+                ops::BUILD + 2.0,
+            );
+            let order: Vec<usize> = (0..specs.len()).collect();
+            let (build_sim, _) = spec::run_phase(cfg, &specs, &order);
+            result.push_phase_pool("build", build_wall, build_sim, &pool);
+            ctx.checkpoint(&result)?;
+            (BuildInner::Concise(cht), 2.0, ops::CHT_PROBE)
+        }
+        Algorithm::Pro | Algorithm::Prl | Algorithm::Pra => {
+            let kind = match algorithm {
+                Algorithm::Pro => TableKind::Chained,
+                Algorithm::Prl => TableKind::Linear,
+                _ => TableKind::Array,
+            };
+            let bits = crate::pro::radix_bits(cfg, kind, r.len());
+            radix_bits = Some(bits);
+            let f = RadixFn::new(bits);
+            let parts = f.fanout();
+            let domain = cfg.domain(r.len());
+
+            // Partition phase — build side only: the probe input is
+            // routed batch-by-batch at probe time, never copied.
+            ctx.enter_phase("partition");
+            let _part_charge = ctx.charge(r.len() * 8 + cfg.threads * parts * 64)?;
+            let start = Instant::now();
+            let pr = partition_parallel_on(r.tuples(), f, &cpool, ScatterMode::Swwcb);
+            let part_wall = start.elapsed();
+            let specs = spec::partition_pass_specs(
+                cfg,
+                r.len(),
+                r.placement(),
+                parts,
+                true,
+                PartitionWrites::GlobalInterleaved,
+            );
+            let order: Vec<usize> = (0..specs.len()).collect();
+            let (part_sim, part_phase) = spec::run_phase(cfg, &specs, &order);
+            result.push_phase_pool("partition", part_wall, part_sim, &pool);
+            if cfg.keep_timelines {
+                result.timelines.push(("partition", part_phase));
+            }
+            ctx.checkpoint(&result)?;
+
+            // Build phase: one table per partition off the morsel queue.
+            ctx.enter_phase("build");
+            let table_bytes_total: usize = (0..parts)
+                .map(|p| crate::pro::spec_for(kind, bits, domain, pr.part_len(p)).table_bytes())
+                .sum();
+            let _table_charge = ctx.charge(table_bytes_total)?;
+            let start = Instant::now();
+            let tables = build_part_tables(&pool, &ctx, &pr, kind, bits, domain);
+            let build_wall = start.elapsed();
+            let r_sizes: Vec<usize> = (0..parts).map(|p| pr.part_len(p)).collect();
+            let no_probes = vec![0usize; parts];
+            let (cpu_build, cpu_probe) = crate::pro::table_cpu(kind);
+            let specs = spec::join_task_specs(
+                cfg,
+                &r_sizes,
+                &no_probes,
+                PartitionLayout::Contiguous,
+                cpu_build,
+                cpu_probe,
+                crate::pro::table_bytes_per_tuple(kind, domain, bits, r.len()),
+            );
+            let order: Vec<usize> = (0..specs.len()).collect();
+            let (build_sim, _) = spec::run_phase(cfg, &specs, &order);
+            result.push_phase_pool("build", build_wall, build_sim, &pool);
+            ctx.checkpoint(&result)?;
+            (BuildInner::Partitioned { radix: f, tables }, 1.0, cpu_probe)
+        }
+        // `is_ported` gated everything else above.
+        _ => unreachable!("unported algorithm passed the is_ported gate"),
+    };
+
+    let memory_bytes = match &inner {
+        BuildInner::Linear(t) => t.memory_bytes(),
+        BuildInner::Array(t) => t.memory_bytes(),
+        BuildInner::Concise(t) => t.memory_bytes(),
+        BuildInner::Partitioned { tables, .. } => tables.memory_bytes(),
+    };
+    Ok(Arc::new(BuildSide {
+        algorithm,
+        inner,
+        phases: result.phases,
+        radix_bits,
+        memory_bytes,
+        accesses_per_probe: accesses,
+        cpu_per_probe: cpu,
+    }))
+}
+
+fn build_part_tables(
+    pool: &Executor,
+    ctx: &FaultCtx,
+    pr: &PartitionedRelation,
+    kind: TableKind,
+    bits: u32,
+    domain: usize,
+) -> PartTables {
+    match kind {
+        TableKind::Chained => PartTables::Chained(build_tables(pool, ctx, pr, kind, bits, domain)),
+        TableKind::Linear => PartTables::Linear(build_tables(pool, ctx, pr, kind, bits, domain)),
+        TableKind::Array => PartTables::Array(build_tables(pool, ctx, pr, kind, bits, domain)),
+    }
+}
+
+fn build_tables<T: JoinTable + Send>(
+    pool: &Executor,
+    ctx: &FaultCtx,
+    pr: &PartitionedRelation,
+    kind: TableKind,
+    bits: u32,
+    domain: usize,
+) -> Vec<T> {
+    let parts = pr.parts();
+    let order: Vec<usize> = (0..parts).collect();
+    let mut tabs: Vec<(usize, T)> = morsel_map(pool, &order, parts, QueuePolicy::Shared, |p| {
+        let spec = crate::pro::spec_for(kind, bits, domain, pr.part_len(p));
+        let mut t = T::with_spec(&spec);
+        if !ctx.tick() {
+            t.insert_batch(pr.partition(p));
+        }
+        (p, t)
+    });
+    tabs.sort_unstable_by_key(|t| t.0);
+    tabs.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Result of a fused pipeline run.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct PipelineResult {
+    /// Matches reaching the sink.
+    pub matches: u64,
+    /// Order-independent digest over `(key, build_payload,
+    /// probe_payload)` at the sink — comparable to
+    /// [`JoinResult::checksum`](crate::JoinResult) of the equivalent
+    /// materialized plan.
+    pub checksum: u64,
+    /// Build phases of every stage (in stage order) followed by the one
+    /// fused probe phase.
+    pub phases: Vec<PhaseStat>,
+    /// Matches that crossed a stage boundary *without* being
+    /// materialized — what a two-step plan would have written out and
+    /// re-read as an intermediate relation.
+    pub intermediate_matches: u64,
+    /// `intermediate_matches` × the bytes of one materialized
+    /// intermediate tuple ([`INTERMEDIATE_TUPLE_BYTES`]).
+    pub bytes_avoided: u64,
+}
+
+impl PipelineResult {
+    /// Total wall time across all phases.
+    pub fn total_wall(&self) -> std::time::Duration {
+        self.phases.iter().map(|p| p.wall).sum()
+    }
+}
+
+/// A fused multi-join pipeline: probe tuples flow through every staged
+/// build side as cache-resident `(key, rid)` batches, and payloads are
+/// gathered only at the sink.
+///
+/// ```
+/// use mmjoin_core::{Algorithm, JoinConfig, Pipeline, pipeline::BuildSide};
+/// use mmjoin_datagen::{gen_build_dense, gen_probe_fk};
+/// use mmjoin_util::Placement;
+///
+/// let mut cfg = JoinConfig::new(2);
+/// cfg.simulate = false;
+/// let r = gen_build_dense(1_000, 7, Placement::Interleaved);
+/// let s = gen_probe_fk(4_000, 1_000, 8, Placement::Interleaved);
+/// let side = BuildSide::prepare(Algorithm::Nop, &r, &cfg).unwrap();
+/// let res = Pipeline::new()
+///     .with_stage(side)
+///     .with_config(cfg)
+///     .run(&s)
+///     .unwrap();
+/// assert_eq!(res.matches, 4_000);
+/// ```
+#[must_use = "a Pipeline does nothing until run"]
+#[derive(Clone, Default)]
+pub struct Pipeline {
+    stages: Vec<Arc<BuildSide>>,
+    builder: JoinConfigBuilder,
+    config: Option<JoinConfig>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("stages", &self.stages)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pipeline {
+    /// An empty pipeline; add stages with [`Pipeline::with_stage`].
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Append a probe stage: tuples surviving the previous stage probe
+    /// `side` next, keyed by that stage's build payload. The `Arc` may
+    /// be shared with other pipelines.
+    pub fn with_stage(mut self, side: Arc<BuildSide>) -> Self {
+        self.stages.push(side);
+        self
+    }
+
+    /// Host worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.builder = self.builder.with_threads(threads);
+        self
+    }
+
+    /// Cost-model thread count.
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.builder = self.builder.with_sim_threads(sim_threads);
+        self
+    }
+
+    /// Simulated NUMA timing on/off.
+    pub fn with_simulate(mut self, on: bool) -> Self {
+        self.builder = self.builder.with_simulate(on);
+        self
+    }
+
+    /// Unique-build-keys (PK) assumption for every stage's probes.
+    pub fn with_unique_build_keys(mut self, unique: bool) -> Self {
+        self.builder = self.builder.with_unique_build_keys(unique);
+        self
+    }
+
+    /// Tuples per inter-operator batch (must be >= 1).
+    pub fn with_batch_size(mut self, tuples: usize) -> Self {
+        self.builder = self.builder.with_pipeline_batch(tuples);
+        self
+    }
+
+    /// Hardware-kernel selection (see
+    /// [`JoinConfigBuilder::with_kernel_mode`]).
+    pub fn with_kernel_mode(mut self, mode: mmjoin_util::kernels::KernelMode) -> Self {
+        self.builder = self.builder.with_kernel_mode(mode);
+        self
+    }
+
+    /// Wall-clock bound on the probe phase.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.builder = self.builder.with_deadline(deadline);
+        self
+    }
+
+    /// Byte budget for the pipeline's allocations.
+    pub fn with_mem_limit(mut self, bytes: usize) -> Self {
+        self.builder = self.builder.with_mem_limit(bytes);
+        self
+    }
+
+    /// Cancellation handle for this pipeline's runs.
+    pub fn with_cancel_token(mut self, token: crate::fault::CancelToken) -> Self {
+        self.builder = self.builder.with_cancel_token(token);
+        self
+    }
+
+    /// Per-worker span + native-counter recording.
+    pub fn with_profile(mut self, profile: crate::config::ProfileConfig) -> Self {
+        self.builder = self.builder.with_profile(profile);
+        self
+    }
+
+    /// Use a fully-formed configuration, bypassing the builder knobs.
+    /// Should match the configuration the stages were prepared with.
+    pub fn with_config(mut self, cfg: JoinConfig) -> Self {
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Number of staged build sides.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The operator graph this pipeline executes: every stage's Build
+    /// (already run at prepare time), then the fused probe path —
+    /// per-stage Partition (partitioned sides only) and Probe — ending
+    /// in the one Materialize sink.
+    pub fn operators(&self) -> Vec<OperatorKind> {
+        let mut ops: Vec<OperatorKind> = self.stages.iter().map(|_| OperatorKind::Build).collect();
+        for side in &self.stages {
+            ops.extend_from_slice(side.probe_operators());
+        }
+        ops.push(OperatorKind::Materialize);
+        ops
+    }
+
+    /// Run the fused probe over `s`.
+    pub fn run(&self, s: &Relation) -> Result<PipelineResult, JoinError> {
+        if self.stages.is_empty() {
+            return Err(JoinError::InvalidConfig {
+                field: "stages",
+                value: 0,
+                reason: "a pipeline needs at least one build side",
+            });
+        }
+        let cfg = match &self.config {
+            Some(cfg) => cfg.clone(),
+            None => self.builder.clone().build()?,
+        };
+        match catch_unwind(AssertUnwindSafe(|| self.run_fused(s, &cfg))) {
+            Ok(res) => res,
+            Err(payload) => Err(JoinError::WorkerPanicked {
+                phase: crate::fault::current_phase(),
+                payload: crate::fault::panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
+    fn run_fused(&self, s: &Relation, cfg: &JoinConfig) -> Result<PipelineResult, JoinError> {
+        let stages = &self.stages[..];
+        let ctx = FaultCtx::begin(stages[0].algorithm, cfg);
+        let mut result = JoinResult::new(stages[0].algorithm);
+        result.radix_bits = stages[0].radix_bits;
+        for side in stages {
+            result.phases.extend(side.phases.iter().cloned());
+        }
+        let pool = cfg.executor();
+        pool.start_recording(cfg.profile.enabled);
+        let cpool = CtxPool::new(pool.as_ref(), &ctx);
+
+        ctx.enter_phase("probe");
+        let batch = cfg.pipeline_batch.max(1);
+        // Per-worker staging batches, one per stage depth.
+        let _batch_charge = ctx.charge(cfg.threads * stages.len() * batch * 8)?;
+        let s_tuples = s.tuples();
+        let unique = cfg.unique_build_keys;
+        let active = pool.workers().clamp(1, s_tuples.len().max(1));
+        let start = Instant::now();
+        let outs: Vec<(JoinChecksum, Vec<u64>)> = broadcast_map(&cpool, active, |w| {
+            let range = chunk_range(s_tuples.len(), active, w);
+            let mut rid = range.start as u32;
+            let mut c = JoinChecksum::new();
+            let mut inter = vec![0u64; stages.len() - 1];
+            let mut input: Vec<Tuple> = Vec::with_capacity(batch);
+            for block in s_tuples[range].chunks(MORSEL) {
+                if ctx.should_stop() {
+                    return (c, inter);
+                }
+                for sub in block.chunks(batch) {
+                    input.clear();
+                    for t in sub {
+                        // Late materialization: only (key, rid) flows.
+                        input.push(Tuple::new(t.key, rid));
+                        rid += 1;
+                    }
+                    cascade_batch(
+                        stages, 0, &input, unique, batch, s_tuples, &mut c, &mut inter,
+                    );
+                }
+            }
+            (c, inter)
+        });
+        let probe_wall = start.elapsed();
+
+        let mut checksum = JoinChecksum::new();
+        let mut inter = vec![0u64; stages.len() - 1];
+        for (c, i) in outs {
+            checksum.merge(c);
+            for (total, part) in inter.iter_mut().zip(i) {
+                *total += part;
+            }
+        }
+
+        // Cost-model view: per stage, the tuples that actually reached it
+        // probing that stage's resident structure.
+        let mut models = Vec::with_capacity(stages.len());
+        let mut tuples_in = s_tuples.len();
+        for (k, side) in stages.iter().enumerate() {
+            models.push(FusedStageModel {
+                tuples_in,
+                table_bytes: side.memory_bytes as f64,
+                accesses_per_probe: side.accesses_per_probe,
+                cpu_per_tuple: side.cpu_per_probe,
+            });
+            if k < inter.len() {
+                tuples_in = inter[k] as usize;
+            }
+        }
+        let specs = spec::fused_probe_specs(cfg, s.len(), s.placement(), &models);
+        let order: Vec<usize> = (0..specs.len()).collect();
+        let (probe_sim, probe_phase) = spec::run_phase(cfg, &specs, &order);
+        result.set_checksum(checksum);
+        result.push_phase_pool("probe", probe_wall, probe_sim, &pool);
+        if cfg.keep_timelines {
+            result.timelines.push(("probe", probe_phase));
+        }
+        ctx.checkpoint(&result)?;
+
+        let intermediate_matches: u64 = inter.iter().sum();
+        Ok(PipelineResult {
+            matches: result.matches,
+            checksum: result.checksum,
+            phases: result.phases,
+            intermediate_matches,
+            bytes_avoided: intermediate_matches * INTERMEDIATE_TUPLE_BYTES,
+        })
+    }
+}
+
+/// Push one batch through the stages from `depth` on. Non-sink stages
+/// emit `(build_payload, rid)` into a fresh cache-resident batch (the
+/// rid rides along untouched — that is the whole late-materialization
+/// contract); the sink gathers `s_tuples[rid].payload` and folds into
+/// the checksum.
+#[allow(clippy::too_many_arguments)]
+fn cascade_batch(
+    stages: &[Arc<BuildSide>],
+    depth: usize,
+    input: &[Tuple],
+    unique: bool,
+    batch_cap: usize,
+    s_tuples: &[Tuple],
+    c: &mut JoinChecksum,
+    inter: &mut [u64],
+) {
+    let side = &stages[depth];
+    if depth + 1 == stages.len() {
+        side.probe_batch(input, unique, |t, bp| {
+            c.add(t.key, bp, s_tuples[t.payload as usize].payload)
+        });
+    } else {
+        let mut out: Vec<Tuple> = Vec::with_capacity(batch_cap);
+        side.probe_batch(input, unique, |t, bp| out.push(Tuple::new(bp, t.payload)));
+        inter[depth] += out.len() as u64;
+        for chunk in out.chunks(batch_cap) {
+            cascade_batch(
+                stages,
+                depth + 1,
+                chunk,
+                unique,
+                batch_cap,
+                s_tuples,
+                c,
+                inter,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_join;
+    use mmjoin_datagen::{gen_build_dense, gen_probe_fk};
+    use mmjoin_util::Placement;
+
+    fn cfg(threads: usize) -> JoinConfig {
+        let mut cfg = JoinConfig::new(threads);
+        cfg.simulate = false;
+        cfg
+    }
+
+    #[test]
+    fn single_stage_matches_reference_for_every_ported_driver() {
+        let n = 4_000;
+        let r = gen_build_dense(n, 11, Placement::Chunked { parts: 4 });
+        let s = gen_probe_fk(3 * n, n, 12, Placement::Chunked { parts: 4 });
+        let expect = reference_join(&r, &s);
+        for alg in PORTED {
+            let cfg = cfg(4);
+            let side = BuildSide::prepare(alg, &r, &cfg).unwrap();
+            assert_eq!(side.algorithm(), alg);
+            assert!(side.memory_bytes() > 0, "{alg}");
+            assert!(!side.build_phases().is_empty(), "{alg}");
+            let res = Pipeline::new()
+                .with_stage(side)
+                .with_config(cfg)
+                .run(&s)
+                .unwrap();
+            assert_eq!(res.matches, expect.count, "{alg}");
+            assert_eq!(res.checksum, expect.digest, "{alg}");
+            assert_eq!(res.intermediate_matches, 0, "{alg}: single stage");
+            assert_eq!(res.bytes_avoided, 0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn shared_build_side_probes_from_two_pipelines() {
+        let n = 2_000;
+        let r = gen_build_dense(n, 13, Placement::Interleaved);
+        let s1 = gen_probe_fk(n, n, 14, Placement::Interleaved);
+        let s2 = gen_probe_fk(2 * n, n, 15, Placement::Interleaved);
+        let cfg = cfg(2);
+        let side = BuildSide::prepare(Algorithm::Prl, &r, &cfg).unwrap();
+        let a = Pipeline::new()
+            .with_stage(Arc::clone(&side))
+            .with_config(cfg.clone())
+            .run(&s1)
+            .unwrap();
+        let b = Pipeline::new()
+            .with_stage(side)
+            .with_config(cfg)
+            .run(&s2)
+            .unwrap();
+        assert_eq!(a.matches, reference_join(&r, &s1).count);
+        assert_eq!(b.matches, reference_join(&r, &s2).count);
+    }
+
+    #[test]
+    fn empty_pipeline_is_invalid() {
+        let s = gen_probe_fk(100, 100, 16, Placement::Interleaved);
+        let err = Pipeline::new().run(&s).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JoinError::InvalidConfig {
+                    field: "stages",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn unported_algorithm_rejected() {
+        let r = gen_build_dense(100, 17, Placement::Interleaved);
+        let err = BuildSide::prepare(Algorithm::Mway, &r, &cfg(2)).unwrap_err();
+        assert_eq!(
+            err,
+            JoinError::PipelineUnsupported {
+                algorithm: Algorithm::Mway
+            }
+        );
+    }
+
+    #[test]
+    fn operator_graph_shape() {
+        let r = gen_build_dense(500, 18, Placement::Interleaved);
+        let cfg = cfg(2);
+        let global = BuildSide::prepare(Algorithm::Nop, &r, &cfg).unwrap();
+        let parted = BuildSide::prepare(Algorithm::Pro, &r, &cfg).unwrap();
+        let p = Pipeline::new().with_stage(global).with_stage(parted);
+        assert_eq!(p.stage_count(), 2);
+        assert_eq!(
+            p.operators(),
+            vec![
+                OperatorKind::Build,
+                OperatorKind::Build,
+                OperatorKind::Probe,
+                OperatorKind::Partition,
+                OperatorKind::Probe,
+                OperatorKind::Materialize,
+            ]
+        );
+    }
+
+    #[test]
+    fn tiny_batches_and_empty_probe() {
+        let n = 1_000;
+        let r = gen_build_dense(n, 19, Placement::Interleaved);
+        let s = gen_probe_fk(2 * n, n, 20, Placement::Interleaved);
+        let expect = reference_join(&r, &s);
+        let side = BuildSide::prepare(Algorithm::Chtj, &r, &cfg(2)).unwrap();
+        for batch in [1, 7, 1024] {
+            let res = Pipeline::new()
+                .with_stage(Arc::clone(&side))
+                .with_threads(2)
+                .with_simulate(false)
+                .with_batch_size(batch)
+                .run(&s)
+                .unwrap();
+            assert_eq!(res.matches, expect.count, "batch={batch}");
+            assert_eq!(res.checksum, expect.digest, "batch={batch}");
+        }
+        let empty = Relation::from_tuples(&[], Placement::Interleaved);
+        let res = Pipeline::new()
+            .with_stage(side)
+            .with_config(cfg(2))
+            .run(&empty)
+            .unwrap();
+        assert_eq!(res.matches, 0);
+    }
+}

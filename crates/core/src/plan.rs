@@ -35,18 +35,29 @@ use crate::Algorithm;
 /// beyond any cache-resident co-partition size the study explores.
 pub const MAX_RADIX_BITS: u32 = 24;
 
+/// Largest accepted host thread count: past this the "workers" are pure
+/// oversubscription noise on any machine the study models.
+pub const MAX_THREADS: usize = 1024;
+
 /// A failure raised while building a [`JoinConfig`], launching a
 /// [`Join`], or — for the runtime variants (`WorkerPanicked`,
 /// `Timedout`, `Cancelled`, `MemoryBudgetExceeded`) — during execution.
 #[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
 pub enum JoinError {
-    /// `threads` must be at least 1.
-    ZeroThreads,
-    /// `sim_threads`, when set, must be at least 1.
-    ZeroSimThreads,
-    /// `radix_bits` outside `1..=MAX_RADIX_BITS`.
-    RadixBitsOutOfRange { bits: u32 },
+    /// A configuration field failed builder-time validation — a zero
+    /// thread count, an out-of-range radix fanout, an oversubscribed
+    /// host. Surfaces at [`JoinConfigBuilder::build`], before any
+    /// partitioning work starts.
+    InvalidConfig {
+        field: &'static str,
+        value: usize,
+        reason: &'static str,
+    },
+    /// The algorithm has no operator-pipeline port yet (see
+    /// [`crate::pipeline::PORTED`]); run it through its monolithic
+    /// driver instead.
+    PipelineUnsupported { algorithm: Algorithm },
     /// A dense-domain algorithm (NOPA/PRA/CPRA/PRAiS) was given build
     /// keys beyond the configured key domain; the payload array cannot
     /// be sized. Raise `key_domain` or pick a hash-table variant.
@@ -90,10 +101,20 @@ pub enum JoinError {
 impl std::fmt::Display for JoinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            JoinError::ZeroThreads => write!(f, "threads must be >= 1"),
-            JoinError::ZeroSimThreads => write!(f, "sim_threads must be >= 1 when set"),
-            JoinError::RadixBitsOutOfRange { bits } => {
-                write!(f, "radix_bits {bits} outside 1..={MAX_RADIX_BITS}")
+            JoinError::InvalidConfig {
+                field,
+                value,
+                reason,
+            } => write!(f, "invalid {field} = {value}: {reason}"),
+            JoinError::PipelineUnsupported { algorithm } => {
+                write!(f, "{algorithm} has no operator-pipeline port (ported: ")?;
+                for (i, a) in crate::pipeline::PORTED.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
             }
             JoinError::DomainExceeded {
                 algorithm,
@@ -263,6 +284,7 @@ impl Algorithm {
 
 /// Validating builder for [`JoinConfig`] — the panic-free alternative to
 /// mutating a `JoinConfig::new` value directly.
+#[must_use = "a JoinConfigBuilder does nothing until built"]
 #[derive(Clone, Debug, Default)]
 pub struct JoinConfigBuilder {
     threads: Option<usize>,
@@ -278,6 +300,7 @@ pub struct JoinConfigBuilder {
     kernel_mode: Option<KernelMode>,
     cancel: Option<CancelToken>,
     profile: Option<ProfileConfig>,
+    pipeline_batch: Option<usize>,
 }
 
 impl JoinConfigBuilder {
@@ -366,19 +389,52 @@ impl JoinConfigBuilder {
         self
     }
 
+    /// Tuples per batch flowing between pipeline operators (must be
+    /// >= 1; see `mmjoin_core::pipeline`).
+    pub fn with_pipeline_batch(mut self, tuples: usize) -> Self {
+        self.pipeline_batch = Some(tuples);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<JoinConfig, JoinError> {
         let threads = self.threads.unwrap_or(4);
         if threads == 0 {
-            return Err(JoinError::ZeroThreads);
+            return Err(JoinError::InvalidConfig {
+                field: "threads",
+                value: 0,
+                reason: "must be >= 1",
+            });
+        }
+        if threads > MAX_THREADS {
+            return Err(JoinError::InvalidConfig {
+                field: "threads",
+                value: threads,
+                reason: "exceeds MAX_THREADS (1024): oversubscribed host",
+            });
         }
         if self.sim_threads == Some(0) {
-            return Err(JoinError::ZeroSimThreads);
+            return Err(JoinError::InvalidConfig {
+                field: "sim_threads",
+                value: 0,
+                reason: "must be >= 1 when set",
+            });
         }
         if let Some(bits) = self.radix_bits {
             if bits == 0 || bits > MAX_RADIX_BITS {
-                return Err(JoinError::RadixBitsOutOfRange { bits });
+                return Err(JoinError::InvalidConfig {
+                    field: "radix_bits",
+                    value: bits as usize,
+                    reason: "must be in 1..=MAX_RADIX_BITS (24)",
+                });
             }
+        }
+        if self.pipeline_batch == Some(0) {
+            return Err(JoinError::InvalidConfig {
+                field: "pipeline_batch",
+                value: 0,
+                reason: "must be >= 1",
+            });
         }
         let mut cfg = JoinConfig::new(threads);
         cfg.sim_threads = self.sim_threads;
@@ -407,6 +463,9 @@ impl JoinConfigBuilder {
         if let Some(profile) = self.profile {
             cfg.profile = profile;
         }
+        if let Some(batch) = self.pipeline_batch {
+            cfg.pipeline_batch = batch;
+        }
         Ok(cfg)
     }
 }
@@ -422,11 +481,13 @@ impl JoinConfig {
 /// `with_*` knobs, and [`run`](Join::run) it. The sole entry point —
 /// configuration mistakes come back as [`JoinError`] before any
 /// partitioning work starts, instead of panicking mid-phase.
+#[must_use = "a Join does nothing until run"]
 #[derive(Clone, Debug)]
 pub struct Join {
     algorithm: Algorithm,
     builder: JoinConfigBuilder,
     config: Option<JoinConfig>,
+    pipeline: bool,
 }
 
 impl Join {
@@ -436,6 +497,7 @@ impl Join {
             algorithm,
             builder: JoinConfigBuilder::default(),
             config: None,
+            pipeline: false,
         }
     }
 
@@ -529,6 +591,24 @@ impl Join {
         self
     }
 
+    /// Tuples per batch flowing between pipeline operators (see
+    /// [`JoinConfigBuilder::with_pipeline_batch`]).
+    pub fn with_pipeline_batch(mut self, tuples: usize) -> Self {
+        self.builder = self.builder.with_pipeline_batch(tuples);
+        self
+    }
+
+    /// Execute through the composable operator pipeline
+    /// (`mmjoin_core::pipeline`) instead of the monolithic driver:
+    /// [`crate::pipeline::BuildSide::prepare`] then a one-stage fused
+    /// probe. Identical matches and checksum; only the ported
+    /// algorithms ([`crate::pipeline::PORTED`]) accept it — the rest
+    /// return [`JoinError::PipelineUnsupported`].
+    pub fn with_pipeline(mut self, fused: bool) -> Self {
+        self.pipeline = fused;
+        self
+    }
+
     /// Use a fully-formed configuration, bypassing the builder knobs
     /// (they are ignored when this is set).
     pub fn with_config(mut self, cfg: JoinConfig) -> Self {
@@ -561,6 +641,20 @@ impl Join {
                     });
                 }
             }
+        }
+        if self.pipeline {
+            let side = crate::pipeline::BuildSide::prepare(self.algorithm, r, &cfg)?;
+            let radix_bits = side.radix_bits();
+            let pres = crate::pipeline::Pipeline::new()
+                .with_stage(side)
+                .with_config(cfg)
+                .run(s)?;
+            let mut result = JoinResult::new(self.algorithm);
+            result.radix_bits = radix_bits;
+            result.matches = pres.matches;
+            result.checksum = pres.checksum;
+            result.phases = pres.phases;
+            return Ok(result);
         }
         dispatch(self.algorithm, r, s, &cfg)
     }
@@ -622,14 +716,22 @@ mod tests {
     fn builder_validates_threads() {
         assert_eq!(
             JoinConfig::builder().with_threads(0).build().unwrap_err(),
-            JoinError::ZeroThreads
+            JoinError::InvalidConfig {
+                field: "threads",
+                value: 0,
+                reason: "must be >= 1",
+            }
         );
         assert_eq!(
             JoinConfig::builder()
                 .with_sim_threads(0)
                 .build()
                 .unwrap_err(),
-            JoinError::ZeroSimThreads
+            JoinError::InvalidConfig {
+                field: "sim_threads",
+                value: 0,
+                reason: "must be >= 1 when set",
+            }
         );
         let cfg = JoinConfig::builder()
             .with_threads(3)
@@ -640,6 +742,31 @@ mod tests {
         assert_eq!(cfg.sim_threads(), 32);
     }
 
+    /// Regression: an oversubscribed thread count surfaces at build
+    /// time as a typed `InvalidConfig`, not as an executor blow-up.
+    #[test]
+    fn builder_rejects_oversubscribed_threads() {
+        let err = JoinConfig::builder()
+            .with_threads(MAX_THREADS + 1)
+            .build()
+            .unwrap_err();
+        match err {
+            JoinError::InvalidConfig { field, value, .. } => {
+                assert_eq!(field, "threads");
+                assert_eq!(value, MAX_THREADS + 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("oversubscribed"));
+        // The boundary itself is accepted.
+        assert!(JoinConfig::builder()
+            .with_threads(MAX_THREADS)
+            .build()
+            .is_ok());
+    }
+
+    /// Regression: 0-bit fanout is a builder-time error, as are absurd
+    /// fanouts past `MAX_RADIX_BITS`.
     #[test]
     fn builder_validates_radix_bits() {
         for bits in [0, MAX_RADIX_BITS + 1, 99] {
@@ -648,11 +775,35 @@ mod tests {
                     .with_radix_bits(bits)
                     .build()
                     .unwrap_err(),
-                JoinError::RadixBitsOutOfRange { bits }
+                JoinError::InvalidConfig {
+                    field: "radix_bits",
+                    value: bits as usize,
+                    reason: "must be in 1..=MAX_RADIX_BITS (24)",
+                }
             );
         }
         let cfg = JoinConfig::builder().with_radix_bits(10).build().unwrap();
         assert_eq!(cfg.radix_bits, Some(10));
+    }
+
+    #[test]
+    fn builder_validates_pipeline_batch() {
+        assert_eq!(
+            JoinConfig::builder()
+                .with_pipeline_batch(0)
+                .build()
+                .unwrap_err(),
+            JoinError::InvalidConfig {
+                field: "pipeline_batch",
+                value: 0,
+                reason: "must be >= 1",
+            }
+        );
+        let cfg = JoinConfig::builder()
+            .with_pipeline_batch(256)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.pipeline_batch, 256);
     }
 
     #[test]
@@ -717,6 +868,42 @@ mod tests {
             .run(&r, &s)
             .unwrap();
         assert_eq!(res.matches, 8_000);
+    }
+
+    /// `with_pipeline(true)` must agree with the monolithic driver for
+    /// every ported algorithm and reject the rest with a typed error.
+    #[test]
+    fn pipeline_flag_matches_classic_driver() {
+        let r = gen_build_dense(2_000, 53, Placement::Interleaved);
+        let s = gen_probe_fk(6_000, 2_000, 54, Placement::Interleaved);
+        for alg in crate::pipeline::PORTED {
+            let classic = Join::new(alg)
+                .with_threads(4)
+                .with_simulate(false)
+                .run(&r, &s)
+                .unwrap();
+            let fused = Join::new(alg)
+                .with_threads(4)
+                .with_simulate(false)
+                .with_pipeline(true)
+                .run(&r, &s)
+                .unwrap();
+            assert_eq!(fused.matches, classic.matches, "{alg}");
+            assert_eq!(fused.checksum, classic.checksum, "{alg}");
+            assert!(!fused.phases.is_empty(), "{alg}");
+        }
+        let err = Join::new(Algorithm::Mway)
+            .with_threads(2)
+            .with_simulate(false)
+            .with_pipeline(true)
+            .run(&r, &s)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            JoinError::PipelineUnsupported {
+                algorithm: Algorithm::Mway
+            }
+        );
     }
 
     #[test]

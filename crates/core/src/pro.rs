@@ -109,7 +109,7 @@ pub(crate) fn spec_for(kind: TableKind, bits: u32, domain: usize, part_r_len: us
     }
 }
 
-fn radix_bits(cfg: &JoinConfig, kind: TableKind, r_len: usize) -> u32 {
+pub(crate) fn radix_bits(cfg: &JoinConfig, kind: TableKind, r_len: usize) -> u32 {
     match kind {
         TableKind::Array => cfg.bits_for_array_tables(r_len),
         _ => cfg.bits_for_hash_tables(r_len),

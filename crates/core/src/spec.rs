@@ -203,6 +203,48 @@ pub fn global_probe_specs(
     specs
 }
 
+/// Cost-model view of one probe stage of a fused pipeline (see
+/// `mmjoin_core::pipeline`): the tuples that actually reached it and the
+/// resident structure they probed.
+#[derive(Copy, Clone, Debug)]
+pub struct FusedStageModel {
+    /// Tuples entering this stage (stage 0 sees `|S|`; later stages see
+    /// the previous stage's match count).
+    pub tuples_in: usize,
+    /// Footprint of the stage's build-side structure.
+    pub table_bytes: f64,
+    /// Random accesses per probe into that structure.
+    pub accesses_per_probe: f64,
+    /// CPU cost per probing tuple.
+    pub cpu_per_tuple: f64,
+}
+
+/// Probe phase of a fused operator pipeline: one scan of the probe
+/// relation, then per stage `tuples_in` random probes against that
+/// stage's structure. The inter-stage batches themselves are charged
+/// nothing — they are cache-resident by construction, which is exactly
+/// the traffic a materialized two-step plan pays and a fused one avoids.
+pub fn fused_probe_specs(
+    cfg: &JoinConfig,
+    s_len: usize,
+    s_placement: Placement,
+    stages: &[FusedStageModel],
+) -> Vec<TaskSpec> {
+    let mut specs = scan_specs(cfg, s_len, s_placement);
+    let threads = cfg.sim_threads() as f64;
+    for st in stages {
+        let per_thread = st.tuples_in as f64 / threads;
+        let p_miss = miss_probability_zipf(st.table_bytes, total_llc(cfg), cfg.probe_theta);
+        let p_tlb = tlb_miss_probability(st.table_bytes, cfg) * (1.0 - cfg.probe_theta).max(0.1);
+        for spec in &mut specs {
+            spec.random_interleaved(per_thread * st.accesses_per_probe * p_miss);
+            spec.tlb(per_thread * st.accesses_per_probe * p_tlb * tlb_walk_scale(cfg));
+            spec.cpu(per_thread * st.cpu_per_tuple);
+        }
+    }
+    specs
+}
+
 // --------------------------------------------------------------------
 // Radix partitioning phases
 // --------------------------------------------------------------------

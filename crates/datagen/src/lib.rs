@@ -36,6 +36,23 @@ pub fn gen_build_dense(n: usize, seed: u64, placement: Placement) -> Relation {
     Relation::from_tuples(&tuples, placement)
 }
 
+/// Generate a build relation whose payloads are themselves foreign keys
+/// into a second build relation's domain: keys `1..=n` shuffled, payload
+/// uniform in `1..=link_domain`. This is the middle table of a two-join
+/// chain `(R1 ⋈ S) ⋈ R2 ON R1.payload = R2.key` — the shape the fused
+/// pipeline (`mmjoin_core::pipeline`) executes without materializing the
+/// intermediate. Payloads start at 1 (never 0, the hash tables' EMPTY
+/// sentinel) so every stage-one match produces a probeable stage-two key.
+pub fn gen_build_linked(n: usize, link_domain: usize, seed: u64, placement: Placement) -> Relation {
+    let domain = link_domain.max(1) as u64;
+    let mut rng = Xoshiro256::new(seed);
+    let mut tuples: Vec<Tuple> = (0..n)
+        .map(|i| Tuple::new(i as u32 + 1, rng.below(domain) as u32 + 1))
+        .collect();
+    rng.shuffle(&mut tuples);
+    Relation::from_tuples(&tuples, placement)
+}
+
 /// Generate a build relation *in key order* (not shuffled): models
 /// TPC-H's `Part` table, which is generated sorted by its primary key
 /// (Section 8 notes this gives NOPA an ideal sequential build pattern).
@@ -79,6 +96,21 @@ mod tests {
     fn sorted_build_is_sorted() {
         let r = gen_build_sorted(100, Placement::Interleaved);
         assert!(r.tuples().windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn linked_build_payloads_stay_in_domain() {
+        let r = gen_build_linked(1000, 250, 9, Placement::Interleaved);
+        let mut seen = vec![false; 1001];
+        for t in r.tuples() {
+            assert!(t.key >= 1 && t.key <= 1000);
+            assert!(!seen[t.key as usize], "duplicate key {}", t.key);
+            seen[t.key as usize] = true;
+            assert!(t.payload >= 1 && t.payload <= 250, "payload {}", t.payload);
+        }
+        let a = gen_build_linked(100, 50, 3, Placement::Interleaved);
+        let b = gen_build_linked(100, 50, 3, Placement::Interleaved);
+        assert_eq!(a.tuples(), b.tuples());
     }
 
     #[test]

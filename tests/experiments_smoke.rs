@@ -42,7 +42,7 @@ fn experiment_registry_covers_all_paper_artifacts() {
     let names: Vec<&str> = registry().iter().map(|(n, _, _)| *n).collect();
     for required in [
         "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "fig12", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "tab3", "tab4",
+        "fig12", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "tab3", "tab4", "pipeline",
     ] {
         assert!(names.contains(&required), "missing experiment {required}");
     }
