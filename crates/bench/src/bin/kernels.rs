@@ -344,6 +344,8 @@ fn main() {
         let delta = counters_before.delta();
         entry.retried_trials = delta.retried;
         entry.failed_trials = delta.failed;
+        entry.failed_resource_trials = delta.failed_resource;
+        entry.failed_io_trials = delta.failed_io;
         match ledger::append(std::path::Path::new(path), &entry) {
             Ok(()) => eprintln!("ledger: appended {} to {path}", entry.describe()),
             Err(e) => {

@@ -106,6 +106,8 @@ fn main() {
         let mut entry = ledger::Entry::stamped("repro", opts.threads, samples);
         entry.retried_trials = retried;
         entry.failed_trials = failed;
+        entry.failed_resource_trials = delta.failed_resource;
+        entry.failed_io_trials = delta.failed_io;
         match ledger::append(std::path::Path::new(path), &entry) {
             Ok(()) => eprintln!("ledger: appended {} to {path}", entry.describe()),
             Err(e) => {

@@ -1,0 +1,253 @@
+//! SHHJ graceful-degradation harness: sweep the memory budget from 2x
+//! the build bytes down to 1/8 and record the spilling hybrid hash
+//! join's throughput curve against an unconstrained PRO reference
+//! (DESIGN.md §13).
+//!
+//! ```text
+//! cargo run -p mmjoin-bench --release --bin spill            # full
+//! cargo run -p mmjoin-bench --release --bin spill -- --quick # CI smoke
+//! cargo run -p mmjoin-bench --release --bin spill -- --quick --check
+//! ```
+//!
+//! Emits `BENCH_spill.json` (override with `--out PATH`). With
+//! `--check`, exits non-zero unless every budget tier reproduces the
+//! reference checksum, the starved tiers actually spilled, and the
+//! classic driver aborted at 1/8 — the CI correctness gate. With
+//! `--ledger PATH`, appends a provenance-stamped entry with one raw
+//! repeat vector per tier (`shhj_none` .. `shhj_1_8` cells plus the
+//! `pro_ref` reference), and the classic driver's expected aborts show
+//! up in `failed_resource_trials`, separate from harness breakage.
+
+use mmjoin_bench::experiments::spill::{run_at, tier_budget, tier_cell, TIERS};
+use mmjoin_bench::harness::{run_trial_with, HarnessOpts, TrialCounters};
+use mmjoin_bench::ledger::{self, SampleSet};
+use mmjoin_core::{Algorithm, SpillCounters};
+
+struct TierRuns {
+    label: &'static str,
+    budget: Option<usize>,
+    /// Raw SHHJ repeat wall times, in run order.
+    secs: Vec<f64>,
+    spill: SpillCounters,
+    checksum_ok: bool,
+    /// Classic driver (PRO) outcome at this budget.
+    classic: &'static str,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = match HarnessOpts::parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut quick = false;
+    let mut check = false;
+    let mut out_path = "BENCH_spill.json".to_string();
+    let mut ledger_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("error: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--ledger" => match it.next() {
+                Some(p) => ledger_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --ledger needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let counters_before = TrialCounters::snapshot();
+
+    // Paper-million sizes shrunk by --scale; quick keeps three repeats
+    // so the sentinel still sees a distribution. Quick must stay large
+    // enough that 1/8 of the build bytes clears SHHJ's all-spilled
+    // buffer floor, else the gate's starved tier cannot run at all.
+    let ((r_m, s_m), reps) = if quick { ((8, 32), 3) } else { ((16, 64), 5) };
+    let (r, s) = opts.workload(r_m, s_m, 0x5B1);
+    let build_bytes = r.len() * 8;
+    let tuples = (r.len() + s.len()) as f64;
+    eprintln!(
+        "SHHJ budget sweep: quick={quick} threads={} |R|={} ({} KiB build)",
+        opts.threads,
+        r.len(),
+        build_bytes / 1024
+    );
+
+    // Unconstrained PRO: the correctness reference and the no-pressure
+    // baseline every tier is measured against.
+    let reference =
+        run_at(Algorithm::Pro, &r, &s, opts.threads, None).expect("unconstrained PRO reference");
+    let mut ref_secs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let res = run_at(Algorithm::Pro, &r, &s, opts.threads, None)
+            .expect("unconstrained PRO reference repeat");
+        ref_secs.push(res.total_wall().as_secs_f64());
+    }
+
+    let mut tiers: Vec<TierRuns> = Vec::new();
+    for &(label, frac) in &TIERS {
+        let budget = tier_budget(build_bytes, frac);
+        // Warm-up run outside the timed samples; also the counter probe.
+        let warm = run_at(Algorithm::Shhj, &r, &s, opts.threads, budget)
+            .unwrap_or_else(|e| panic!("SHHJ at budget {label} failed: {e}"));
+        let mut runs = TierRuns {
+            label,
+            budget,
+            secs: Vec::with_capacity(reps),
+            spill: warm.spill_totals(),
+            checksum_ok: warm.checksum == reference.checksum && warm.matches == reference.matches,
+            classic: "",
+        };
+        for _ in 0..reps {
+            let res = run_at(Algorithm::Shhj, &r, &s, opts.threads, budget)
+                .unwrap_or_else(|e| panic!("SHHJ at budget {label} failed: {e}"));
+            runs.checksum_ok &=
+                res.checksum == reference.checksum && res.matches == reference.matches;
+            runs.secs.push(res.total_wall().as_secs_f64());
+        }
+        // The classic driver at the same budget, through the harness's
+        // fault-tolerant trial runner so its expected aborts are counted
+        // as resource refusals, not breakage.
+        let classic = run_trial_with(&format!("pro@{label}"), || {
+            run_at(Algorithm::Pro, &r, &s, opts.threads, budget)
+        });
+        runs.classic = match classic {
+            Some(_) => "ok",
+            None => "abort",
+        };
+        tiers.push(runs);
+    }
+
+    println!(
+        "{:<6} {:>9} {:>9} {:>6} {:>12} {:>6} {:>6} {:>9} {:>6}",
+        "budget", "mem_KiB", "shhj_ms", "Mtps", "MiB_spilled", "parts", "depth", "checksum", "PRO"
+    );
+    for t in &tiers {
+        let secs = mmjoin_util::stats::median(&t.secs);
+        println!(
+            "{:<6} {:>9} {:>9.1} {:>6.0} {:>12.2} {:>6} {:>6} {:>9} {:>6}",
+            t.label,
+            t.budget
+                .map(|b| format!("{}", b / 1024))
+                .unwrap_or_else(|| "inf".to_string()),
+            secs * 1e3,
+            tuples / secs.max(1e-12) / 1e6,
+            t.spill.bytes_spilled as f64 / (1024.0 * 1024.0),
+            t.spill.partitions_spilled,
+            t.spill.recursion_depth,
+            if t.checksum_ok { "ok" } else { "FAILED" },
+            t.classic,
+        );
+    }
+
+    let entries: Vec<String> = tiers
+        .iter()
+        .map(|t| {
+            let secs = mmjoin_util::stats::median(&t.secs);
+            format!(
+                "    {{\"tier\": \"{}\", \"budget_bytes\": {}, \"shhj_ms\": {:.3}, \
+                 \"mtps\": {:.2}, \"bytes_spilled\": {}, \"partitions_spilled\": {}, \
+                 \"recursion_depth\": {}, \"checksum_ok\": {}, \"classic\": \"{}\"}}",
+                t.label,
+                t.budget
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+                secs * 1e3,
+                tuples / secs.max(1e-12) / 1e6,
+                t.spill.bytes_spilled,
+                t.spill.partitions_spilled,
+                t.spill.recursion_depth,
+                t.checksum_ok,
+                t.classic
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"meta\": {},\n  \"quick\": {quick},\n  \"threads\": {},\n  \
+         \"build_bytes\": {build_bytes},\n  \"reference_ms\": {:.3},\n  \"tiers\": [\n{}\n  ]\n}}\n",
+        mmjoin_bench::harness::meta_json(),
+        opts.threads,
+        mmjoin_util::stats::median(&ref_secs) * 1e3,
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {out_path}");
+
+    if let Some(path) = &ledger_path {
+        let workload = if quick { "quick" } else { "full" };
+        let mut samples: Vec<SampleSet> = vec![SampleSet {
+            algorithm: "pro_ref".to_string(),
+            workload: workload.to_string(),
+            kernel_mode: "auto".to_string(),
+            secs: ref_secs.clone(),
+        }];
+        samples.extend(tiers.iter().map(|t| SampleSet {
+            algorithm: tier_cell(t.label),
+            workload: workload.to_string(),
+            kernel_mode: "auto".to_string(),
+            secs: t.secs.clone(),
+        }));
+        let mut entry = ledger::Entry::stamped("spill", opts.threads, samples);
+        let delta = counters_before.delta();
+        entry.retried_trials = delta.retried;
+        entry.failed_trials = delta.failed;
+        entry.failed_resource_trials = delta.failed_resource;
+        entry.failed_io_trials = delta.failed_io;
+        match ledger::append(std::path::Path::new(path), &entry) {
+            Ok(()) => eprintln!("ledger: appended {} to {path}", entry.describe()),
+            Err(e) => {
+                eprintln!("error: cannot append to ledger {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if check {
+        let mut fail = false;
+        for t in &tiers {
+            if !t.checksum_ok {
+                eprintln!(
+                    "FAIL: SHHJ@{} checksum diverges from unconstrained PRO",
+                    t.label
+                );
+                fail = true;
+            }
+        }
+        let by = |label: &str| tiers.iter().find(|t| t.label == label).expect("tier");
+        if by("none").spill.bytes_spilled != 0 {
+            eprintln!("FAIL: SHHJ spilled under an unlimited budget");
+            fail = true;
+        }
+        if by("1/8").spill.bytes_spilled == 0 {
+            eprintln!("FAIL: SHHJ did not spill at 1/8 of the build bytes");
+            fail = true;
+        }
+        if by("1/8").classic != "abort" {
+            eprintln!("FAIL: classic PRO survived a 1/8 budget (gate assumes it cannot)");
+            fail = true;
+        }
+        if fail {
+            std::process::exit(1);
+        }
+        eprintln!("check passed");
+    }
+}

@@ -22,6 +22,7 @@ pub mod fig9;
 pub mod hashfn;
 pub mod pipeline;
 pub mod skewfix;
+pub mod spill;
 pub mod tab3;
 pub mod tab4;
 pub mod tuplerecon;
@@ -127,6 +128,11 @@ pub fn registry() -> Vec<Experiment> {
             "pipeline",
             "extension: fused operator pipeline vs two-step chain",
             pipeline::run,
+        ),
+        (
+            "spill",
+            "extension: spilling hybrid hash join degradation curve",
+            spill::run,
         ),
     ]
 }

@@ -13,6 +13,13 @@ use mmjoin_util::{Placement, Relation};
 static FAILED_TRIALS: AtomicU64 = AtomicU64::new(0);
 /// Trials whose first attempt failed (whether or not the retry passed).
 static RETRIED_TRIALS: AtomicU64 = AtomicU64::new(0);
+/// Failed trials whose terminal error was `MemoryBudgetExceeded` — a
+/// resource refusal, not a defect; reported separately so a budget
+/// sweep's expected aborts don't read as harness breakage.
+static FAILED_RESOURCE_TRIALS: AtomicU64 = AtomicU64::new(0);
+/// Failed trials whose terminal error was `JoinError::Io` (spill-file
+/// I/O): disk trouble, also distinct from panics/logic failures.
+static FAILED_IO_TRIALS: AtomicU64 = AtomicU64::new(0);
 
 /// Opt-in per-trial sample log: `(trial label, wall seconds)` for every
 /// successful trial, in completion order. Off (None) unless a ledger
@@ -30,8 +37,12 @@ static SAMPLE_LOG: Mutex<Option<Vec<(String, f64)>>> = Mutex::new(None);
 pub struct TrialCounters {
     /// Trials whose first attempt failed (retry may have passed).
     pub retried: u64,
-    /// Trials that failed both attempts.
+    /// Trials that failed both attempts (all causes).
     pub failed: u64,
+    /// Subset of `failed` that ended in `MemoryBudgetExceeded`.
+    pub failed_resource: u64,
+    /// Subset of `failed` that ended in `JoinError::Io`.
+    pub failed_io: u64,
 }
 
 impl TrialCounters {
@@ -40,6 +51,8 @@ impl TrialCounters {
         TrialCounters {
             retried: RETRIED_TRIALS.load(Ordering::Relaxed),
             failed: FAILED_TRIALS.load(Ordering::Relaxed),
+            failed_resource: FAILED_RESOURCE_TRIALS.load(Ordering::Relaxed),
+            failed_io: FAILED_IO_TRIALS.load(Ordering::Relaxed),
         }
     }
 
@@ -49,6 +62,8 @@ impl TrialCounters {
         TrialCounters {
             retried: now.retried.saturating_sub(self.retried),
             failed: now.failed.saturating_sub(self.failed),
+            failed_resource: now.failed_resource.saturating_sub(self.failed_resource),
+            failed_io: now.failed_io.saturating_sub(self.failed_io),
         }
     }
 }
@@ -99,6 +114,15 @@ where
                 Ok(res) => Some(res),
                 Err(second) => {
                     FAILED_TRIALS.fetch_add(1, Ordering::Relaxed);
+                    match &second {
+                        JoinError::MemoryBudgetExceeded { .. } => {
+                            FAILED_RESOURCE_TRIALS.fetch_add(1, Ordering::Relaxed);
+                        }
+                        JoinError::Io { .. } => {
+                            FAILED_IO_TRIALS.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
                     eprintln!("warning: trial {label} failed again ({second}); skipping");
                     None
                 }
@@ -440,6 +464,29 @@ mod tests {
         let after = TrialCounters::snapshot();
         let d2 = after.delta();
         assert_eq!(d2, TrialCounters::default());
+    }
+
+    #[test]
+    fn trial_failures_classified_by_cause() {
+        let before = TrialCounters::snapshot();
+        run_trial_with("oom-test", || {
+            Err::<JoinResult, _>(JoinError::MemoryBudgetExceeded {
+                phase: "partition",
+                requested: 100,
+                limit: 50,
+                available: 10,
+            })
+        });
+        run_trial_with("io-test", || {
+            Err::<JoinResult, _>(JoinError::Io {
+                phase: "spill",
+                source: "disk full".to_string(),
+            })
+        });
+        let d = before.delta();
+        assert!(d.failed >= 2, "{d:?}");
+        assert!(d.failed_resource >= 1, "{d:?}");
+        assert!(d.failed_io >= 1, "{d:?}");
     }
 
     #[test]

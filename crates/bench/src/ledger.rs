@@ -121,8 +121,14 @@ pub struct Entry {
     pub kernel_mode: String,
     /// Trials in this sweep whose first attempt failed.
     pub retried_trials: u64,
-    /// Trials in this sweep that failed both attempts.
+    /// Trials in this sweep that failed both attempts (all causes).
     pub failed_trials: u64,
+    /// Subset of `failed_trials` that ended in `MemoryBudgetExceeded`
+    /// (absent in pre-spill ledger lines; reads as 0).
+    pub failed_resource_trials: u64,
+    /// Subset of `failed_trials` that ended in `JoinError::Io` (absent
+    /// in pre-spill ledger lines; reads as 0).
+    pub failed_io_trials: u64,
     pub samples: Vec<SampleSet>,
 }
 
@@ -146,6 +152,8 @@ impl Entry {
             kernel_mode: kernel_mode_name(),
             retried_trials: 0,
             failed_trials: 0,
+            failed_resource_trials: 0,
+            failed_io_trials: 0,
             samples,
         }
     }
@@ -171,7 +179,8 @@ impl Entry {
              \"git_sha\": {}, \"git_dirty\": {}, \
              \"host\": {{\"cpu_model\": {}, \"threads_avail\": {}, \"arch\": {}, \"fingerprint\": {}}}, \
              \"threads\": {}, \"kernel_mode\": {}, \
-             \"retried_trials\": {}, \"failed_trials\": {}, \"samples\": [{}]}}",
+             \"retried_trials\": {}, \"failed_trials\": {}, \
+             \"failed_resource_trials\": {}, \"failed_io_trials\": {}, \"samples\": [{}]}}",
             self.schema,
             json_escape(&self.kind),
             json_escape(&self.label),
@@ -186,6 +195,8 @@ impl Entry {
             json_escape(&self.kernel_mode),
             self.retried_trials,
             self.failed_trials,
+            self.failed_resource_trials,
+            self.failed_io_trials,
             samples.join(", ")
         )
     }
@@ -244,6 +255,9 @@ impl Entry {
             kernel_mode: str_field(v, "kernel_mode")?,
             retried_trials: num_field(v, "retried_trials")? as u64,
             failed_trials: num_field(v, "failed_trials")? as u64,
+            // Added after schema 1 shipped; old lines simply lack them.
+            failed_resource_trials: opt_num_field(v, "failed_resource_trials") as u64,
+            failed_io_trials: opt_num_field(v, "failed_io_trials") as u64,
             samples,
         })
     }
@@ -384,6 +398,11 @@ fn num_field(v: &Value, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("missing numeric field {key:?}"))
 }
 
+/// A numeric field that older ledger lines legitimately lack.
+fn opt_num_field(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_num).unwrap_or(0.0)
+}
+
 fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
     v.get(key)
         .and_then(Value::as_bool)
@@ -412,6 +431,8 @@ mod tests {
             kernel_mode: "simd".to_string(),
             retried_trials: 1,
             failed_trials: 0,
+            failed_resource_trials: 0,
+            failed_io_trials: 0,
             samples: vec![
                 SampleSet {
                     algorithm: "PRO".to_string(),
@@ -458,6 +479,23 @@ mod tests {
         assert_eq!(read[0], a);
         assert_eq!(read[1], b);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pre_spill_lines_read_with_zero_cause_counts() {
+        // A line written before the failure-cause split has no
+        // failed_resource_trials / failed_io_trials keys.
+        let e = sample_entry();
+        let line = e.to_json().replace(
+            "\"failed_resource_trials\": 0, \"failed_io_trials\": 0, ",
+            "",
+        );
+        assert!(!line.contains("failed_resource_trials"));
+        let v = jsonv::parse(&line).unwrap();
+        let back = Entry::from_value(&v).unwrap();
+        assert_eq!(back.failed_resource_trials, 0);
+        assert_eq!(back.failed_io_trials, 0);
+        assert_eq!(back, e);
     }
 
     #[test]

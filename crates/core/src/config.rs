@@ -106,6 +106,16 @@ pub struct JoinConfig {
     /// keeps a batch and its per-stage output inside L1 alongside the
     /// probe pipeline's prefetch groups.
     pub pipeline_batch: usize,
+    /// Parent directory for the spilling join's temp directory
+    /// (`Algorithm::Shhj`; see DESIGN.md §13). `None` uses the system
+    /// temp dir. Each join creates (and removes on completion) its own
+    /// uniquely named subdirectory.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Whether the spilling join may evict partitions to disk when the
+    /// memory budget refuses a reservation (default true). With
+    /// `false`, SHHJ degrades to classic behavior: budget pressure
+    /// fails the join with `JoinError::MemoryBudgetExceeded`.
+    pub spill: bool,
     /// The persistent worker pool all phases of a join run on, resolved
     /// lazily from `threads` on first use (see [`JoinConfig::executor`]).
     exec: OnceLock<Arc<Executor>>,
@@ -132,6 +142,8 @@ impl JoinConfig {
             cancel: CancelToken::new(),
             profile: ProfileConfig::off(),
             pipeline_batch: 1024,
+            spill_dir: None,
+            spill: true,
             exec: OnceLock::new(),
         }
     }

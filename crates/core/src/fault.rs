@@ -105,11 +105,22 @@ impl CancelToken {
     }
 }
 
+/// Why a [`MemBudget`] reservation was refused: the configured limit
+/// and how many bytes were still unreserved at the time. Carried into
+/// [`JoinError::MemoryBudgetExceeded`] so abort messages (and the
+/// spilling join's eviction trigger) are diagnosable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    pub limit: usize,
+    pub available: usize,
+}
+
 /// A byte budget for a join's large allocations.
 ///
-/// `try_reserve` either admits the request or reports the limit —
-/// exceeding the budget is a *policy* decision surfaced before the
-/// allocation happens, not an allocator failure after.
+/// `try_reserve` either admits the request or reports the limit and the
+/// bytes still available — exceeding the budget is a *policy* decision
+/// surfaced before the allocation happens, not an allocator failure
+/// after.
 #[derive(Debug)]
 pub struct MemBudget {
     /// `usize::MAX` means unlimited (the fast path: one branch).
@@ -132,15 +143,19 @@ impl MemBudget {
         }
     }
 
-    /// Reserve `bytes` against the budget, or report the limit.
-    pub fn try_reserve(&self, bytes: usize) -> Result<(), usize> {
+    /// Reserve `bytes` against the budget, or report the limit and the
+    /// bytes that were still free.
+    pub fn try_reserve(&self, bytes: usize) -> Result<(), BudgetExceeded> {
         if self.limit == usize::MAX {
             return Ok(());
         }
         let prev = self.used.fetch_add(bytes, Ordering::Relaxed);
         if prev.saturating_add(bytes) > self.limit {
             self.used.fetch_sub(bytes, Ordering::Relaxed);
-            Err(self.limit)
+            Err(BudgetExceeded {
+                limit: self.limit,
+                available: self.limit.saturating_sub(prev),
+            })
         } else {
             Ok(())
         }
@@ -156,6 +171,12 @@ impl MemBudget {
     /// Bytes currently reserved.
     pub fn used(&self) -> usize {
         self.used.load(Ordering::Relaxed)
+    }
+
+    /// The configured ceiling; `usize::MAX` means unlimited. Planners
+    /// (the spilling join's fanout choice) size buffers against this.
+    pub fn limit(&self) -> usize {
+        self.limit
     }
 }
 
@@ -291,6 +312,23 @@ impl FaultCtx {
         }
     }
 
+    /// The join's byte budget, for drivers (the spilling join's
+    /// eviction planner) that need raw reserve/release control.
+    pub(crate) fn budget(&self) -> &MemBudget {
+        &self.budget
+    }
+
+    /// Build the typed budget error for a refused reservation in the
+    /// current phase.
+    pub(crate) fn budget_error(&self, bytes: usize, be: BudgetExceeded) -> JoinError {
+        JoinError::MemoryBudgetExceeded {
+            phase: self.phase(),
+            requested: bytes,
+            limit: be.limit,
+            available: be.available,
+        }
+    }
+
     /// Reserve `bytes` for a driver-side allocation, or fail the join.
     pub fn charge(&self, bytes: usize) -> Result<MemCharge<'_>, JoinError> {
         match self.budget.try_reserve(bytes) {
@@ -298,11 +336,7 @@ impl FaultCtx {
                 budget: &self.budget,
                 bytes,
             }),
-            Err(limit) => Err(JoinError::MemoryBudgetExceeded {
-                phase: self.phase(),
-                requested: bytes,
-                limit,
-            }),
+            Err(be) => Err(self.budget_error(bytes, be)),
         }
     }
 
@@ -315,19 +349,17 @@ impl FaultCtx {
                 budget: &self.budget,
                 bytes,
             }),
-            Err(limit) => {
-                self.trip(JoinError::MemoryBudgetExceeded {
-                    phase: self.phase(),
-                    requested: bytes,
-                    limit,
-                });
+            Err(be) => {
+                self.trip(self.budget_error(bytes, be));
                 None
             }
         }
     }
 
-    /// Record a worker-side failure; first one wins.
-    fn trip(&self, e: JoinError) {
+    /// Record a worker-side failure; first one wins. `pub(crate)` so
+    /// drivers with worker-side I/O (the spilling join) can surface a
+    /// typed error at the next checkpoint.
+    pub(crate) fn trip(&self, e: JoinError) {
         let mut t = lock_recover(&self.tripped);
         if t.is_none() {
             *t = Some(e);
@@ -540,7 +572,13 @@ mod tests {
     fn budget_admits_and_rejects() {
         let b = MemBudget::limited(100);
         assert!(b.try_reserve(60).is_ok());
-        assert_eq!(b.try_reserve(60), Err(100));
+        assert_eq!(
+            b.try_reserve(60),
+            Err(BudgetExceeded {
+                limit: 100,
+                available: 40,
+            })
+        );
         assert_eq!(b.used(), 60);
         b.release(60);
         assert!(b.try_reserve(100).is_ok());
@@ -580,10 +618,12 @@ mod tests {
                 phase,
                 requested,
                 limit,
+                available,
             }) => {
                 assert_eq!(phase, "join");
                 assert_eq!(requested, 100);
                 assert_eq!(limit, 10);
+                assert_eq!(available, 10, "nothing was reserved yet");
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -69,6 +69,7 @@ pub mod plan;
 pub mod prb;
 pub mod pro;
 pub mod reference;
+pub mod shhj;
 pub mod skew;
 pub mod spec;
 pub mod stats;
@@ -84,7 +85,7 @@ pub use plan::{
     AlgorithmDescriptor, Family, Join, JoinConfigBuilder, JoinError, Partitioning, Scheduling,
     TableFlavor,
 };
-pub use stats::{JoinResult, PhaseStat};
+pub use stats::{JoinResult, PhaseStat, SpillCounters};
 
 /// The thirteen join algorithms of the study.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -115,6 +116,11 @@ pub enum Algorithm {
     PrlIs,
     /// PRA with improved scheduling.
     PraIs,
+    /// Spilling hybrid hash join (this repo's extension, DESIGN.md §13):
+    /// degrades gracefully under a memory budget by evicting build
+    /// partitions to disk and recursively repartitioning, instead of
+    /// aborting with `MemoryBudgetExceeded`.
+    Shhj,
 }
 
 impl Algorithm {
@@ -135,6 +141,26 @@ impl Algorithm {
         Algorithm::PraIs,
     ];
 
+    /// The paper's thirteen plus this repo's extensions (currently the
+    /// spilling hybrid hash join). CLI parsing and fault-matrix tests
+    /// iterate this; paper-figure experiments stay on [`Algorithm::ALL`].
+    pub const WITH_EXTENSIONS: [Algorithm; 14] = [
+        Algorithm::Mway,
+        Algorithm::Chtj,
+        Algorithm::Prb,
+        Algorithm::Nop,
+        Algorithm::Nopa,
+        Algorithm::Pro,
+        Algorithm::Prl,
+        Algorithm::Pra,
+        Algorithm::Cprl,
+        Algorithm::Cpra,
+        Algorithm::ProIs,
+        Algorithm::PrlIs,
+        Algorithm::PraIs,
+        Algorithm::Shhj,
+    ];
+
     /// The paper's abbreviation.
     pub fn name(self) -> &'static str {
         match self {
@@ -151,6 +177,7 @@ impl Algorithm {
             Algorithm::ProIs => "PROiS",
             Algorithm::PrlIs => "PRLiS",
             Algorithm::PraIs => "PRAiS",
+            Algorithm::Shhj => "SHHJ",
         }
     }
 
@@ -171,7 +198,7 @@ impl Algorithm {
     }
 
     pub fn from_name(name: &str) -> Option<Algorithm> {
-        Algorithm::ALL
+        Algorithm::WITH_EXTENSIONS
             .into_iter()
             .find(|a| a.name().eq_ignore_ascii_case(name))
     }
@@ -183,6 +210,7 @@ impl Algorithm {
         match self {
             Algorithm::Nop | Algorithm::Nopa | Algorithm::Chtj => &["build", "probe"],
             Algorithm::Mway => &["partition", "sort", "join"],
+            Algorithm::Shhj => &["partition", "probe", "spill"],
             _ => &["partition", "join"],
         }
     }
@@ -204,11 +232,15 @@ mod tests {
         let names: std::collections::HashSet<&str> =
             Algorithm::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 13);
+        // Extensions extend the paper's list, never replace entries.
+        assert_eq!(Algorithm::WITH_EXTENSIONS.len(), 14);
+        assert_eq!(&Algorithm::WITH_EXTENSIONS[..13], &Algorithm::ALL[..]);
+        assert!(!Algorithm::ALL.contains(&Algorithm::Shhj));
     }
 
     #[test]
     fn name_round_trip() {
-        for a in Algorithm::ALL {
+        for a in Algorithm::WITH_EXTENSIONS {
             assert_eq!(Algorithm::from_name(a.name()), Some(a));
             assert_eq!(Algorithm::from_name(&a.name().to_lowercase()), Some(a));
         }

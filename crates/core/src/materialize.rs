@@ -114,6 +114,7 @@ pub fn join_index(
             phase: "join",
             requested: total * std::mem::size_of::<JoinMatch>(),
             limit: cfg.mem_limit.unwrap_or(usize::MAX),
+            available: 0,
         });
     }
     for (_, v) in tasks {

@@ -83,6 +83,13 @@ fn counters_json(p: &PhaseStat) -> String {
     )
 }
 
+fn spill_json(p: &PhaseStat) -> String {
+    format!(
+        "\"bytes_spilled\": {}, \"partitions_spilled\": {}, \"spill_recursion_depth\": {}",
+        p.spill.bytes_spilled, p.spill.partitions_spilled, p.spill.recursion_depth
+    )
+}
+
 /// Render `results` as chrome://tracing trace-event JSON (the "JSON
 /// array format"; load via chrome://tracing "Load" or ui.perfetto.dev).
 /// Timestamps are microseconds since each run's recording start.
@@ -136,7 +143,8 @@ pub fn chrome_trace(results: &[JoinResult]) -> String {
                 &format!(
                     "{{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
                      \"pid\": {pid}, \"tid\": 0, \"args\": {{\"wall_ms\": {:.3}, \
-                     \"sim_ms\": {:.3}, \"tasks\": {}, \"steals\": {}, \"idle_ms\": {:.3}, {}}}}}",
+                     \"sim_ms\": {:.3}, \"tasks\": {}, \"steals\": {}, \"idle_ms\": {:.3}, \
+                     {}, {}}}}}",
                     esc(p.name),
                     ts as f64 / 1e3,
                     (end - ts) as f64 / 1e3,
@@ -145,6 +153,7 @@ pub fn chrome_trace(results: &[JoinResult]) -> String {
                     p.exec.tasks,
                     p.exec.steals,
                     p.exec.idle_ns as f64 / 1e6,
+                    spill_json(p),
                     counters_json(p)
                 ),
             );
@@ -201,13 +210,14 @@ fn phase_json(p: &PhaseStat) -> String {
         .collect();
     format!(
         "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_ms\": {:.3}, \"tasks\": {}, \
-         \"steals\": {}, \"idle_ms\": {:.3}, {}, \"workers\": [{}]}}",
+         \"steals\": {}, \"idle_ms\": {:.3}, {}, {}, \"workers\": [{}]}}",
         esc(p.name),
         p.wall.as_secs_f64() * 1e3,
         p.sim_seconds * 1e3,
         p.exec.tasks,
         p.exec.steals,
         p.exec.idle_ns as f64 / 1e6,
+        spill_json(p),
         counters_json(p),
         workers.join(", ")
     )
@@ -266,6 +276,11 @@ mod tests {
                 steals: 1,
                 idle_ns: 500,
             },
+            spill: crate::stats::SpillCounters {
+                bytes_spilled: 4096,
+                partitions_spilled: 1,
+                recursion_depth: 0,
+            },
             workers: vec![
                 WorkerPhaseStat {
                     worker: 0,
@@ -320,6 +335,9 @@ mod tests {
         assert!(m.contains("\"algorithm\": \"PRO\""));
         assert!(m.contains("\"checksum\": \"0xffffffffffffffff\""));
         assert!(m.contains("\"radix_bits\": 11"));
+        assert!(m.contains("\"bytes_spilled\": 4096"));
+        assert!(m.contains("\"partitions_spilled\": 1"));
+        assert!(m.contains("\"spill_recursion_depth\": 0"));
         assert!(m.contains("\"workers\": []"));
         assert_eq!(m.matches('{').count(), m.matches('}').count());
         let no_meta = metrics(&[], None);

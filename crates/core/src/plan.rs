@@ -91,10 +91,26 @@ pub enum JoinError {
     },
     /// A large allocation would have pushed the join past
     /// `JoinConfig::mem_limit`; the allocation was never made.
+    /// `available` is how many bytes were still unreserved when the
+    /// request was refused.
     MemoryBudgetExceeded {
         phase: &'static str,
         requested: usize,
         limit: usize,
+        available: usize,
+    },
+    /// A spill or ledger file operation failed. `source` is the
+    /// rendered `std::io::Error` (this enum is `Clone + PartialEq`, the
+    /// raw error is neither).
+    Io { phase: &'static str, source: String },
+    /// A spilled partition could not be shrunk below the memory budget
+    /// within the bounded recursion depth — extreme skew (e.g. one key
+    /// larger than the whole budget). Raise `mem_limit` or treat the
+    /// partition as unjoinable in memory.
+    SpillRecursionLimit {
+        partition: usize,
+        depth: u32,
+        limit: u32,
     },
 }
 
@@ -127,7 +143,7 @@ impl std::fmt::Display for JoinError {
             ),
             JoinError::UnknownAlgorithm(name) => {
                 write!(f, "unknown algorithm {name:?} (expected one of ")?;
-                for (i, a) in Algorithm::ALL.iter().enumerate() {
+                for (i, a) in Algorithm::WITH_EXTENSIONS.iter().enumerate() {
                     if i > 0 {
                         write!(f, ", ")?;
                     }
@@ -158,10 +174,25 @@ impl std::fmt::Display for JoinError {
                 phase,
                 requested,
                 limit,
+                available,
             } => write!(
                 f,
                 "memory budget exceeded in {phase} phase: \
-                 {requested} bytes requested against a {limit}-byte limit"
+                 {requested} bytes requested against a {limit}-byte limit \
+                 ({available} bytes available)"
+            ),
+            JoinError::Io { phase, source } => {
+                write!(f, "I/O error in {phase} phase: {source}")
+            }
+            JoinError::SpillRecursionLimit {
+                partition,
+                depth,
+                limit,
+            } => write!(
+                f,
+                "spilled partition {partition} still exceeds the memory budget \
+                 after {depth} recursive repartitioning passes (limit {limit}); \
+                 the workload is too skewed for this mem_limit"
             ),
         }
     }
@@ -251,7 +282,7 @@ impl Algorithm {
             A::Chtj => TableFlavor::Concise,
             A::Mway => TableFlavor::SortedRuns,
             A::Prb | A::Pro | A::ProIs => TableFlavor::Chained,
-            A::Prl | A::PrlIs | A::Cprl => TableFlavor::Linear,
+            A::Prl | A::PrlIs | A::Cprl | A::Shhj => TableFlavor::Linear,
             A::Pra | A::PraIs | A::Cpra => TableFlavor::Array,
         };
         let scheduling = match self {
@@ -264,7 +295,7 @@ impl Algorithm {
             A::Chtj => Partitioning::BuildRegions,
             A::Prb => Partitioning::TwoPassDirect,
             A::Cprl | A::Cpra => Partitioning::Chunked,
-            A::Mway | A::Pro | A::Prl | A::Pra | A::ProIs | A::PrlIs | A::PraIs => {
+            A::Mway | A::Pro | A::Prl | A::Pra | A::ProIs | A::PrlIs | A::PraIs | A::Shhj => {
                 Partitioning::SinglePassSwwcb
             }
         };
@@ -301,6 +332,8 @@ pub struct JoinConfigBuilder {
     cancel: Option<CancelToken>,
     profile: Option<ProfileConfig>,
     pipeline_batch: Option<usize>,
+    spill_dir: Option<std::path::PathBuf>,
+    spill: Option<bool>,
 }
 
 impl JoinConfigBuilder {
@@ -396,6 +429,21 @@ impl JoinConfigBuilder {
         self
     }
 
+    /// Directory the spilling join ([`Algorithm::Shhj`]) creates its
+    /// temp directory under; defaults to the system temp dir.
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Allow the spilling join to evict partitions to disk (default
+    /// true). With `false`, SHHJ behaves like the classic drivers and
+    /// fails with [`JoinError::MemoryBudgetExceeded`] under pressure.
+    pub fn with_spill(mut self, on: bool) -> Self {
+        self.spill = Some(on);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<JoinConfig, JoinError> {
         let threads = self.threads.unwrap_or(4);
@@ -465,6 +513,10 @@ impl JoinConfigBuilder {
         }
         if let Some(batch) = self.pipeline_batch {
             cfg.pipeline_batch = batch;
+        }
+        cfg.spill_dir = self.spill_dir;
+        if let Some(on) = self.spill {
+            cfg.spill = on;
         }
         Ok(cfg)
     }
@@ -598,6 +650,20 @@ impl Join {
         self
     }
 
+    /// Spill-file parent directory (see
+    /// [`JoinConfigBuilder::with_spill_dir`]).
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.builder = self.builder.with_spill_dir(dir);
+        self
+    }
+
+    /// Allow/forbid disk spilling under memory pressure (see
+    /// [`JoinConfigBuilder::with_spill`]).
+    pub fn with_spill(mut self, on: bool) -> Self {
+        self.builder = self.builder.with_spill(on);
+        self
+    }
+
     /// Execute through the composable operator pipeline
     /// (`mmjoin_core::pipeline`) instead of the monolithic driver:
     /// [`crate::pipeline::BuildSide::prepare`] then a one-stage fused
@@ -703,6 +769,7 @@ fn dispatch_inner(
         Algorithm::PraIs => crate::pro::join_pro(r, s, cfg, TableKind::Array, true),
         Algorithm::Cprl => crate::pro::join_cpr(r, s, cfg, TableKind::Linear),
         Algorithm::Cpra => crate::pro::join_cpr(r, s, cfg, TableKind::Array),
+        Algorithm::Shhj => crate::shhj::join_shhj(r, s, cfg),
     }
 }
 

@@ -1,0 +1,578 @@
+//! SHHJ — spilling hybrid hash join (this repo's 14th driver, not one
+//! of the paper's thirteen; DESIGN.md §13).
+//!
+//! The paper's joins assume both relations fit in memory: under a
+//! `JoinConfig::mem_limit`, a build side larger than the budget trips
+//! [`JoinError::MemoryBudgetExceeded`] and the query fails. SHHJ turns
+//! that cliff into a gradient, in the lineage of Grace/hybrid hash
+//! joins:
+//!
+//! 1. **partition** — radix-partition R (same substrate as PRO, but
+//!    with a budget-aware fanout). A residency plan charges the budget
+//!    for every partition's tuples + hash table; each refused
+//!    reservation *evicts* the largest still-resident partition to a
+//!    disk run instead of failing the join. Resident partitions build
+//!    their tables now.
+//! 2. **probe** — stream S once: tuples of resident partitions probe
+//!    immediately; tuples of evicted partitions are appended to S-side
+//!    runs.
+//! 3. **spill** — join each evicted partition pair from disk. The
+//!    *smaller* side becomes the build side (role reversal); a pair
+//!    whose smaller side still exceeds the budget is recursively
+//!    repartitioned on the next-higher key bits (skew-safe) up to
+//!    [`SPILL_RECURSION_LIMIT`], past which the typed
+//!    [`JoinError::SpillRecursionLimit`] is returned.
+//!
+//! All spill files live in one [`SpillDir`] whose `Drop` removes them —
+//! cancel/deadline/error paths cannot leak temp files. Cancellation and
+//! deadlines are checked per morsel in the scans and per page inside
+//! the spill I/O loops; spill file I/O failures surface as
+//! [`JoinError::Io`].
+
+use std::io;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mmjoin_hashtable::{IdentityHash, JoinTable, StLinearTable, TableSpec};
+use mmjoin_partition::histogram::histogram;
+use mmjoin_partition::RadixFn;
+use mmjoin_util::checksum::JoinChecksum;
+use mmjoin_util::pool::lock_recover;
+use mmjoin_util::spill::{SpillDir, SpillRun, SpillWriter, READER_BYTES, WRITER_BYTES};
+use mmjoin_util::tuple::Tuple;
+use mmjoin_util::Relation;
+
+use crate::config::JoinConfig;
+use crate::exec::{merge_checksums, parallel_chunks, MORSEL};
+use crate::executor::QueuePolicy;
+use crate::fault::{CtxPool, FaultCtx};
+use crate::plan::JoinError;
+use crate::stats::{JoinResult, SpillCounters};
+use crate::Algorithm;
+
+/// Maximum recursive repartitioning passes over one spilled partition
+/// before giving up with [`JoinError::SpillRecursionLimit`]. With
+/// [`SPILL_SUB_BITS`] fresh bits per pass this separates any key set
+/// that is separable at all within 32-bit keys.
+pub const SPILL_RECURSION_LIMIT: u32 = 6;
+
+/// Radix bits consumed per recursive repartitioning pass (16-way).
+const SPILL_SUB_BITS: u32 = 4;
+
+/// Worker-local staging tuples per evicted partition before taking the
+/// shared writer lock (one flush per 8 cache lines of tuples).
+const STAGE_TUPLES: usize = 64;
+
+/// Budget-aware fanout: classic hybrid-hash sizing. Small enough that
+/// the per-spilled-partition writer buffers stay a fraction of the
+/// budget, large enough that an average partition (tuples + table) has
+/// a chance to fit; recursion handles what doesn't.
+fn shhj_bits(cfg: &JoinConfig, r_len: usize) -> u32 {
+    if let Some(b) = cfg.radix_bits {
+        return b;
+    }
+    let default = cfg.bits_for_hash_tables(r_len);
+    let Some(budget) = cfg.mem_limit else {
+        return default;
+    };
+    let build_bytes = r_len * 8;
+    // Partition cost ≈ tuples + linear table ≈ 5x slice bytes; want one
+    // partition within ~half the budget.
+    let want_fanout = (10 * build_bytes) / budget.max(1);
+    // Two run writers per evicted partition; cap their buffers at ~1/4
+    // of the budget.
+    let max_fanout = budget / (8 * WRITER_BYTES);
+    let fanout = want_fanout.clamp(2, max_fanout.max(2)).next_power_of_two();
+    fanout
+        .trailing_zeros()
+        .clamp(1, crate::plan::MAX_RADIX_BITS)
+}
+
+fn io_error(ctx: &FaultCtx, e: &io::Error) -> JoinError {
+    JoinError::Io {
+        phase: ctx.phase(),
+        source: e.to_string(),
+    }
+}
+
+/// Fine-grained spill failpoints (`SHHJ.spill.write` / `.read` /
+/// `.recurse`), resolved on the submitting thread where the sequential
+/// spill phase runs — `arm_local` works. Worker-side loops are covered
+/// by the per-phase keys (`SHHJ.partition` etc.) through
+/// [`FaultCtx::tick`] like every other driver.
+#[cfg(feature = "failpoints")]
+fn spill_failpoint(point: &str) {
+    use crate::fault::failpoints::{active, FailAction};
+    match active(&format!("SHHJ.spill.{point}")) {
+        Some(FailAction::Panic) => panic!("failpoint SHHJ.spill.{point} fired"),
+        Some(FailAction::Sleep(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        None => {}
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn spill_failpoint(_point: &str) {}
+
+/// Spilling hybrid hash join driver.
+pub fn join_shhj(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinResult, JoinError> {
+    let ctx = FaultCtx::begin(Algorithm::Shhj, cfg);
+    let mut result = JoinResult::new(Algorithm::Shhj);
+    let bits = shhj_bits(cfg, r.len());
+    result.radix_bits = Some(bits);
+    let f = RadixFn::new(bits);
+    let parts = f.fanout();
+    let unique = cfg.unique_build_keys;
+
+    let pool = cfg.executor();
+    pool.start_recording(cfg.profile.enabled);
+    let cpool = CtxPool::new(pool.as_ref(), &ctx);
+
+    // ---- partition phase: histogram, residency plan, scatter, build --
+    ctx.enter_phase("partition");
+    let start = Instant::now();
+    let locals: Vec<Vec<usize>> =
+        parallel_chunks(&cpool, r.tuples(), |_, chunk| histogram(chunk, f));
+    let mut hist = vec![0usize; parts];
+    for l in &locals {
+        for (p, n) in l.iter().enumerate() {
+            hist[p] += n;
+        }
+    }
+
+    // Residency plan: charge tuples + table for every resident
+    // partition, plus fixed spill overhead (two run writers and the
+    // workers' staging buffers) per evicted one. Each refused
+    // reservation evicts the costliest resident partition and retries.
+    let part_cost: Vec<usize> = hist
+        .iter()
+        .map(|&n| {
+            if n == 0 {
+                0
+            } else {
+                n * 8 + TableSpec::hashed_partition(n, bits).table_bytes()
+            }
+        })
+        .collect();
+    let overhead_per_spilled = 2 * WRITER_BYTES + cfg.threads * STAGE_TUPLES * 8;
+    let mut resident = vec![true; parts];
+    let (resident_bytes, overhead_bytes) = loop {
+        let resident_bytes: usize = (0..parts)
+            .filter(|&p| resident[p])
+            .map(|p| part_cost[p])
+            .sum();
+        let spilled = (0..parts).filter(|&p| !resident[p]).count();
+        let overhead_bytes = spilled * overhead_per_spilled;
+        match ctx.budget().try_reserve(resident_bytes + overhead_bytes) {
+            Ok(()) => break (resident_bytes, overhead_bytes),
+            Err(be) => {
+                let victim = if cfg.spill {
+                    (0..parts)
+                        .filter(|&p| resident[p] && hist[p] > 0)
+                        .max_by_key(|&p| part_cost[p])
+                } else {
+                    None
+                };
+                match victim {
+                    Some(v) => resident[v] = false,
+                    // Spilling disabled, or even the all-spilled
+                    // overhead exceeds the budget: classic abort.
+                    None => return Err(ctx.budget_error(resident_bytes + overhead_bytes, be)),
+                }
+            }
+        }
+    };
+    let spilled_parts: Vec<usize> = (0..parts).filter(|&p| !resident[p]).collect();
+
+    let spilldir = if spilled_parts.is_empty() {
+        None
+    } else {
+        Some(SpillDir::create(cfg.spill_dir.as_deref()).map_err(|e| {
+            ctx.budget().release(resident_bytes + overhead_bytes);
+            io_error(&ctx, &e)
+        })?)
+    };
+    let mut r_writers: Vec<Option<Mutex<SpillWriter>>> = (0..parts).map(|_| None).collect();
+    let mut s_writers: Vec<Option<Mutex<SpillWriter>>> = (0..parts).map(|_| None).collect();
+    if let Some(dir) = &spilldir {
+        for &p in &spilled_parts {
+            let rw = dir
+                .writer(&format!("r-{p}"))
+                .map_err(|e| io_error(&ctx, &e))?;
+            let sw = dir
+                .writer(&format!("s-{p}"))
+                .map_err(|e| io_error(&ctx, &e))?;
+            r_writers[p] = Some(Mutex::new(rw));
+            s_writers[p] = Some(Mutex::new(sw));
+        }
+    }
+
+    // Scatter R: resident tuples into chunk-local vectors (gathered as
+    // slices at build time, like CPR), evicted tuples staged and
+    // appended to the partition's run under its writer lock.
+    let chunk_outs: Vec<Vec<Vec<Tuple>>> = parallel_chunks(&cpool, r.tuples(), |w, chunk| {
+        let mut local: Vec<Vec<Tuple>> = (0..parts)
+            .map(|p| {
+                if resident[p] {
+                    Vec::with_capacity(locals[w][p])
+                } else {
+                    Vec::with_capacity(STAGE_TUPLES.min(locals[w][p]))
+                }
+            })
+            .collect();
+        for block in chunk.chunks(MORSEL) {
+            if ctx.tick() {
+                return local;
+            }
+            for t in block {
+                let p = f.part(t.key);
+                local[p].push(*t);
+                if !resident[p] && local[p].len() >= STAGE_TUPLES {
+                    if let Err(e) = flush_stage(&r_writers[p], &mut local[p]) {
+                        ctx.trip(io_error(&ctx, &e));
+                        return local;
+                    }
+                }
+            }
+        }
+        for &p in &spilled_parts {
+            if let Err(e) = flush_stage(&r_writers[p], &mut local[p]) {
+                ctx.trip(io_error(&ctx, &e));
+                return local;
+            }
+        }
+        local
+    });
+
+    // Build the resident partitions' tables (task-queue parallel).
+    let build_order: Vec<usize> = (0..parts).filter(|&p| resident[p] && hist[p] > 0).collect();
+    let built: Vec<(usize, StLinearTable<IdentityHash>)> =
+        crate::exec::morsel_map(&pool, &build_order, parts, QueuePolicy::Shared, |p| {
+            let spec = TableSpec::hashed_partition(hist[p].max(1), bits);
+            let mut table = StLinearTable::<IdentityHash>::with_spec(&spec);
+            if !ctx.tick() {
+                for out in &chunk_outs {
+                    table.insert_batch(&out[p]);
+                }
+            }
+            (p, table)
+        });
+    let mut tables: Vec<Option<StLinearTable<IdentityHash>>> = (0..parts).map(|_| None).collect();
+    for (p, t) in built {
+        tables[p] = Some(t);
+    }
+    let r_spilled_bytes: u64 = spilled_parts
+        .iter()
+        .map(|&p| {
+            r_writers[p]
+                .as_ref()
+                .map_or(0, |w| lock_recover(w).tuples() * 8)
+        })
+        .sum();
+    result.push_phase_pool_spill(
+        "partition",
+        start.elapsed(),
+        0.0,
+        &pool,
+        SpillCounters {
+            bytes_spilled: r_spilled_bytes,
+            partitions_spilled: spilled_parts.len() as u64,
+            recursion_depth: 0,
+        },
+    );
+    ctx.checkpoint(&result)?;
+
+    // ---- probe phase: one pass over S ---------------------------------
+    ctx.enter_phase("probe");
+    let start = Instant::now();
+    let probe_outs: Vec<JoinChecksum> = parallel_chunks(&cpool, s.tuples(), |_, chunk| {
+        let mut c = JoinChecksum::new();
+        let mut stage: Vec<Vec<Tuple>> = (0..parts).map(|_| Vec::new()).collect();
+        for block in chunk.chunks(MORSEL) {
+            if ctx.tick() {
+                return c;
+            }
+            for t in block {
+                let p = f.part(t.key);
+                if resident[p] {
+                    if let Some(table) = &tables[p] {
+                        table.probe_batch(std::slice::from_ref(t), unique, |t, bp| {
+                            c.add(t.key, bp, t.payload)
+                        });
+                    }
+                } else {
+                    stage[p].push(*t);
+                    if stage[p].len() >= STAGE_TUPLES {
+                        if let Err(e) = flush_stage(&s_writers[p], &mut stage[p]) {
+                            ctx.trip(io_error(&ctx, &e));
+                            return c;
+                        }
+                    }
+                }
+            }
+        }
+        for &p in &spilled_parts {
+            if let Err(e) = flush_stage(&s_writers[p], &mut stage[p]) {
+                ctx.trip(io_error(&ctx, &e));
+                return c;
+            }
+        }
+        c
+    });
+    let mut checksum = merge_checksums(probe_outs);
+    let s_spilled_bytes: u64 = spilled_parts
+        .iter()
+        .map(|&p| {
+            s_writers[p]
+                .as_ref()
+                .map_or(0, |w| lock_recover(w).tuples() * 8)
+        })
+        .sum();
+    result.push_phase_pool_spill(
+        "probe",
+        start.elapsed(),
+        0.0,
+        &pool,
+        SpillCounters {
+            bytes_spilled: s_spilled_bytes,
+            partitions_spilled: 0,
+            recursion_depth: 0,
+        },
+    );
+    ctx.checkpoint(&result)?;
+
+    // ---- spill phase: join the evicted partitions from disk ----------
+    ctx.enter_phase("spill");
+    let start = Instant::now();
+    // The resident tables and slices are done; hand their bytes back so
+    // the recursion below can use the whole budget.
+    drop(tables);
+    drop(chunk_outs);
+    ctx.budget().release(resident_bytes);
+    let mut spill_counters = SpillCounters::default();
+    if let Some(dir) = &spilldir {
+        let mut pairs: Vec<(usize, SpillRun, SpillRun)> = Vec::with_capacity(spilled_parts.len());
+        for &p in &spilled_parts {
+            let rw = r_writers[p].take().expect("writer for spilled partition");
+            let sw = s_writers[p].take().expect("writer for spilled partition");
+            // The initial eviction bytes were counted in the partition
+            // and probe phases; this phase counts only recursion writes.
+            let r_run = into_inner_writer(rw)
+                .finish()
+                .map_err(|e| io_error(&ctx, &e))?;
+            let s_run = into_inner_writer(sw)
+                .finish()
+                .map_err(|e| io_error(&ctx, &e))?;
+            pairs.push((p, r_run, s_run));
+        }
+        // Writers are finished; their buffers are gone.
+        ctx.budget().release(overhead_bytes);
+        for (p, r_run, s_run) in pairs {
+            if ctx.tick() {
+                break;
+            }
+            let c = join_spilled(
+                &ctx,
+                dir,
+                r_run,
+                s_run,
+                bits,
+                0,
+                p,
+                unique,
+                &mut spill_counters,
+            )?;
+            checksum.merge(c);
+        }
+    } else {
+        ctx.budget().release(overhead_bytes);
+    }
+    result.set_checksum(checksum);
+    result.push_phase_pool_spill("spill", start.elapsed(), 0.0, &pool, spill_counters);
+    ctx.checkpoint(&result)?;
+    Ok(result)
+}
+
+/// Append a worker's staged tuples to the partition's run under its
+/// writer lock.
+fn flush_stage(writer: &Option<Mutex<SpillWriter>>, stage: &mut Vec<Tuple>) -> io::Result<()> {
+    if stage.is_empty() {
+        return Ok(());
+    }
+    let Some(w) = writer else {
+        stage.clear();
+        return Ok(());
+    };
+    let res = lock_recover(w).push_slice(stage);
+    stage.clear();
+    res
+}
+
+fn into_inner_writer(m: Mutex<SpillWriter>) -> SpillWriter {
+    m.into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Join one spilled partition pair: load the smaller side if it fits
+/// (role reversal), else recursively repartition both runs on the next
+/// [`SPILL_SUB_BITS`] key bits.
+#[allow(clippy::too_many_arguments)]
+fn join_spilled(
+    ctx: &FaultCtx,
+    dir: &SpillDir,
+    r_run: SpillRun,
+    s_run: SpillRun,
+    consumed_bits: u32,
+    depth: u32,
+    partition: usize,
+    unique: bool,
+    counters: &mut SpillCounters,
+) -> Result<JoinChecksum, JoinError> {
+    counters.recursion_depth = counters.recursion_depth.max(depth);
+    let mut c = JoinChecksum::new();
+    if r_run.is_empty() || s_run.is_empty() || ctx.should_stop() {
+        return Ok(c);
+    }
+
+    // Role reversal: build from whichever side is smaller. The checksum
+    // is (key, R payload, S payload) regardless of orientation, and a
+    // reversed build side (S) can hold duplicate keys even under the
+    // PK assumption, so reversed probes always scan all matches.
+    let reverse = s_run.tuples() < r_run.tuples();
+    let (build_run, probe_run) = if reverse {
+        (&s_run, &r_run)
+    } else {
+        (&r_run, &s_run)
+    };
+    let build_len = build_run.tuples() as usize;
+    let spec = TableSpec::hashed_partition(build_len, consumed_bits.min(31));
+    let need = build_len * 8 + spec.table_bytes() + 2 * READER_BYTES;
+    if ctx.budget().try_reserve(need).is_ok() {
+        let res = (|| -> Result<(), JoinError> {
+            spill_failpoint("read");
+            let build = build_run.read_all().map_err(|e| io_error(ctx, &e))?;
+            let mut table = StLinearTable::<IdentityHash>::with_spec(&spec);
+            table.insert_batch(&build);
+            let probe_unique = if reverse { false } else { unique };
+            let mut reader = probe_run.reader().map_err(|e| io_error(ctx, &e))?;
+            while let Some(page) = reader.next_page().map_err(|e| io_error(ctx, &e))? {
+                if ctx.tick() {
+                    break;
+                }
+                if reverse {
+                    table.probe_batch(page, probe_unique, |t, bp| c.add(t.key, t.payload, bp));
+                } else {
+                    table.probe_batch(page, probe_unique, |t, bp| c.add(t.key, bp, t.payload));
+                }
+            }
+            Ok(())
+        })();
+        ctx.budget().release(need);
+        res?;
+        return Ok(c);
+    }
+
+    // Too big to load: recursively repartition on fresh key bits.
+    if depth >= SPILL_RECURSION_LIMIT || consumed_bits >= 32 {
+        return Err(JoinError::SpillRecursionLimit {
+            partition,
+            depth,
+            limit: SPILL_RECURSION_LIMIT,
+        });
+    }
+    spill_failpoint("recurse");
+    // Sub-fanout the budget can afford: 2 run writers per sub-partition
+    // plus the parent reader must fit. Floor of 2 (below that the
+    // charge fails loudly); ceiling of SPILL_SUB_BITS.
+    let limit = ctx.budget().limit();
+    let affordable = limit
+        .saturating_sub(READER_BYTES)
+        .checked_div(2 * WRITER_BYTES)
+        .unwrap_or(0)
+        .max(2);
+    let afford_bits = usize::BITS - 1 - affordable.leading_zeros();
+    let sub_bits = SPILL_SUB_BITS
+        .min(afford_bits)
+        .max(1)
+        .min(32 - consumed_bits);
+    let f = RadixFn::pass(sub_bits, consumed_bits);
+    let overhead = 2 * f.fanout() * WRITER_BYTES + READER_BYTES;
+    let _ov = ctx.charge(overhead)?;
+    counters.partitions_spilled += 1;
+    let sub_r = repartition(
+        ctx,
+        dir,
+        &r_run,
+        f,
+        &format!("p{partition}-d{depth}-r"),
+        counters,
+    )?;
+    let sub_s = repartition(
+        ctx,
+        dir,
+        &s_run,
+        f,
+        &format!("p{partition}-d{depth}-s"),
+        counters,
+    )?;
+    // Parent runs delete their files now; sub-runs replace them, so the
+    // disk high-water mark stays ~2x the spilled data per level.
+    drop(r_run);
+    drop(s_run);
+    drop(_ov);
+    for (rr, ss) in sub_r.into_iter().zip(sub_s) {
+        if ctx.should_stop() {
+            break;
+        }
+        let sub = join_spilled(
+            ctx,
+            dir,
+            rr,
+            ss,
+            consumed_bits + sub_bits,
+            depth + 1,
+            partition,
+            unique,
+            counters,
+        )?;
+        c.merge(sub);
+    }
+    Ok(c)
+}
+
+/// Split one run into `f.fanout()` sub-runs on the pass's key bits.
+fn repartition(
+    ctx: &FaultCtx,
+    dir: &SpillDir,
+    run: &SpillRun,
+    f: RadixFn,
+    tag: &str,
+    counters: &mut SpillCounters,
+) -> Result<Vec<SpillRun>, JoinError> {
+    let fanout = f.fanout();
+    let mut writers: Vec<SpillWriter> = Vec::with_capacity(fanout);
+    for i in 0..fanout {
+        writers.push(
+            dir.writer(&format!("{tag}-{i}"))
+                .map_err(|e| io_error(ctx, &e))?,
+        );
+    }
+    let mut reader = run.reader().map_err(|e| io_error(ctx, &e))?;
+    while let Some(page) = reader.next_page().map_err(|e| io_error(ctx, &e))? {
+        if ctx.tick() {
+            break;
+        }
+        spill_failpoint("write");
+        for t in page {
+            writers[f.part(t.key)]
+                .push(*t)
+                .map_err(|e| io_error(ctx, &e))?;
+        }
+    }
+    let mut runs = Vec::with_capacity(fanout);
+    for w in writers {
+        let r = w.finish().map_err(|e| io_error(ctx, &e))?;
+        counters.bytes_spilled += r.bytes();
+        runs.push(r);
+    }
+    Ok(runs)
+}

@@ -11,6 +11,27 @@ use mmjoin_util::pool::{ExecCounters, WorkerPhaseStat};
 use crate::executor::Executor;
 use crate::Algorithm;
 
+/// Disk-spill activity of one phase (the spilling hybrid hash join;
+/// all-zero for the in-memory drivers). Aggregated into the metrics and
+/// chrome-trace exporters (see `observe`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpillCounters {
+    /// Bytes written to spill runs during this phase.
+    pub bytes_spilled: u64,
+    /// Partitions evicted to (or re-spilled onto) disk in this phase.
+    pub partitions_spilled: u64,
+    /// Deepest recursive-repartitioning level reached (0 = none).
+    pub recursion_depth: u32,
+}
+
+impl SpillCounters {
+    pub fn merge(&mut self, other: SpillCounters) {
+        self.bytes_spilled += other.bytes_spilled;
+        self.partitions_spilled += other.partitions_spilled;
+        self.recursion_depth = self.recursion_depth.max(other.recursion_depth);
+    }
+}
+
 /// One barrier-delimited phase of a join.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhaseStat {
@@ -22,6 +43,8 @@ pub struct PhaseStat {
     /// Executor scheduling counters for this phase (tasks run, steals,
     /// worker idle time at the barrier).
     pub exec: ExecCounters,
+    /// Disk-spill activity (zero for in-memory drivers).
+    pub spill: SpillCounters,
     /// Per-worker spans (one per worker per barrier broadcast) with
     /// native PMU deltas, recorded only when `JoinConfig::profile` is
     /// enabled; empty otherwise.
@@ -91,6 +114,7 @@ impl JoinResult {
             wall,
             sim_seconds,
             exec,
+            spill: SpillCounters::default(),
             workers: Vec::new(),
         });
     }
@@ -105,11 +129,25 @@ impl JoinResult {
         sim_seconds: f64,
         pool: &Executor,
     ) {
+        self.push_phase_pool_spill(name, wall, sim_seconds, pool, SpillCounters::default());
+    }
+
+    /// [`JoinResult::push_phase_pool`] with the phase's disk-spill
+    /// counters attached (the spilling join's drain).
+    pub fn push_phase_pool_spill(
+        &mut self,
+        name: &'static str,
+        wall: Duration,
+        sim_seconds: f64,
+        pool: &Executor,
+        spill: SpillCounters,
+    ) {
         self.phases.push(PhaseStat {
             name,
             wall,
             sim_seconds,
             exec: pool.drain_counters(),
+            spill,
             workers: pool.drain_spans(),
         });
     }
@@ -120,6 +158,15 @@ impl JoinResult {
         let mut total = CounterDelta::none();
         for p in &self.phases {
             total.merge(&p.counter_totals());
+        }
+        total
+    }
+
+    /// Spill totals over all phases (all-zero for in-memory drivers).
+    pub fn spill_totals(&self) -> SpillCounters {
+        let mut total = SpillCounters::default();
+        for p in &self.phases {
+            total.merge(p.spill);
         }
         total
     }

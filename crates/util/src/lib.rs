@@ -22,6 +22,7 @@ pub mod kernels;
 pub mod perf;
 pub mod pool;
 pub mod rng;
+pub mod spill;
 pub mod stats;
 pub mod timer;
 pub mod trace;

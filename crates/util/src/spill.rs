@@ -1,0 +1,454 @@
+//! Buffered spill files: page-aligned, append-only, checksummed runs of
+//! tuples for the larger-than-memory join path (DESIGN.md §13).
+//!
+//! A [`SpillDir`] owns one temporary directory per join and removes it
+//! recursively on `Drop`, so no error/cancel/panic path can leave orphan
+//! temp files behind as long as the directory handle unwinds. Individual
+//! runs ([`SpillRun`]) also delete their backing file when dropped, which
+//! bounds disk usage during recursive repartitioning.
+//!
+//! Writes happen in whole 4 KiB pages ([`PAGE_4K`]): tuples are buffered
+//! in memory until a page fills, then the page is appended with one
+//! `write_all`. The final page is zero-padded so every run file is a
+//! page multiple; the exact tuple count travels in the [`SpillRun`]
+//! metadata, never in the file. Each run carries an order-dependent
+//! digest of its tuples that the reader re-derives and verifies, so a
+//! torn or corrupted spill file surfaces as a typed I/O error instead of
+//! a wrong join result.
+//!
+//! Memory for the page buffers is the caller's to account: each writer
+//! holds [`WRITER_BYTES`] and each reader [`READER_BYTES`] of heap;
+//! `mmjoin-core` charges these against the join's `MemBudget`.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::tuple::Tuple;
+use crate::PAGE_4K;
+
+/// Tuples per 4 KiB spill page (512 for the paper's 8-byte tuples).
+pub const TUPLES_PER_PAGE: usize = PAGE_4K / std::mem::size_of::<Tuple>();
+
+/// Heap bytes held by one [`SpillWriter`] (tuple buffer + encode buffer).
+pub const WRITER_BYTES: usize = 2 * PAGE_4K;
+
+/// Heap bytes held by one [`SpillReader`] (decode buffer + tuple page).
+pub const READER_BYTES: usize = 2 * PAGE_4K;
+
+/// Injectable I/O failures for fault testing ("io failpoints").
+///
+/// Unlike the cfg-gated panic/sleep failpoints in `mmjoin-core`, these
+/// are always compiled: the check is one mutex probe per *page* of I/O,
+/// noise against an actual file write. Arming is scoped by a path
+/// substring so concurrent tests (each join spills under its own unique
+/// [`SpillDir`]) cannot trip each other's faults.
+pub mod iofail {
+    use std::io;
+    use std::path::Path;
+    use std::sync::Mutex;
+
+    static ARMED: Mutex<Option<(String, u64)>> = Mutex::new(None);
+
+    /// Disarms the failpoint when dropped (RAII for tests).
+    pub struct Guard;
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            disarm();
+        }
+    }
+
+    /// Arm: the `(skip + 1)`-th I/O operation on any spill file whose
+    /// path contains `path_substring` fails with an injected
+    /// `io::Error`, as do all later matching operations until the
+    /// returned [`Guard`] drops (persistent failure models a dead disk,
+    /// and keeps retry paths deterministic).
+    pub fn arm(path_substring: &str, skip: u64) -> Guard {
+        *ARMED
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some((path_substring.to_string(), skip));
+        Guard
+    }
+
+    /// Remove any armed failpoint.
+    pub fn disarm() {
+        *ARMED
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    }
+
+    /// Called by the spill layer before each file operation.
+    pub(crate) fn check(path: &Path) -> io::Result<()> {
+        let mut g = ARMED
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((pat, left)) = g.as_mut() {
+            if path.to_string_lossy().contains(pat.as_str()) {
+                if *left == 0 {
+                    return Err(io::Error::other(format!(
+                        "injected spill I/O failure on {}",
+                        path.display()
+                    )));
+                }
+                *left -= 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Order-dependent digest over a run's tuples (SplitMix64 finalizer over
+/// the packed tuple, chained so insert order matters — a run is read
+/// back in exactly the order it was written).
+#[inline]
+fn mix_digest(digest: u64, t: Tuple) -> u64 {
+    let mut z = digest ^ t.pack().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A join-scoped temporary directory holding spill runs. Removed
+/// recursively (best-effort) on `Drop`.
+#[derive(Debug)]
+pub struct SpillDir {
+    root: PathBuf,
+}
+
+impl SpillDir {
+    /// Create a fresh, uniquely named spill directory under `parent`
+    /// (or the system temp dir when `None`).
+    pub fn create(parent: Option<&Path>) -> io::Result<SpillDir> {
+        let base = match parent {
+            Some(p) => p.to_path_buf(),
+            None => std::env::temp_dir(),
+        };
+        let pid = std::process::id();
+        loop {
+            let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+            let root = base.join(format!("mmjoin-spill-{pid}-{seq}"));
+            match fs::create_dir_all(&base).and_then(|()| fs::create_dir(&root)) {
+                Ok(()) => return Ok(SpillDir { root }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The directory all runs live under.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Open a new append-only run named `name` (e.g. `"r-part-17"`).
+    pub fn writer(&self, name: &str) -> io::Result<SpillWriter> {
+        SpillWriter::create(self.root.join(format!("{name}.run")))
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Buffered append-only writer for one run of tuples.
+#[derive(Debug)]
+pub struct SpillWriter {
+    path: PathBuf,
+    file: File,
+    buf: Vec<Tuple>,
+    encode: Vec<u8>,
+    tuples: u64,
+    bytes: u64,
+    digest: u64,
+    finished: bool,
+}
+
+impl SpillWriter {
+    fn create(path: PathBuf) -> io::Result<SpillWriter> {
+        iofail::check(&path)?;
+        let file = File::create(&path)?;
+        Ok(SpillWriter {
+            path,
+            file,
+            buf: Vec::with_capacity(TUPLES_PER_PAGE),
+            encode: vec![0u8; PAGE_4K],
+            tuples: 0,
+            bytes: 0,
+            digest: 0,
+            finished: false,
+        })
+    }
+
+    /// Number of tuples appended so far.
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Append one tuple, flushing a full page to disk when the buffer
+    /// fills.
+    #[inline]
+    pub fn push(&mut self, t: Tuple) -> io::Result<()> {
+        self.buf.push(t);
+        if self.buf.len() == TUPLES_PER_PAGE {
+            self.flush_page()?;
+        }
+        Ok(())
+    }
+
+    /// Append a slice of tuples.
+    pub fn push_slice(&mut self, ts: &[Tuple]) -> io::Result<()> {
+        for &t in ts {
+            self.push(t)?;
+        }
+        Ok(())
+    }
+
+    /// Write the buffered tuples as one zero-padded 4 KiB page.
+    fn flush_page(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        iofail::check(&self.path)?;
+        self.encode.fill(0);
+        for (i, t) in self.buf.iter().enumerate() {
+            self.encode[i * 8..i * 8 + 8].copy_from_slice(&t.pack().to_le_bytes());
+            self.digest = mix_digest(self.digest, *t);
+        }
+        self.file.write_all(&self.encode)?;
+        self.tuples += self.buf.len() as u64;
+        self.bytes += PAGE_4K as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush the final partial page and seal the run. The writer's file
+    /// handle is dropped; the returned [`SpillRun`] owns the file.
+    pub fn finish(mut self) -> io::Result<SpillRun> {
+        self.flush_page()?;
+        self.file.flush()?;
+        self.finished = true;
+        Ok(SpillRun {
+            path: std::mem::take(&mut self.path),
+            tuples: self.tuples,
+            bytes: self.bytes,
+            digest: self.digest,
+        })
+    }
+}
+
+impl Drop for SpillWriter {
+    fn drop(&mut self) {
+        // An unfinished writer (error/cancel path) removes its file so
+        // partial runs never linger beyond the writer itself.
+        if !self.finished {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// A sealed on-disk run: path + exact tuple count + digest. Deletes its
+/// backing file on `Drop`.
+#[derive(Debug)]
+pub struct SpillRun {
+    path: PathBuf,
+    tuples: u64,
+    bytes: u64,
+    digest: u64,
+}
+
+impl SpillRun {
+    /// Exact number of tuples in the run.
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Bytes occupied on disk (a page multiple).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// True if the run holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples == 0
+    }
+
+    /// Stream the run back one page at a time.
+    pub fn reader(&self) -> io::Result<SpillReader<'_>> {
+        iofail::check(&self.path)?;
+        let file = File::open(&self.path)?;
+        Ok(SpillReader {
+            run: self,
+            file,
+            remaining: self.tuples,
+            digest: 0,
+            decode: vec![0u8; PAGE_4K],
+            page: Vec::with_capacity(TUPLES_PER_PAGE),
+        })
+    }
+
+    /// Read the whole run into memory, verifying the digest. The caller
+    /// is responsible for having reserved `tuples * 8` bytes of budget.
+    pub fn read_all(&self) -> io::Result<Vec<Tuple>> {
+        let mut out = Vec::with_capacity(self.tuples as usize);
+        let mut r = self.reader()?;
+        while let Some(page) = r.next_page()? {
+            out.extend_from_slice(page);
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for SpillRun {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Streaming page reader over a [`SpillRun`]; verifies the run digest
+/// when the last page has been consumed.
+#[derive(Debug)]
+pub struct SpillReader<'a> {
+    run: &'a SpillRun,
+    file: File,
+    remaining: u64,
+    digest: u64,
+    decode: Vec<u8>,
+    page: Vec<Tuple>,
+}
+
+impl SpillReader<'_> {
+    /// Next page of tuples, or `None` after the last. The final call
+    /// that drains the run re-checks the digest and reports corruption
+    /// as `io::ErrorKind::InvalidData`.
+    pub fn next_page(&mut self) -> io::Result<Option<&[Tuple]>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        iofail::check(&self.run.path)?;
+        self.file.read_exact(&mut self.decode)?;
+        let n = (self.remaining as usize).min(TUPLES_PER_PAGE);
+        self.page.clear();
+        for i in 0..n {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&self.decode[i * 8..i * 8 + 8]);
+            let t = Tuple::unpack(u64::from_le_bytes(raw));
+            self.digest = mix_digest(self.digest, t);
+            self.page.push(t);
+        }
+        self.remaining -= n as u64;
+        if self.remaining == 0 && self.digest != self.run.digest {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("spill run checksum mismatch in {}", self.run.path.display()),
+            ));
+        }
+        Ok(Some(&self.page))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples(n: usize, seed: u32) -> Vec<Tuple> {
+        (0..n as u32)
+            .map(|i| Tuple::new(i.wrapping_mul(2654435761) ^ seed, i))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_across_page_boundaries() {
+        let dir = SpillDir::create(None).unwrap();
+        for n in [
+            0,
+            1,
+            TUPLES_PER_PAGE - 1,
+            TUPLES_PER_PAGE,
+            3 * TUPLES_PER_PAGE + 7,
+        ] {
+            let input = tuples(n, 42);
+            let mut w = dir.writer(&format!("run-{n}")).unwrap();
+            w.push_slice(&input).unwrap();
+            let run = w.finish().unwrap();
+            assert_eq!(run.tuples(), n as u64);
+            assert_eq!(run.bytes() % PAGE_4K as u64, 0, "runs are page multiples");
+            assert_eq!(run.read_all().unwrap(), input);
+        }
+    }
+
+    #[test]
+    fn streaming_reader_yields_exact_pages() {
+        let dir = SpillDir::create(None).unwrap();
+        let input = tuples(2 * TUPLES_PER_PAGE + 3, 7);
+        let mut w = dir.writer("stream").unwrap();
+        w.push_slice(&input).unwrap();
+        let run = w.finish().unwrap();
+        let mut r = run.reader().unwrap();
+        let mut got = Vec::new();
+        let mut pages = 0;
+        while let Some(page) = r.next_page().unwrap() {
+            got.extend_from_slice(page);
+            pages += 1;
+        }
+        assert_eq!(pages, 3);
+        assert_eq!(got, input);
+    }
+
+    #[test]
+    fn drop_cleans_directory_and_runs() {
+        let dir = SpillDir::create(None).unwrap();
+        let root = dir.path().to_path_buf();
+        let mut w = dir.writer("a").unwrap();
+        w.push_slice(&tuples(1000, 1)).unwrap();
+        let run = w.finish().unwrap();
+        let unfinished = dir.writer("b").unwrap();
+        assert!(root.exists());
+        drop(unfinished); // unfinished writer removes its own file
+        assert_eq!(fs::read_dir(&root).unwrap().count(), 1);
+        drop(run);
+        assert_eq!(fs::read_dir(&root).unwrap().count(), 0);
+        drop(dir);
+        assert!(!root.exists(), "SpillDir::drop removes the directory");
+    }
+
+    #[test]
+    fn corrupted_run_fails_checksum() {
+        let dir = SpillDir::create(None).unwrap();
+        let mut w = dir.writer("c").unwrap();
+        w.push_slice(&tuples(700, 3)).unwrap();
+        let run = w.finish().unwrap();
+        // Flip one byte in the middle of the file.
+        let mut raw = fs::read(&run.path).unwrap();
+        raw[100] ^= 0xFF;
+        fs::write(&run.path, &raw).unwrap();
+        let err = run.read_all().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn iofail_injects_scoped_errors() {
+        let dir = SpillDir::create(None).unwrap();
+        let other = SpillDir::create(None).unwrap();
+        let marker = dir
+            .path()
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .to_string();
+        let _g = iofail::arm(&marker, 1); // first matching op ok, second fails
+        let mut w = dir.writer("f").unwrap(); // op 1: create
+        let err = w.push_slice(&tuples(2 * TUPLES_PER_PAGE, 9)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        // A different spill dir is untouched by the armed failpoint.
+        let mut w2 = other.writer("g").unwrap();
+        w2.push_slice(&tuples(2 * TUPLES_PER_PAGE, 9)).unwrap();
+        w2.finish().unwrap();
+    }
+}

@@ -86,13 +86,16 @@ impl Args {
 fn usage() -> ! {
     eprintln!("usage: mmjoin <join|race|tpch> [options]");
     eprintln!("  join --algo NAME --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
-    eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB]");
+    eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB] [--spill-dir DIR] [--no-spill]");
     eprintln!("       [--profile] [--trace-out FILE.json] [--metrics-out FILE.json]");
     eprintln!("       [--ledger FILE.jsonl]");
     eprintln!("  race --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
-    eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB]");
+    eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB] [--spill-dir DIR] [--no-spill]");
     eprintln!("  tpch --sf F [--threads N]");
-    eprintln!("algorithms: {}", Algorithm::ALL.map(|a| a.name()).join(" "));
+    eprintln!(
+        "algorithms: {}",
+        Algorithm::WITH_EXTENSIONS.map(|a| a.name()).join(" ")
+    );
     std::process::exit(2);
 }
 
@@ -131,6 +134,12 @@ fn config(args: &Args, theta: f64) -> JoinConfig {
         let mb: usize = args.get("mem-limit-mb", 0);
         builder = builder.with_mem_limit(mb.saturating_mul(1024 * 1024));
     }
+    if let Some(dir) = args.get_str("spill-dir") {
+        builder = builder.with_spill_dir(dir);
+    }
+    if args.has("no-spill") {
+        builder = builder.with_spill(false);
+    }
     // --trace-out / --metrics-out are pointless without spans, so either
     // one implies --profile.
     if args.has("profile")
@@ -164,11 +173,12 @@ fn main() {
                     "bits",
                     "deadline-ms",
                     "mem-limit-mb",
+                    "spill-dir",
                     "trace-out",
                     "metrics-out",
                     "ledger",
                 ],
-                &["skew-handling", "profile"],
+                &["skew-handling", "profile", "no-spill"],
             );
             let Some(name) = args.get_str("algo") else {
                 eprintln!("missing required option --algo");
@@ -272,15 +282,16 @@ fn main() {
                     "bits",
                     "deadline-ms",
                     "mem-limit-mb",
+                    "spill-dir",
                 ],
-                &["skew-handling"],
+                &["skew-handling", "no-spill"],
             );
             let (r, s, theta) = workload(&args);
             let cfg = config(&args, theta);
             // A race is a sweep: one algorithm blowing its deadline or
             // budget (or panicking) drops out of the leaderboard instead
             // of killing the race.
-            let mut rows: Vec<(&str, f64, u64)> = Algorithm::ALL
+            let mut rows: Vec<(&str, f64, u64)> = Algorithm::WITH_EXTENSIONS
                 .iter()
                 .filter_map(
                     |&alg| match Join::new(alg).with_config(cfg.clone()).run(&r, &s) {

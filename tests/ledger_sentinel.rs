@@ -28,6 +28,8 @@ fn entry(timestamp: u64, samples: Vec<SampleSet>) -> Entry {
         kernel_mode: "portable".to_string(),
         retried_trials: 1,
         failed_trials: 0,
+        failed_resource_trials: 0,
+        failed_io_trials: 0,
         samples,
     }
 }
