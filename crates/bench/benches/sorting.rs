@@ -35,7 +35,7 @@ fn bench_networks(c: &mut Criterion) {
         })
     });
     g.bench_function("mergesort-full", |b| {
-        let mut scratch = Vec::new();
+        let mut scratch = mmjoin_util::alloc::AlignedVec::new();
         b.iter(|| {
             let mut d = data.clone();
             sort_packed(&mut d, &mut scratch);

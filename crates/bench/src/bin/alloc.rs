@@ -1,0 +1,378 @@
+//! Allocation-policy A/B harness: the portable aligned heap vs the
+//! mmap-backed arenas (`mmjoin_util::mem`) on a partition-heavy
+//! end-to-end PRO cell, plus an arena-pool reuse proof.
+//!
+//! ```text
+//! cargo run -p mmjoin-bench --release --bin alloc            # full
+//! cargo run -p mmjoin-bench --release --bin alloc -- --quick # CI smoke
+//! cargo run -p mmjoin-bench --release --bin alloc -- --quick --check
+//! ```
+//!
+//! For each policy the host can express (portable always; thp/mapped
+//! always — they degrade silently; hugetlb and interleave/bind only
+//! when `/sys` says the host has the backing), the harness runs PRO
+//! with per-worker PMU profiling and reports median wall time, total
+//! dTLB misses (null where perf counters are unavailable, e.g. under
+//! `MMJOIN_PERF=off`), and the arena counters — how many blocks were
+//! actually mapped and whether any fallback rung was taken.
+//!
+//! The reuse proof runs two back-to-back joins under the first mapped
+//! policy from a cleared pool: the second run must serve arenas from
+//! the pool (pool-hit counter) and fault in fewer fresh pages
+//! (`/proc/self/stat` minor-fault delta).
+//!
+//! Emits `BENCH_alloc.json` (override with `--out PATH`). With
+//! `--check`, exits non-zero if any policy's checksum diverges from the
+//! portable run or if the reuse proof fails — the CI gate; dTLB/time
+//! deltas are reported, not gated, because CI hosts rarely have
+//! hugepages or multiple nodes. With `--ledger PATH`, appends the raw
+//! repeat vectors to the run ledger (policy spelled into the cell key).
+
+use std::time::Instant;
+
+use mmjoin_bench::harness::HarnessOpts;
+use mmjoin_bench::ledger::{self, SampleSet};
+use mmjoin_core::{Algorithm, Join, ProfileConfig};
+use mmjoin_util::mem::{self, AllocPolicy};
+
+struct PolicyRun {
+    name: String,
+    /// Raw repeat wall times, in run order (the ledger stores these).
+    secs: Vec<f64>,
+    /// Total dTLB misses over all phases of the last repeat (`None`
+    /// when the host exposes no counters to this process).
+    dtlb_misses: Option<u64>,
+    /// Arena counter deltas over the timed repeats. The warm-up run
+    /// maps the arenas, so the repeats are mostly pool hits.
+    mapped_blocks: u64,
+    mapped_bytes: u64,
+    pool_hits: u64,
+    degraded_page: u64,
+    degraded_numa: u64,
+    heap_fallback: u64,
+    checksum: u64,
+    matches: u64,
+}
+
+impl PolicyRun {
+    fn median_s(&self) -> f64 {
+        mmjoin_util::stats::median(&self.secs)
+    }
+}
+
+/// The policies worth running on this host: portable and THP always
+/// (THP degrades silently where disabled), hugetlb only with reserved
+/// 2 MiB pages, interleave only with > 1 node and working NUMA
+/// syscalls.
+fn candidate_policies() -> Vec<AllocPolicy> {
+    let topo = mem::host_topology();
+    let mut v = vec![AllocPolicy::Portable, AllocPolicy::THP];
+    if topo.free_hugepages_2m > 0 {
+        v.push(AllocPolicy::parse("hugetlb").unwrap());
+    }
+    if topo.nodes > 1 && mem::numa_available() {
+        v.push(AllocPolicy::parse("thp+interleave").unwrap());
+    }
+    v
+}
+
+/// Time `reps` PRO runs under `policy` (after one warm-up), recording
+/// dTLB misses from the per-worker PMU spans of the last repeat.
+fn bench_policy(
+    policy: AllocPolicy,
+    opts: &HarnessOpts,
+    r: &mmjoin_util::Relation,
+    s: &mmjoin_util::Relation,
+    reps: usize,
+) -> PolicyRun {
+    // Per-policy pool classes never alias, but a cleared pool makes the
+    // mapped_blocks count below mean "blocks this policy mapped".
+    mem::pool_clear();
+    let run = || {
+        Join::new(Algorithm::Pro)
+            .with_threads(opts.threads)
+            .with_simulate(false)
+            .with_alloc_policy(policy)
+            .with_profile(ProfileConfig::on())
+            .run(r, s)
+            .expect("join failed")
+    };
+    let warm = run();
+    let before = mem::stats();
+    let mut secs = Vec::with_capacity(reps);
+    let mut last = warm;
+    for _ in 0..reps {
+        let start = Instant::now();
+        last = run();
+        secs.push(start.elapsed().as_secs_f64());
+    }
+    let delta = mem::stats().delta(&before);
+    PolicyRun {
+        name: policy.name(),
+        secs,
+        dtlb_misses: last.counter_totals().dtlb_misses,
+        mapped_blocks: delta.mapped_blocks,
+        mapped_bytes: delta.mapped_bytes,
+        pool_hits: delta.pool_hits,
+        degraded_page: delta.degraded_page,
+        degraded_numa: delta.degraded_numa,
+        heap_fallback: delta.heap_fallback,
+        checksum: last.checksum,
+        matches: last.matches,
+    }
+}
+
+struct ReuseProof {
+    policy: String,
+    /// Minor page faults of the first (cold-pool) and second runs
+    /// (`None` where `/proc/self/stat` is unreadable).
+    faults_cold: Option<u64>,
+    faults_warm: Option<u64>,
+    /// Pool hits and bytes served during the second run.
+    pool_hits: u64,
+    pool_hit_bytes: u64,
+}
+
+impl ReuseProof {
+    /// The pool did its job: the warm run was served from the pool and
+    /// (where the host exposes fault counts) faulted in fewer fresh
+    /// pages than the cold one.
+    fn ok(&self) -> bool {
+        let fewer_faults = match (self.faults_cold, self.faults_warm) {
+            (Some(cold), Some(warm)) => warm < cold,
+            _ => true,
+        };
+        self.pool_hits > 0 && fewer_faults
+    }
+}
+
+/// Two back-to-back joins under `policy` from a cleared pool; the
+/// second must reuse the first's arenas instead of faulting fresh ones.
+fn reuse_proof(
+    policy: AllocPolicy,
+    opts: &HarnessOpts,
+    r: &mmjoin_util::Relation,
+    s: &mmjoin_util::Relation,
+) -> ReuseProof {
+    mem::pool_clear();
+    let run = || {
+        Join::new(Algorithm::Pro)
+            .with_threads(opts.threads)
+            .with_simulate(false)
+            .with_alloc_policy(policy)
+            .run(r, s)
+            .expect("join failed")
+    };
+    let f0 = mem::minor_faults();
+    run();
+    let f1 = mem::minor_faults();
+    let before = mem::stats();
+    run();
+    let f2 = mem::minor_faults();
+    let delta = mem::stats().delta(&before);
+    let sub = |a: Option<u64>, b: Option<u64>| Some(a?.saturating_sub(b?));
+    ReuseProof {
+        policy: policy.name(),
+        faults_cold: sub(f1, f0),
+        faults_warm: sub(f2, f1),
+        pool_hits: delta.pool_hits,
+        pool_hit_bytes: delta.pool_hit_bytes,
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = match HarnessOpts::parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut quick = false;
+    let mut check = false;
+    let mut out_path = "BENCH_alloc.json".to_string();
+    let mut ledger_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("error: --out needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--ledger" => match it.next() {
+                Some(p) => ledger_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --ledger needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let counters_before = mmjoin_bench::harness::TrialCounters::snapshot();
+
+    // A partition-heavy cell: PRO's out-of-place radix pass writes the
+    // whole input twice, which is where TLB pressure and page placement
+    // bite. Quick mode keeps the arenas above the 64 KiB mmap threshold
+    // but finishes in seconds.
+    let ((r_m, s_m), reps) = if quick { ((2, 8), 3) } else { ((16, 64), 5) };
+    let (r, s) = opts.workload(r_m, s_m, 77);
+
+    let topo = mem::host_topology();
+    eprintln!(
+        "alloc A/B: quick={quick} threads={} nodes={} thp={} hugepages_2m={}",
+        opts.threads, topo.nodes, topo.thp_enabled, topo.free_hugepages_2m
+    );
+
+    let policies = candidate_policies();
+    let runs: Vec<PolicyRun> = policies
+        .iter()
+        .map(|&p| bench_policy(p, &opts, &r, &s, reps))
+        .collect();
+    // Reuse proof under the first mapped policy (THP — always present).
+    let proof = reuse_proof(AllocPolicy::THP, &opts, &r, &s);
+
+    println!(
+        "{:<16} {:>10} {:>12} {:>8} {:>10} {:>8} {:>6}",
+        "policy", "e2e_ms", "dtlb_miss", "mapped", "MiB", "pool", "degr"
+    );
+    let base = runs[0].median_s();
+    for pr in &runs {
+        println!(
+            "{:<16} {:>10.2} {:>12} {:>8} {:>10.1} {:>8} {:>6}",
+            pr.name,
+            pr.median_s() * 1e3,
+            opt_u64(pr.dtlb_misses),
+            pr.mapped_blocks,
+            pr.mapped_bytes as f64 / (1024.0 * 1024.0),
+            pr.pool_hits,
+            pr.degraded_page + pr.degraded_numa + pr.heap_fallback
+        );
+    }
+    println!(
+        "pool reuse [{}]: cold {} minor faults, warm {} ({} pool hits, {:.1} MiB): {}",
+        proof.policy,
+        opt_u64(proof.faults_cold),
+        opt_u64(proof.faults_warm),
+        proof.pool_hits,
+        proof.pool_hit_bytes as f64 / (1024.0 * 1024.0),
+        if proof.ok() { "ok" } else { "FAILED" }
+    );
+
+    let checksums_ok = runs.iter().all(|pr| {
+        let ok = pr.checksum == runs[0].checksum && pr.matches == runs[0].matches;
+        if !ok {
+            eprintln!(
+                "checksum mismatch under {}: {:#018x} vs portable {:#018x}",
+                pr.name, pr.checksum, runs[0].checksum
+            );
+        }
+        ok
+    });
+
+    let cells: Vec<String> = runs
+        .iter()
+        .map(|pr| {
+            format!(
+                "    {{\"policy\": \"{}\", \"e2e_ms\": {:.3}, \"speedup\": {:.4}, \
+                 \"dtlb_misses\": {}, \"mapped_blocks\": {}, \"mapped_bytes\": {}, \
+                 \"pool_hits\": {}, \
+                 \"degraded_page\": {}, \"degraded_numa\": {}, \"heap_fallback\": {}}}",
+                pr.name,
+                pr.median_s() * 1e3,
+                base / pr.median_s().max(1e-12),
+                opt_u64(pr.dtlb_misses),
+                pr.mapped_blocks,
+                pr.mapped_bytes,
+                pr.pool_hits,
+                pr.degraded_page,
+                pr.degraded_numa,
+                pr.heap_fallback
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"meta\": {},\n  \"quick\": {quick},\n  \"threads\": {},\n  \
+         \"checksums_ok\": {checksums_ok},\n  \"policies\": [\n{}\n  ],\n  \
+         \"pool_reuse\": {{\"policy\": \"{}\", \"faults_cold\": {}, \"faults_warm\": {}, \
+         \"pool_hits\": {}, \"pool_hit_bytes\": {}, \"ok\": {}}}\n}}\n",
+        mmjoin_bench::harness::meta_json(),
+        opts.threads,
+        cells.join(",\n"),
+        proof.policy,
+        opt_u64(proof.faults_cold),
+        opt_u64(proof.faults_warm),
+        proof.pool_hits,
+        proof.pool_hit_bytes,
+        proof.ok()
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {out_path}");
+
+    if let Some(path) = &ledger_path {
+        let workload = if quick { "quick" } else { "full" };
+        // The policy goes into the cell key: samples from different
+        // allocation policies must never be pooled by the sentinel.
+        let samples: Vec<SampleSet> = runs
+            .iter()
+            .map(|pr| SampleSet {
+                algorithm: format!("e2e_PRO[{}]", pr.name),
+                workload: workload.to_string(),
+                kernel_mode: ledger::kernel_mode_name(),
+                secs: pr.secs.clone(),
+            })
+            .collect();
+        let mut entry = ledger::Entry::stamped("alloc", opts.threads, samples);
+        let delta = counters_before.delta();
+        entry.retried_trials = delta.retried;
+        entry.failed_trials = delta.failed;
+        entry.failed_resource_trials = delta.failed_resource;
+        entry.failed_io_trials = delta.failed_io;
+        match ledger::append(std::path::Path::new(path), &entry) {
+            Ok(()) => eprintln!("ledger: appended {} to {path}", entry.describe()),
+            Err(e) => {
+                eprintln!("error: cannot append to ledger {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if check {
+        // Gate on invariants every host can uphold: identical answers
+        // under every policy, and real pool reuse on back-to-back runs.
+        // Time/dTLB deltas are informational — CI boxes rarely reserve
+        // hugepages or expose multiple NUMA nodes.
+        if !checksums_ok {
+            std::process::exit(1);
+        }
+        if !proof.ok() {
+            eprintln!(
+                "FAIL: no arena-pool reuse (cold {} faults, warm {}, {} pool hits)",
+                opt_u64(proof.faults_cold),
+                opt_u64(proof.faults_warm),
+                proof.pool_hits
+            );
+            std::process::exit(1);
+        }
+        eprintln!("check passed");
+    }
+}

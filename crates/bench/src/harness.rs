@@ -352,11 +352,18 @@ pub fn meta_json() -> String {
         mmjoin_util::kernels::KernelMode::Portable => "portable",
         mmjoin_util::kernels::KernelMode::Auto => "auto",
     };
+    let topo = mmjoin_util::mem::host_topology();
     format!(
-        "{{\"cpu_model\": {}, \"kernel_mode\": \"{}\", \"perf_counters\": {}}}",
+        "{{\"cpu_model\": {}, \"kernel_mode\": \"{}\", \"perf_counters\": {}, \
+         \"alloc_policy\": {}, \"numa_nodes\": {}, \"thp_enabled\": {}, \
+         \"free_hugepages_2m\": {}}}",
         json_escape(&cpu_model()),
         mode,
-        mmjoin_util::perf::available()
+        mmjoin_util::perf::available(),
+        json_escape(&mmjoin_util::mem::policy_name()),
+        topo.nodes,
+        topo.thp_enabled,
+        topo.free_hugepages_2m
     )
 }
 
@@ -439,6 +446,9 @@ mod tests {
         assert!(m.contains("\"cpu_model\": \""));
         assert!(m.contains("\"kernel_mode\": \""));
         assert!(m.contains("\"perf_counters\": true") || m.contains("\"perf_counters\": false"));
+        assert!(m.contains("\"alloc_policy\": \""));
+        assert!(m.contains("\"numa_nodes\": "));
+        assert!(m.contains("\"thp_enabled\": "));
         assert!(!cpu_model().is_empty());
         assert_eq!(m.matches('{').count(), m.matches('}').count());
     }

@@ -119,6 +119,11 @@ pub struct Entry {
     pub threads: usize,
     /// Process-level kernel mode resolved at record time.
     pub kernel_mode: String,
+    /// Process-level allocation policy resolved at record time
+    /// ("portable", "thp", "hugetlb+bind:0", ...; see
+    /// `mmjoin_util::mem::AllocPolicy`). Pre-alloc ledger lines lack the
+    /// key and read as "portable" — the only path that existed then.
+    pub alloc_policy: String,
     /// Trials in this sweep whose first attempt failed.
     pub retried_trials: u64,
     /// Trials in this sweep that failed both attempts (all causes).
@@ -150,6 +155,7 @@ impl Entry {
             host: Host::detect(),
             threads,
             kernel_mode: kernel_mode_name(),
+            alloc_policy: mmjoin_util::mem::policy_name(),
             retried_trials: 0,
             failed_trials: 0,
             failed_resource_trials: 0,
@@ -178,7 +184,7 @@ impl Entry {
             "{{\"schema\": {}, \"kind\": {}, \"label\": {}, \"timestamp\": {}, \
              \"git_sha\": {}, \"git_dirty\": {}, \
              \"host\": {{\"cpu_model\": {}, \"threads_avail\": {}, \"arch\": {}, \"fingerprint\": {}}}, \
-             \"threads\": {}, \"kernel_mode\": {}, \
+             \"threads\": {}, \"kernel_mode\": {}, \"alloc_policy\": {}, \
              \"retried_trials\": {}, \"failed_trials\": {}, \
              \"failed_resource_trials\": {}, \"failed_io_trials\": {}, \"samples\": [{}]}}",
             self.schema,
@@ -193,6 +199,7 @@ impl Entry {
             json_escape(&self.host.fingerprint),
             self.threads,
             json_escape(&self.kernel_mode),
+            json_escape(&self.alloc_policy),
             self.retried_trials,
             self.failed_trials,
             self.failed_resource_trials,
@@ -253,6 +260,9 @@ impl Entry {
             host,
             threads: num_field(v, "threads")? as usize,
             kernel_mode: str_field(v, "kernel_mode")?,
+            // Added after schema 1 shipped; the heap allocator was the
+            // only path before, so absent reads as "portable".
+            alloc_policy: opt_str_field(v, "alloc_policy", "portable"),
             retried_trials: num_field(v, "retried_trials")? as u64,
             failed_trials: num_field(v, "failed_trials")? as u64,
             // Added after schema 1 shipped; old lines simply lack them.
@@ -403,6 +413,14 @@ fn opt_num_field(v: &Value, key: &str) -> f64 {
     v.get(key).and_then(Value::as_num).unwrap_or(0.0)
 }
 
+/// A string field that older ledger lines legitimately lack.
+fn opt_str_field(v: &Value, key: &str, default: &str) -> String {
+    v.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or(default)
+        .to_string()
+}
+
 fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
     v.get(key)
         .and_then(Value::as_bool)
@@ -429,6 +447,7 @@ mod tests {
             },
             threads: 4,
             kernel_mode: "simd".to_string(),
+            alloc_policy: "portable".to_string(),
             retried_trials: 1,
             failed_trials: 0,
             failed_resource_trials: 0,
@@ -495,6 +514,17 @@ mod tests {
         let back = Entry::from_value(&v).unwrap();
         assert_eq!(back.failed_resource_trials, 0);
         assert_eq!(back.failed_io_trials, 0);
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn pre_alloc_lines_read_as_portable() {
+        let e = sample_entry();
+        let line = e.to_json().replace("\"alloc_policy\": \"portable\", ", "");
+        assert!(!line.contains("alloc_policy"));
+        let v = jsonv::parse(&line).unwrap();
+        let back = Entry::from_value(&v).unwrap();
+        assert_eq!(back.alloc_policy, "portable");
         assert_eq!(back, e);
     }
 

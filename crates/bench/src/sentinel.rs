@@ -262,6 +262,16 @@ pub fn compare_entries(
         }
         cross = true;
     }
+    if baseline.alloc_policy != candidate.alloc_policy {
+        if !opts.allow_cross_host {
+            return Err(format!(
+                "alloc policies differ ({:?} vs {:?}); huge pages and NUMA placement \
+                 shift every memory-bound cell — pass --allow-cross-host to force",
+                baseline.alloc_policy, candidate.alloc_policy
+            ));
+        }
+        cross = true;
+    }
     let mut cells = Vec::new();
     let mut unmatched_baseline = Vec::new();
     for a in &baseline.samples {
@@ -475,8 +485,9 @@ pub fn select<'a>(entries: &'a [Entry], selector: &str) -> Result<&'a Entry, Str
 
 /// Pick the baseline for `check`: the newest entry *before* the
 /// candidate (the ledger's last entry) that is comparable to it — same
-/// kind, and same host fingerprint + threads unless `allow_cross_host`.
-/// With a sha selector, the newest pre-candidate entry of that sha.
+/// kind, and same host fingerprint + threads + alloc policy unless
+/// `allow_cross_host`. With a sha selector, the newest pre-candidate
+/// entry of that sha.
 pub fn baseline_for<'a>(
     entries: &'a [Entry],
     candidate_idx: usize,
@@ -488,7 +499,8 @@ pub fn baseline_for<'a>(
         e.kind == candidate.kind
             && (allow_cross_host
                 || (e.host.fingerprint == candidate.host.fingerprint
-                    && e.threads == candidate.threads))
+                    && e.threads == candidate.threads
+                    && e.alloc_policy == candidate.alloc_policy))
     };
     let pool = &entries[..candidate_idx];
     let found = match selector {

@@ -6,6 +6,7 @@ use std::time::Duration;
 use mmjoin_numamodel::{CostModel, Topology};
 use mmjoin_partition::{predict_radix_bits, BitsInput};
 use mmjoin_util::kernels::KernelMode;
+use mmjoin_util::mem::AllocPolicy;
 
 use crate::executor::Executor;
 use crate::fault::CancelToken;
@@ -96,6 +97,13 @@ pub struct JoinConfig {
     /// (resolved from `MMJOIN_KERNELS` / CPU detection on first use);
     /// `Some(mode)` installs `mode` process-wide when the join starts.
     pub kernel_mode: Option<KernelMode>,
+    /// Memory-allocation policy for the join's large buffers (hash
+    /// tables, partition buffers, sort runs, materialized output; see
+    /// `mmjoin_util::mem`). `None` leaves the process-wide policy alone
+    /// (resolved from `MMJOIN_ALLOC` on first use); `Some(policy)`
+    /// installs `policy` process-wide when the join starts. Unavailable
+    /// backends (no hugepages, no NUMA syscalls) degrade silently.
+    pub alloc_policy: Option<AllocPolicy>,
     /// Cooperative cancellation handle; cancel any clone of the token to
     /// make in-flight joins on this config return `JoinError::Cancelled`.
     pub cancel: CancelToken,
@@ -139,6 +147,7 @@ impl JoinConfig {
             deadline: None,
             mem_limit: None,
             kernel_mode: None,
+            alloc_policy: None,
             cancel: CancelToken::new(),
             profile: ProfileConfig::off(),
             pipeline_batch: 1024,

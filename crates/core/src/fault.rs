@@ -225,6 +225,9 @@ impl FaultCtx {
         if let Some(mode) = cfg.kernel_mode {
             mmjoin_util::kernels::set_mode(mode);
         }
+        if let Some(policy) = cfg.alloc_policy {
+            mmjoin_util::mem::set_policy(policy);
+        }
         FaultCtx {
             alg,
             cancel: cfg.cancel.clone(),

@@ -15,6 +15,7 @@
 
 use mmjoin_hashtable::{IdentityHash, StLinearTable};
 use mmjoin_partition::{chunked_partition_on, RadixFn, ScatterMode};
+use mmjoin_util::alloc::AlignedVec;
 use mmjoin_util::{Placement, Relation, Tuple};
 
 use crate::config::JoinConfig;
@@ -63,15 +64,15 @@ pub fn join_index(
 
     ctx.enter_phase("join");
     let order: Vec<usize> = (0..parts).collect();
-    let mut tasks: Vec<(usize, Vec<JoinMatch>)> =
+    let mut tasks: Vec<(usize, AlignedVec<JoinMatch>)> =
         morsel_map(&pool, &order, parts, QueuePolicy::Shared, |p| {
             if ctx.tick() {
-                return (p, Vec::new());
+                return (p, AlignedVec::new());
             }
             let spec_bytes = (2 * cr.part_len(p).max(1)).next_power_of_two() * 8;
             let _table_charge = match ctx.try_charge(spec_bytes) {
                 Some(charge) => charge,
-                None => return (p, Vec::new()),
+                None => return (p, AlignedVec::new()),
             };
             let mut table = StLinearTable::<IdentityHash>::with_capacity(cr.part_len(p).max(1));
             cr.for_each_slice(p, |slice| {
@@ -84,9 +85,11 @@ pub fn join_index(
             let out_bytes = cs.part_len(p) * std::mem::size_of::<JoinMatch>();
             let _out_charge = match ctx.try_charge(out_bytes) {
                 Some(charge) => charge,
-                None => return (p, Vec::new()),
+                None => return (p, AlignedVec::new()),
             };
-            let mut out = Vec::new();
+            // Policy-aware output buffer: the per-partition gather is
+            // the write-heavy allocation of materialization.
+            let mut out = AlignedVec::with_capacity(cs.part_len(p));
             cs.for_each_slice(p, |slice| {
                 for &t in slice {
                     table.probe(t.key, |bp| {
@@ -118,7 +121,7 @@ pub fn join_index(
         });
     }
     for (_, v) in tasks {
-        out.extend(v);
+        out.extend_from_slice(&v);
     }
     result.set_checksum(mmjoin_util::checksum::JoinChecksum::new());
     ctx.checkpoint(&result)?;

@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use mmjoin_partition::{partition_parallel_on, task_order, RadixFn, ScatterMode, ScheduleOrder};
 use mmjoin_sort::{sort_packed, LoserTree};
+use mmjoin_util::alloc::AlignedVec;
 use mmjoin_util::checksum::JoinChecksum;
 use mmjoin_util::tuple::Tuple;
 use mmjoin_util::{next_pow2, Relation};
@@ -75,12 +76,12 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
     let _sort_charge = ctx.charge((r.len() + s.len()) * 8)?;
     let start = Instant::now();
     let sort_order: Vec<usize> = (0..parts).collect();
-    let sorted: Vec<(usize, Vec<u64>, Vec<u64>)> = {
+    let sorted: Vec<(usize, AlignedVec<u64>, AlignedVec<u64>)> = {
         let mut slots = morsel_map(&pool, &sort_order, parts, QueuePolicy::Shared, |p| {
             if ctx.tick() {
-                return (p, Vec::new(), Vec::new());
+                return (p, AlignedVec::new(), AlignedVec::new());
             }
-            let mut scratch = Vec::new();
+            let mut scratch = AlignedVec::new();
             (
                 p,
                 sort_partition(pr.partition(p), &mut scratch),
@@ -131,8 +132,11 @@ pub fn join_mway(r: &Relation, s: &Relation, cfg: &JoinConfig) -> Result<JoinRes
 
 /// Sort one partition: pack tuples, sort MERGE_WAYS sub-runs with the
 /// network mergesort, combine with the loser-tree multiway merge.
-fn sort_partition(tuples: &[Tuple], scratch: &mut Vec<u64>) -> Vec<u64> {
-    let mut packed: Vec<u64> = tuples.iter().map(|t| t.pack()).collect();
+fn sort_partition(tuples: &[Tuple], scratch: &mut AlignedVec<u64>) -> AlignedVec<u64> {
+    let mut packed = AlignedVec::with_capacity(tuples.len());
+    for t in tuples {
+        packed.push(t.pack());
+    }
     let n = packed.len();
     if n <= 1 {
         return packed;
@@ -146,7 +150,10 @@ fn sort_partition(tuples: &[Tuple], scratch: &mut Vec<u64>) -> Vec<u64> {
         sort_packed(chunk, scratch);
     }
     let runs: Vec<&[u64]> = packed.chunks(run_len).collect();
-    let merged: Vec<u64> = LoserTree::new(runs).collect();
+    let mut merged = AlignedVec::with_capacity(n);
+    for v in LoserTree::new(runs) {
+        merged.push(v);
+    }
     merged
 }
 

@@ -90,6 +90,22 @@ fn spill_json(p: &PhaseStat) -> String {
     )
 }
 
+fn alloc_json(p: &PhaseStat) -> String {
+    let a = &p.alloc;
+    format!(
+        "\"alloc\": {{\"mapped_blocks\": {}, \"mapped_bytes\": {}, \"pool_hits\": {}, \
+         \"pool_hit_bytes\": {}, \"degraded_page\": {}, \"degraded_numa\": {}, \
+         \"heap_fallback\": {}}}",
+        a.mapped_blocks,
+        a.mapped_bytes,
+        a.pool_hits,
+        a.pool_hit_bytes,
+        a.degraded_page,
+        a.degraded_numa,
+        a.heap_fallback
+    )
+}
+
 /// Render `results` as chrome://tracing trace-event JSON (the "JSON
 /// array format"; load via chrome://tracing "Load" or ui.perfetto.dev).
 /// Timestamps are microseconds since each run's recording start.
@@ -144,7 +160,7 @@ pub fn chrome_trace(results: &[JoinResult]) -> String {
                     "{{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
                      \"pid\": {pid}, \"tid\": 0, \"args\": {{\"wall_ms\": {:.3}, \
                      \"sim_ms\": {:.3}, \"tasks\": {}, \"steals\": {}, \"idle_ms\": {:.3}, \
-                     {}, {}}}}}",
+                     {}, {}, {}}}}}",
                     esc(p.name),
                     ts as f64 / 1e3,
                     (end - ts) as f64 / 1e3,
@@ -154,6 +170,7 @@ pub fn chrome_trace(results: &[JoinResult]) -> String {
                     p.exec.steals,
                     p.exec.idle_ns as f64 / 1e6,
                     spill_json(p),
+                    alloc_json(p),
                     counters_json(p)
                 ),
             );
@@ -210,7 +227,7 @@ fn phase_json(p: &PhaseStat) -> String {
         .collect();
     format!(
         "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_ms\": {:.3}, \"tasks\": {}, \
-         \"steals\": {}, \"idle_ms\": {:.3}, {}, {}, \"workers\": [{}]}}",
+         \"steals\": {}, \"idle_ms\": {:.3}, {}, {}, {}, \"workers\": [{}]}}",
         esc(p.name),
         p.wall.as_secs_f64() * 1e3,
         p.sim_seconds * 1e3,
@@ -218,6 +235,7 @@ fn phase_json(p: &PhaseStat) -> String {
         p.exec.steals,
         p.exec.idle_ns as f64 / 1e6,
         spill_json(p),
+        alloc_json(p),
         counters_json(p),
         workers.join(", ")
     )
@@ -281,6 +299,11 @@ mod tests {
                 partitions_spilled: 1,
                 recursion_depth: 0,
             },
+            alloc: crate::stats::AllocCounters {
+                mapped_blocks: 2,
+                mapped_bytes: 1 << 21,
+                ..Default::default()
+            },
             workers: vec![
                 WorkerPhaseStat {
                     worker: 0,
@@ -338,6 +361,7 @@ mod tests {
         assert!(m.contains("\"bytes_spilled\": 4096"));
         assert!(m.contains("\"partitions_spilled\": 1"));
         assert!(m.contains("\"spill_recursion_depth\": 0"));
+        assert!(m.contains("\"alloc\": {\"mapped_blocks\": 2, \"mapped_bytes\": 2097152"));
         assert!(m.contains("\"workers\": []"));
         assert_eq!(m.matches('{').count(), m.matches('}').count());
         let no_meta = metrics(&[], None);

@@ -24,6 +24,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 use mmjoin_util::kernels::KernelMode;
+use mmjoin_util::mem::AllocPolicy;
 use mmjoin_util::Relation;
 
 use crate::config::{JoinConfig, ProfileConfig, TableKind};
@@ -329,6 +330,7 @@ pub struct JoinConfigBuilder {
     deadline: Option<Duration>,
     mem_limit: Option<usize>,
     kernel_mode: Option<KernelMode>,
+    alloc_policy: Option<AllocPolicy>,
     cancel: Option<CancelToken>,
     profile: Option<ProfileConfig>,
     pipeline_batch: Option<usize>,
@@ -405,6 +407,17 @@ impl JoinConfigBuilder {
     /// detection. The mode is installed process-wide when the join runs.
     pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
         self.kernel_mode = Some(mode);
+        self
+    }
+
+    /// Memory-allocation policy for the join's large buffers:
+    /// `AllocPolicy::Portable` is the plain aligned heap,
+    /// `AllocPolicy::Mapped { .. }` routes them through mmap-backed
+    /// arenas with huge pages and NUMA placement (see
+    /// `mmjoin_util::mem`). Installed process-wide when the join runs;
+    /// unavailable backends degrade silently to the portable path.
+    pub fn with_alloc_policy(mut self, policy: AllocPolicy) -> Self {
+        self.alloc_policy = Some(policy);
         self
     }
 
@@ -505,6 +518,7 @@ impl JoinConfigBuilder {
         cfg.deadline = self.deadline;
         cfg.mem_limit = self.mem_limit;
         cfg.kernel_mode = self.kernel_mode;
+        cfg.alloc_policy = self.alloc_policy;
         if let Some(token) = self.cancel {
             cfg.cancel = token;
         }
@@ -627,6 +641,13 @@ impl Join {
     /// [`JoinConfigBuilder::with_kernel_mode`]).
     pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
         self.builder = self.builder.with_kernel_mode(mode);
+        self
+    }
+
+    /// Memory-allocation policy (see
+    /// [`JoinConfigBuilder::with_alloc_policy`]).
+    pub fn with_alloc_policy(mut self, policy: AllocPolicy) -> Self {
+        self.builder = self.builder.with_alloc_policy(policy);
         self
     }
 

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use mmjoin_numamodel::PhaseSim;
 use mmjoin_util::checksum::JoinChecksum;
+use mmjoin_util::mem::{self, AllocSnapshot};
 use mmjoin_util::perf::CounterDelta;
 use mmjoin_util::pool::{ExecCounters, WorkerPhaseStat};
 
@@ -32,6 +33,60 @@ impl SpillCounters {
     }
 }
 
+/// Memory-subsystem activity of one phase: deltas of the process-wide
+/// `mmjoin_util::mem` counters between this phase's boundary and the
+/// previous one. All-zero under the portable policy (no mapped arenas)
+/// or when another thread's join interleaves — the counters are global,
+/// so concurrent joins attribute each other's traffic; treat these as
+/// diagnostics, not an exact ledger.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AllocCounters {
+    /// mmap-backed arena blocks created during this phase.
+    pub mapped_blocks: u64,
+    /// Bytes freshly mapped from the kernel.
+    pub mapped_bytes: u64,
+    /// Arena requests served by the pool (no syscall, pages pre-faulted).
+    pub pool_hits: u64,
+    /// Bytes served from the pool.
+    pub pool_hit_bytes: u64,
+    /// Page-policy downgrades (hugetlb/THP unavailable → small pages).
+    pub degraded_page: u64,
+    /// NUMA-placement downgrades (`mbind` failed → first-touch).
+    pub degraded_numa: u64,
+    /// Mapped requests that fell all the way back to the heap.
+    pub heap_fallback: u64,
+}
+
+impl AllocCounters {
+    fn from_delta(d: AllocSnapshot) -> AllocCounters {
+        AllocCounters {
+            mapped_blocks: d.mapped_blocks,
+            mapped_bytes: d.mapped_bytes,
+            pool_hits: d.pool_hits,
+            pool_hit_bytes: d.pool_hit_bytes,
+            degraded_page: d.degraded_page,
+            degraded_numa: d.degraded_numa,
+            heap_fallback: d.heap_fallback,
+        }
+    }
+
+    pub fn merge(&mut self, other: AllocCounters) {
+        self.mapped_blocks += other.mapped_blocks;
+        self.mapped_bytes += other.mapped_bytes;
+        self.pool_hits += other.pool_hits;
+        self.pool_hit_bytes += other.pool_hit_bytes;
+        self.degraded_page += other.degraded_page;
+        self.degraded_numa += other.degraded_numa;
+        self.heap_fallback += other.heap_fallback;
+    }
+
+    /// Whether any backend degraded during this phase (fallback ladder
+    /// took a downgrade step; see DESIGN.md §14).
+    pub fn degraded(&self) -> bool {
+        self.degraded_page > 0 || self.degraded_numa > 0 || self.heap_fallback > 0
+    }
+}
+
 /// One barrier-delimited phase of a join.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhaseStat {
@@ -45,6 +100,8 @@ pub struct PhaseStat {
     pub exec: ExecCounters,
     /// Disk-spill activity (zero for in-memory drivers).
     pub spill: SpillCounters,
+    /// Memory-subsystem activity (zero under the portable policy).
+    pub alloc: AllocCounters,
     /// Per-worker spans (one per worker per barrier broadcast) with
     /// native PMU deltas, recorded only when `JoinConfig::profile` is
     /// enabled; empty otherwise.
@@ -77,6 +134,9 @@ pub struct JoinResult {
     /// Per-phase simulator outputs, kept only when
     /// `JoinConfig::keep_timelines` is set (Figure 6).
     pub timelines: Vec<(&'static str, PhaseSim)>,
+    /// `mem::stats()` at the previous phase boundary; each pushed phase
+    /// records the delta since this mark and advances it.
+    alloc_mark: AllocSnapshot,
 }
 
 impl JoinResult {
@@ -88,7 +148,17 @@ impl JoinResult {
             phases: Vec::new(),
             radix_bits: None,
             timelines: Vec::new(),
+            alloc_mark: mem::stats(),
         }
+    }
+
+    /// Delta of the global alloc counters since the last phase boundary;
+    /// advances the mark.
+    fn take_alloc(&mut self) -> AllocCounters {
+        let now = mem::stats();
+        let delta = now.delta(&self.alloc_mark);
+        self.alloc_mark = now;
+        AllocCounters::from_delta(delta)
     }
 
     pub fn set_checksum(&mut self, c: JoinChecksum) {
@@ -109,12 +179,14 @@ impl JoinResult {
         sim_seconds: f64,
         exec: ExecCounters,
     ) {
+        let alloc = self.take_alloc();
         self.phases.push(PhaseStat {
             name,
             wall,
             sim_seconds,
             exec,
             spill: SpillCounters::default(),
+            alloc,
             workers: Vec::new(),
         });
     }
@@ -142,12 +214,14 @@ impl JoinResult {
         pool: &Executor,
         spill: SpillCounters,
     ) {
+        let alloc = self.take_alloc();
         self.phases.push(PhaseStat {
             name,
             wall,
             sim_seconds,
             exec: pool.drain_counters(),
             spill,
+            alloc,
             workers: pool.drain_spans(),
         });
     }
@@ -167,6 +241,16 @@ impl JoinResult {
         let mut total = SpillCounters::default();
         for p in &self.phases {
             total.merge(p.spill);
+        }
+        total
+    }
+
+    /// Memory-subsystem totals over all phases (all-zero under the
+    /// portable policy).
+    pub fn alloc_totals(&self) -> AllocCounters {
+        let mut total = AllocCounters::default();
+        for p in &self.phases {
+            total.merge(p.alloc);
         }
         total
     }

@@ -12,6 +12,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use mmjoin_util::alloc::AlignedBuf;
 use mmjoin_util::kernels;
 use mmjoin_util::tuple::{Key, Payload, Tuple};
 
@@ -25,14 +26,14 @@ pub const EMPTY: u32 = u32::MAX;
 /// Keys of a radix partition share their low `key_shift` bits, so
 /// `key >> key_shift` indexes densely.
 pub struct ArrayTable {
-    payloads: Vec<u32>,
+    payloads: AlignedBuf<u32>,
     key_shift: u32,
 }
 
 impl ArrayTable {
     pub fn new(array_len: usize, key_shift: u32) -> Self {
         ArrayTable {
-            payloads: vec![EMPTY; array_len],
+            payloads: AlignedBuf::filled(array_len, EMPTY),
             key_shift,
         }
     }
@@ -204,7 +205,7 @@ impl JoinTable for ArrayTable {
 /// distinct slots; relaxed atomic stores suffice (the build/probe barrier
 /// publishes them).
 pub struct ConcurrentArrayTable {
-    payloads: Box<[AtomicU32]>,
+    payloads: AlignedBuf<AtomicU32>,
     /// Smallest key in the domain (1 for the canonical workload).
     base: Key,
 }
@@ -212,12 +213,11 @@ pub struct ConcurrentArrayTable {
 impl ConcurrentArrayTable {
     /// Table over the key domain `[base, base + len)`.
     pub fn new(len: usize, base: Key) -> Self {
-        let mut v = Vec::with_capacity(len);
-        v.resize_with(len, || AtomicU32::new(EMPTY));
-        ConcurrentArrayTable {
-            payloads: v.into_boxed_slice(),
-            base,
+        let payloads = AlignedBuf::<AtomicU32>::zeroed(len);
+        for slot in payloads.as_slice() {
+            slot.store(EMPTY, Ordering::Relaxed);
         }
+        ConcurrentArrayTable { payloads, base }
     }
 
     #[inline]

@@ -10,6 +10,7 @@
 //! phase every co-partition table is built and probed by one thread, so
 //! the per-bucket latch of the original degenerates to nothing.
 
+use mmjoin_util::alloc::AlignedVec;
 use mmjoin_util::kernels;
 use mmjoin_util::next_pow2;
 use mmjoin_util::tuple::{Key, Payload, Tuple};
@@ -43,7 +44,7 @@ impl Bucket {
 /// Single-threaded chained table for one co-partition join (PRB/PRO).
 pub struct StChainedTable<H: KeyHash = IdentityHash> {
     /// Primary buckets followed by overflow buckets.
-    buckets: Vec<Bucket>,
+    buckets: AlignedVec<Bucket>,
     mask: u32,
     hash: H,
     len: usize,
@@ -62,7 +63,7 @@ impl<H: KeyHash + Default> StChainedTable<H> {
     /// partition): hash on the distinguishing high bits.
     pub fn with_capacity_shift(n: usize, shift: u32) -> Self {
         let nbuckets = next_pow2(n.div_ceil(BUCKET_CAP));
-        let mut buckets = Vec::with_capacity(nbuckets + nbuckets / 2);
+        let mut buckets = AlignedVec::with_capacity(nbuckets + nbuckets / 2);
         buckets.resize(nbuckets, Bucket::EMPTY);
         StChainedTable {
             buckets,

@@ -22,6 +22,7 @@
 
 use std::sync::Mutex;
 
+use mmjoin_util::alloc::AlignedBuf;
 use mmjoin_util::kernels;
 use mmjoin_util::next_pow2;
 use mmjoin_util::pool::{broadcast_map, ScopedPool, WorkerPool};
@@ -54,8 +55,8 @@ struct Group {
 /// the `8n`-position bitmap, serializing the region-parallel bulkload.
 /// (Barber et al. likewise hash into the bitmap.)
 pub struct ConciseHashTable<H: KeyHash = MultiplicativeHash> {
-    groups: Vec<Group>,
-    array: Vec<Tuple>,
+    groups: AlignedBuf<Group>,
+    array: AlignedBuf<Tuple>,
     overflow: StLinearTable<H>,
     overflow_len: usize,
     /// Bitmap positions, power of two.
@@ -106,7 +107,9 @@ impl<H: KeyHash + Default> ConciseHashTable<H> {
 
         // Phase 1 (parallel per region): claim bits, record positions,
         // collect overflow.
-        let mut groups = vec![Group::default(); groups_len];
+        // Group::default() is all-zero, so the policy-aware zeroed
+        // buffer starts every group empty.
+        let mut groups = AlignedBuf::<Group>::zeroed(groups_len);
         let region_groups = (1usize << region_shift) / 64;
         let mut placed: Vec<Vec<(u32, Tuple)>> = Vec::with_capacity(regions);
         let mut overflowed: Vec<Vec<Tuple>> = Vec::with_capacity(regions);
@@ -143,7 +146,7 @@ impl<H: KeyHash + Default> ConciseHashTable<H> {
         // Phase 3 (parallel per region): place tuples into the dense array
         // at their rank. Each region owns the contiguous array range
         // [prefix(first group), prefix(first group) + region bit count).
-        let mut array = vec![Tuple::new(0, 0); stored];
+        let mut array = AlignedBuf::<Tuple>::zeroed(stored);
         {
             type RegionSlice<'a> = Mutex<Option<(&'a mut [Tuple], u32)>>;
             let mut slices: Vec<RegionSlice> = Vec::with_capacity(regions);

@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mmjoin_util::alloc::AlignedBuf;
 use mmjoin_util::kernels;
 use mmjoin_util::tuple::{Key, Payload, Tuple};
 use mmjoin_util::{next_pow2, CACHE_LINE};
@@ -32,7 +33,7 @@ const MIN_SLOTS: usize = CACHE_LINE / std::mem::size_of::<u64>();
 /// Single-threaded linear-probing table (join phase of the PR*/CPR*
 /// linear variants).
 pub struct StLinearTable<H: KeyHash = IdentityHash> {
-    slots: Vec<u64>,
+    slots: AlignedBuf<u64>,
     mask: u32,
     hash: H,
     len: usize,
@@ -51,7 +52,7 @@ impl<H: KeyHash + Default> StLinearTable<H> {
     pub fn with_capacity_shift(n: usize, shift: u32) -> Self {
         let size = next_pow2((n * OVERALLOC).max(MIN_SLOTS));
         StLinearTable {
-            slots: vec![0u64; size],
+            slots: AlignedBuf::zeroed(size),
             mask: (size - 1) as u32,
             hash: H::default(),
             len: 0,
@@ -324,7 +325,7 @@ impl<H: KeyHash + Default> JoinTable for StLinearTable<H> {
 /// phases with a barrier (thread join / `std::sync::Barrier`), which
 /// provides the necessary happens-before edge for all inserted entries.
 pub struct ConcurrentLinearTable<H: KeyHash = IdentityHash> {
-    slots: Box<[AtomicU64]>,
+    slots: AlignedBuf<AtomicU64>,
     mask: u32,
     hash: H,
 }
@@ -332,10 +333,10 @@ pub struct ConcurrentLinearTable<H: KeyHash = IdentityHash> {
 impl<H: KeyHash + Default> ConcurrentLinearTable<H> {
     pub fn with_capacity(n: usize) -> Self {
         let size = next_pow2((n * OVERALLOC).max(MIN_SLOTS));
-        let mut v = Vec::with_capacity(size);
-        v.resize_with(size, || AtomicU64::new(0));
+        // A zeroed AtomicU64 is the EMPTY sentinel, so the policy-aware
+        // zeroed buffer is already a valid empty table.
         ConcurrentLinearTable {
-            slots: v.into_boxed_slice(),
+            slots: AlignedBuf::zeroed(size),
             mask: (size - 1) as u32,
             hash: H::default(),
         }

@@ -6,6 +6,8 @@
 //! scratch buffer is caller-provided so repeated sorts reuse one
 //! allocation.
 
+use mmjoin_util::alloc::AlignedVec;
+
 use crate::network::sort8;
 pub use crate::network::sort_network as sort_block_network;
 
@@ -13,7 +15,7 @@ pub use crate::network::sort_network as sort_block_network;
 const RUN: usize = 8;
 
 /// Sort `data` ascending. `scratch` is resized as needed and clobbered.
-pub fn sort_packed(data: &mut [u64], scratch: &mut Vec<u64>) {
+pub fn sort_packed(data: &mut [u64], scratch: &mut AlignedVec<u64>) {
     let n = data.len();
     if n <= 1 {
         return;
@@ -90,7 +92,7 @@ fn insertion_sort(d: &mut [u64]) {
 
 /// Convenience: sort a fresh scratch.
 pub fn sort_packed_alloc(data: &mut [u64]) {
-    let mut scratch = Vec::new();
+    let mut scratch = AlignedVec::new();
     sort_packed(data, &mut scratch);
 }
 
@@ -137,7 +139,7 @@ mod tests {
 
     #[test]
     fn scratch_reuse_is_safe() {
-        let mut scratch = Vec::new();
+        let mut scratch = AlignedVec::new();
         for seed in 0..20u64 {
             let mut rng = Xoshiro256::new(seed);
             let n = (rng.next_u64() % 500) as usize;

@@ -19,6 +19,7 @@
 pub mod alloc;
 pub mod checksum;
 pub mod kernels;
+pub mod mem;
 pub mod perf;
 pub mod pool;
 pub mod rng;

@@ -87,11 +87,18 @@ fn usage() -> ! {
     eprintln!("usage: mmjoin <join|race|tpch> [options]");
     eprintln!("  join --algo NAME --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
     eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB] [--spill-dir DIR] [--no-spill]");
-    eprintln!("       [--profile] [--trace-out FILE.json] [--metrics-out FILE.json]");
+    eprintln!(
+        "       [--alloc POLICY] [--profile] [--trace-out FILE.json] [--metrics-out FILE.json]"
+    );
     eprintln!("       [--ledger FILE.jsonl]");
     eprintln!("  race --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
     eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB] [--spill-dir DIR] [--no-spill]");
+    eprintln!("       [--alloc POLICY]");
     eprintln!("  tpch --sf F [--threads N]");
+    eprintln!(
+        "alloc policies: portable | mapped | thp | hugetlb, optionally \
+         +firsttouch | +interleave | +bind:N (also via MMJOIN_ALLOC)"
+    );
     eprintln!(
         "algorithms: {}",
         Algorithm::WITH_EXTENSIONS.map(|a| a.name()).join(" ")
@@ -140,6 +147,15 @@ fn config(args: &Args, theta: f64) -> JoinConfig {
     if args.has("no-spill") {
         builder = builder.with_spill(false);
     }
+    if let Some(policy) = args.get_str("alloc") {
+        match mmjoin::util::mem::AllocPolicy::parse(policy) {
+            Ok(p) => builder = builder.with_alloc_policy(p),
+            Err(e) => {
+                eprintln!("invalid value for --alloc: {e}");
+                usage();
+            }
+        }
+    }
     // --trace-out / --metrics-out are pointless without spans, so either
     // one implies --profile.
     if args.has("profile")
@@ -174,6 +190,7 @@ fn main() {
                     "deadline-ms",
                     "mem-limit-mb",
                     "spill-dir",
+                    "alloc",
                     "trace-out",
                     "metrics-out",
                     "ledger",
@@ -238,6 +255,20 @@ fn main() {
             if let Some(bits) = res.radix_bits {
                 println!("  radix bits: {bits}");
             }
+            let alloc = res.alloc_totals();
+            if alloc.mapped_blocks > 0 || alloc.pool_hits > 0 || alloc.degraded() {
+                println!(
+                    "  alloc [{}]: {} blocks mapped ({:.1} MiB), {} pool hits, \
+                     degraded page/numa/heap {}/{}/{}",
+                    mmjoin::util::mem::policy_name(),
+                    alloc.mapped_blocks,
+                    alloc.mapped_bytes as f64 / (1024.0 * 1024.0),
+                    alloc.pool_hits,
+                    alloc.degraded_page,
+                    alloc.degraded_numa,
+                    alloc.heap_fallback
+                );
+            }
             let results = [res];
             if let Some(path) = args.get_str("trace-out") {
                 let trace = observe::chrome_trace(&results);
@@ -283,6 +314,7 @@ fn main() {
                     "deadline-ms",
                     "mem-limit-mb",
                     "spill-dir",
+                    "alloc",
                 ],
                 &["skew-handling", "no-spill"],
             );

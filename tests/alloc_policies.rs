@@ -1,0 +1,209 @@
+//! Integration: the allocation policy must never change a join's
+//! answer, only where its buffers live. All fourteen drivers are run
+//! under the portable heap, THP arenas, and interleaved arenas and must
+//! produce identical checksums; forced syscall failures (hugepages
+//! unavailable, `mbind` ENOSYS/EPERM, mmap refused) must degrade
+//! silently — the join succeeds, the fallback is recorded in the
+//! result's per-phase alloc counters, never an error.
+//!
+//! The policy cell and the failure-injection mask are process-global,
+//! so every test here serializes on one mutex and restores the portable
+//! default before releasing it.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use mmjoin::core::reference::reference_join;
+use mmjoin::core::{Algorithm, Join, JoinConfig};
+use mmjoin::datagen::{gen_build_dense, gen_probe_fk};
+use mmjoin::util::mem::{self, AllocPolicy, FAIL_HUGETLB, FAIL_MBIND, FAIL_MMAP};
+use mmjoin::util::{Placement, Relation};
+
+/// Serialize tests and guarantee clean global state on exit (including
+/// panicking exits — the guard's Drop runs either way).
+struct PolicyLock(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for PolicyLock {
+    fn drop(&mut self) {
+        mem::set_force_fail(0);
+        mem::set_policy(AllocPolicy::Portable);
+        mem::pool_clear();
+    }
+}
+
+fn lock() -> PolicyLock {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let m = LOCK.get_or_init(|| Mutex::new(()));
+    PolicyLock(m.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+fn workload(threads: usize) -> (Relation, Relation) {
+    let n = 30_000;
+    let placement = Placement::Chunked { parts: threads };
+    let r = gen_build_dense(n, 91, placement);
+    let s = gen_probe_fk(4 * n, n, 92, placement);
+    (r, s)
+}
+
+fn cfg(threads: usize) -> JoinConfig {
+    let mut c = JoinConfig::new(threads);
+    c.simulate = false;
+    c
+}
+
+/// `cfg` with an allocation policy attached. `Join::with_config`
+/// bypasses the builder, so the policy must ride on the config itself.
+fn cfg_under(threads: usize, policy: AllocPolicy) -> JoinConfig {
+    let mut c = cfg(threads);
+    c.alloc_policy = Some(policy);
+    c
+}
+
+#[test]
+fn all_drivers_identical_checksums_across_policies() {
+    let _guard = lock();
+    let threads = 4;
+    let (r, s) = workload(threads);
+    let expect = reference_join(&r, &s);
+    let policies = [
+        AllocPolicy::Portable,
+        AllocPolicy::THP,
+        AllocPolicy::parse("thp+interleave").unwrap(),
+    ];
+    for policy in policies {
+        for alg in Algorithm::WITH_EXTENSIONS {
+            let res = Join::new(alg)
+                .with_config(cfg_under(threads, policy))
+                .run(&r, &s)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", alg.name(), policy.name()));
+            assert_eq!(
+                res.matches,
+                expect.count,
+                "{} under {}: count",
+                alg.name(),
+                policy.name()
+            );
+            assert_eq!(
+                res.checksum,
+                expect.digest,
+                "{} under {}: checksum",
+                alg.name(),
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn mapped_policy_actually_maps_and_pools() {
+    let _guard = lock();
+    mem::pool_clear();
+    let (r, s) = workload(2);
+    let before = mem::stats();
+    let run = || {
+        Join::new(Algorithm::Pro)
+            .with_config(cfg_under(2, AllocPolicy::THP))
+            .run(&r, &s)
+            .expect("join under thp")
+    };
+    run();
+    let cold = mem::stats().delta(&before);
+    assert!(cold.mapped_blocks > 0, "no arenas mapped under thp");
+    let mark = mem::stats();
+    run();
+    let warm = mem::stats().delta(&mark);
+    assert!(warm.pool_hits > 0, "second join did not reuse the pool");
+}
+
+#[test]
+fn hugepage_unavailable_degrades_silently_into_phase_stats() {
+    let _guard = lock();
+    let (r, s) = workload(2);
+    let expect = reference_join(&r, &s);
+    // A host with no reserved hugepages: MAP_HUGETLB fails, the arena
+    // falls back to plain (THP-advised) pages, the join still answers.
+    mem::set_force_fail(FAIL_HUGETLB);
+    let res = Join::new(Algorithm::Pro)
+        .with_config(cfg_under(2, AllocPolicy::parse("hugetlb").unwrap()))
+        .run(&r, &s)
+        .expect("hugetlb fallback must not fail the join");
+    mem::set_force_fail(0);
+    assert_eq!(res.checksum, expect.digest);
+    let totals = res.alloc_totals();
+    assert!(totals.degraded_page > 0, "page downgrade not recorded");
+    assert!(totals.degraded(), "degraded() must reflect the downgrade");
+    assert!(
+        res.phases.iter().any(|p| p.alloc.degraded_page > 0),
+        "the downgrade must land in some phase's counters"
+    );
+}
+
+#[test]
+fn mbind_failure_degrades_to_first_touch() {
+    let _guard = lock();
+    let (r, s) = workload(2);
+    let expect = reference_join(&r, &s);
+    // mbind returning ENOSYS/EPERM (container seccomp, CONFIG_NUMA=n):
+    // placement degrades to first-touch, pages still arrive.
+    mem::set_force_fail(FAIL_MBIND);
+    let res = Join::new(Algorithm::Pro)
+        .with_config(cfg_under(2, AllocPolicy::parse("thp+interleave").unwrap()))
+        .run(&r, &s)
+        .expect("mbind fallback must not fail the join");
+    mem::set_force_fail(0);
+    assert_eq!(res.checksum, expect.digest);
+    assert!(
+        res.alloc_totals().degraded_numa > 0,
+        "NUMA downgrade not recorded"
+    );
+}
+
+#[test]
+fn mmap_refused_falls_back_to_heap() {
+    let _guard = lock();
+    let (r, s) = workload(2);
+    let expect = reference_join(&r, &s);
+    // mmap itself refused (strict rlimits, exotic kernels): every
+    // would-be arena quietly becomes a heap allocation.
+    mem::set_force_fail(FAIL_MMAP);
+    let res = Join::new(Algorithm::Pro)
+        .with_config(cfg_under(2, AllocPolicy::THP))
+        .run(&r, &s)
+        .expect("heap fallback must not fail the join");
+    mem::set_force_fail(0);
+    assert_eq!(res.checksum, expect.digest);
+    let totals = res.alloc_totals();
+    assert!(totals.heap_fallback > 0, "heap fallback not recorded");
+    assert_eq!(totals.mapped_blocks, 0, "nothing may map when mmap fails");
+}
+
+#[test]
+fn portable_policy_records_nothing() {
+    let _guard = lock();
+    let (r, s) = workload(2);
+    let res = Join::new(Algorithm::Pro)
+        .with_config(cfg_under(2, AllocPolicy::Portable))
+        .run(&r, &s)
+        .expect("portable join");
+    let totals = res.alloc_totals();
+    assert_eq!(totals, Default::default(), "portable must never touch mmap");
+    assert!(!totals.degraded());
+}
+
+#[test]
+fn join_index_round_trips_under_mapped_policy() {
+    let _guard = lock();
+    let (r, s) = workload(2);
+    let expect = reference_join(&r, &s);
+    let c = cfg(2);
+    let portable = mem::with_policy(AllocPolicy::Portable, || {
+        mmjoin::core::materialize::join_index(&r, &s, &c).expect("portable index")
+    });
+    let mapped = mem::with_policy(AllocPolicy::THP, || {
+        mmjoin::core::materialize::join_index(&r, &s, &c).expect("mapped index")
+    });
+    assert_eq!(portable.len() as u64, expect.count);
+    assert_eq!(
+        portable, mapped,
+        "materialized output must be bit-identical"
+    );
+}

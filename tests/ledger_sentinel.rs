@@ -26,6 +26,7 @@ fn entry(timestamp: u64, samples: Vec<SampleSet>) -> Entry {
         },
         threads: 4,
         kernel_mode: "portable".to_string(),
+        alloc_policy: "portable".to_string(),
         retried_trials: 1,
         failed_trials: 0,
         failed_resource_trials: 0,

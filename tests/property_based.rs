@@ -104,7 +104,7 @@ proptest! {
     fn sort_substrate_equals_std_sort(mut data in prop::collection::vec(any::<u64>(), 0..2000)) {
         let mut expect = data.clone();
         expect.sort_unstable();
-        let mut scratch = Vec::new();
+        let mut scratch = mmjoin::util::alloc::AlignedVec::new();
         sort_packed(&mut data, &mut scratch);
         prop_assert_eq!(data, expect);
     }
