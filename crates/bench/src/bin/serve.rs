@@ -1,0 +1,513 @@
+//! Closed-loop load generator for the `mmjoin-serve` join service
+//! (ISSUE 9 / DESIGN.md §15): hundreds of concurrent connections,
+//! Zipfian relation popularity, latency tails and throughput into the
+//! ledger as `serve_*` cells.
+//!
+//! ```text
+//! cargo run -p mmjoin-bench --release --bin serve            # full
+//! cargo run -p mmjoin-bench --release --bin serve -- --quick # CI smoke
+//! cargo run -p mmjoin-bench --release --bin serve -- --quick --check
+//! ```
+//!
+//! Spawns the server in-process on an ephemeral port (point it at an
+//! external one with `--addr HOST:PORT`), loads a catalog of relation
+//! pairs, then drives closed-loop client threads that pick pairs with
+//! Zipfian popularity. One tenant is deliberately starved so the
+//! degrade-to-spill path runs under fire. Every response is checked
+//! against a direct `Join` execution of the same datagen workload —
+//! the service must be a transparent wrapper around the embedded API.
+//!
+//! Emits `BENCH_serve.json` (override with `--out PATH`). With
+//! `--ledger PATH`, appends per-round sample vectors: `serve_p50` /
+//! `serve_p99` / `serve_p999` (per-request latency percentiles, seconds),
+//! and `serve_spr` (fleet-wide seconds per request — inverse throughput,
+//! so lower is better like every other cell). Cold/hot single-stream
+//! cache latencies land in the JSON and the within-run gate only.
+//! With `--check`, exits non-zero unless every checksum matched, the
+//! fleet stayed panic- and error-free, the warmed cache measurably beat
+//! the cold path, the starved tenant degraded, and no spill files were
+//! orphaned — the CI `serve-smoke` gate.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use mmjoin_bench::harness::HarnessOpts;
+use mmjoin_bench::ledger::{self, SampleSet};
+use mmjoin_core::{Algorithm, Join};
+use mmjoin_serve::{Client, ServeConfig, Server};
+use mmjoin_util::rng::Xoshiro256;
+use mmjoin_util::stats;
+use mmjoin_util::Placement;
+
+/// One catalog relation pair and its independently computed truth.
+struct Pair {
+    build: String,
+    probe: String,
+    build_rows: usize,
+    probe_rows: usize,
+    seed: u64,
+    expected_matches: u64,
+    expected_checksum: u64,
+}
+
+struct RoundStats {
+    requests: u64,
+    secs: f64,
+    p50: f64,
+    p99: f64,
+    p999: f64,
+}
+
+#[derive(Default)]
+struct FleetCounters {
+    transport_errors: AtomicU64,
+    checksum_mismatches: AtomicU64,
+    join_errors: AtomicU64,
+    degraded: AtomicU64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = match HarnessOpts::parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut quick = false;
+    let mut check = false;
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut ledger_path: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut clients_override: Option<usize> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => die("--out needs a value"),
+            },
+            "--ledger" => match it.next() {
+                Some(p) => ledger_path = Some(p.clone()),
+                None => die("--ledger needs a value"),
+            },
+            "--addr" => match it.next() {
+                Some(p) => addr = Some(p.clone()),
+                None => die("--addr needs a value"),
+            },
+            "--clients" => match it.next() {
+                Some(p) => clients_override = p.parse().ok(),
+                None => die("--clients needs a value"),
+            },
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    // Fleet shape: the acceptance bar is ≥256 concurrent connections
+    // even in the CI quick mode.
+    let clients = clients_override.unwrap_or(if quick { 256 } else { 384 });
+    let tenants = 8usize;
+    let (rounds, round_secs) = if quick { (3, 1.5) } else { (5, 4.0) };
+    let n_pairs = 6usize;
+    let base_rows = if quick { 16_384 } else { 65_536 };
+
+    // Spill runs from degraded joins land here; the gate requires the
+    // directory to be empty again after shutdown (no orphaned runs).
+    let spill_dir =
+        std::env::temp_dir().join(format!("mmjoin-serve-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&spill_dir).expect("create spill dir");
+
+    // In-process server unless pointed at an external one. Tenant t0 is
+    // starved to a 2 MiB carve: its larger joins must degrade to SHHJ.
+    let (server, target_addr) = match &addr {
+        Some(a) => (None, a.clone()),
+        None => {
+            let mut cfg = ServeConfig::default()
+                .with_runners(opts.threads)
+                .with_join_threads(2)
+                .with_queue_depth(clients)
+                .with_spill_dir(&spill_dir)
+                .with_tenant_budget("t0", 2 << 20);
+            for t in 1..tenants {
+                cfg = cfg.with_tenant_budget(format!("t{t}"), 512 << 20);
+            }
+            let server = Server::spawn(cfg).expect("spawn server");
+            let a = server.addr().to_string();
+            (Some(server), a)
+        }
+    };
+    eprintln!(
+        "serve loadgen: quick={quick} clients={clients} tenants={tenants} rounds={rounds}x{round_secs}s target={target_addr}"
+    );
+
+    // ----- Catalog + local ground truth ------------------------------
+    let placement = Placement::Chunked { parts: 2 };
+    let mut admin = Client::connect(&target_addr).expect("admin connect");
+    admin.set_timeout(Some(Duration::from_secs(300))).unwrap();
+    let mut pairs: Vec<Pair> = Vec::with_capacity(n_pairs);
+    for i in 0..n_pairs {
+        // Rank-dependent sizes: the hottest pair is also the largest,
+        // so cache sharing matters where the traffic is.
+        let build_rows = base_rows * (n_pairs - i) / 2;
+        let probe_rows = build_rows * 4;
+        let seed = 0xC0FFEE + i as u64;
+        let r = mmjoin_datagen::gen_build_dense(build_rows, seed, placement);
+        let s = mmjoin_datagen::gen_probe_fk(probe_rows, build_rows, seed + 1, placement);
+        let truth = Join::new(Algorithm::Nop)
+            .with_threads(opts.threads)
+            .run(&r, &s)
+            .expect("local ground truth");
+        let p = Pair {
+            build: format!("r{i}"),
+            probe: format!("s{i}"),
+            build_rows,
+            probe_rows,
+            seed,
+            expected_matches: truth.matches,
+            expected_checksum: truth.checksum,
+        };
+        must_ok(&admin.request(&format!(
+            r#"{{"op":"load","name":"{}","rows":{},"kind":"build","seed":{}}}"#,
+            p.build, p.build_rows, p.seed
+        )));
+        must_ok(&admin.request(&format!(
+            r#"{{"op":"load","name":"{}","rows":{},"kind":"probe_fk","domain":{},"seed":{}}}"#,
+            p.probe,
+            p.probe_rows,
+            p.build_rows,
+            p.seed + 1
+        )));
+        pairs.push(p);
+    }
+
+    // ----- Cold vs hot single-stream latency -------------------------
+    // The hottest pair, PRL (ported, so the cache path applies). Cold:
+    // flush then join (miss + prepare); hot: join again (shared side).
+    let reps = if quick { 5 } else { 9 };
+    let mut cold_secs = Vec::with_capacity(reps);
+    let mut hot_secs = Vec::with_capacity(reps);
+    let hot_req = format!(
+        r#"{{"op":"join","algo":"PRL","build":"{}","probe":"{}","tenant":"t1"}}"#,
+        pairs[0].build, pairs[0].probe
+    );
+    for _ in 0..reps {
+        must_ok(&admin.request(r#"{"op":"flush"}"#));
+        let t = Instant::now();
+        let v = admin.request(&hot_req).expect("cold join");
+        cold_secs.push(t.elapsed().as_secs_f64());
+        check_join(&v, &pairs[0], &FleetCounters::default());
+        let t = Instant::now();
+        let v = admin.request(&hot_req).expect("hot join");
+        hot_secs.push(t.elapsed().as_secs_f64());
+        assert_eq!(
+            v.get("cached").and_then(|b| b.as_bool()),
+            Some(true),
+            "second identical join must hit the cache: {v:?}"
+        );
+        check_join(&v, &pairs[0], &FleetCounters::default());
+    }
+
+    // ----- The fleet -------------------------------------------------
+    let counters = Arc::new(FleetCounters::default());
+    let latencies: Arc<Vec<Mutex<Vec<f64>>>> =
+        Arc::new((0..clients).map(|_| Mutex::new(Vec::new())).collect());
+    let stop_round = Arc::new(AtomicBool::new(false));
+    let quit = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let pairs = Arc::new(pairs);
+
+    // Popularity: Zipf(1) over pairs — rank r drawn with weight 1/r.
+    let cum: Arc<Vec<f64>> = {
+        let w: Vec<f64> = (0..n_pairs).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let total: f64 = w.iter().sum();
+        let mut acc = 0.0;
+        Arc::new(
+            w.iter()
+                .map(|x| {
+                    acc += x / total;
+                    acc
+                })
+                .collect(),
+        )
+    };
+
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let target = target_addr.clone();
+        let pairs = Arc::clone(&pairs);
+        let cum = Arc::clone(&cum);
+        let counters = Arc::clone(&counters);
+        let latencies = Arc::clone(&latencies);
+        let stop_round = Arc::clone(&stop_round);
+        let quit = Arc::clone(&quit);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let tenant = format!("t{}", c % 8);
+            let mut rng = Xoshiro256::new(0x10AD + c as u64);
+            let mut conn = connect_retry(&target);
+            loop {
+                barrier.wait(); // round start (or quit)
+                if quit.load(Ordering::Acquire) {
+                    return;
+                }
+                let mut local = Vec::with_capacity(1024);
+                while !stop_round.load(Ordering::Acquire) {
+                    let u = rng.below(1 << 24) as f64 / (1 << 24) as f64;
+                    let idx = cum.iter().position(|c| u <= *c).unwrap_or(0);
+                    let p = &pairs[idx];
+                    let req = format!(
+                        r#"{{"op":"join","algo":"PRL","build":"{}","probe":"{}","tenant":"{tenant}"}}"#,
+                        p.build, p.probe
+                    );
+                    let t = Instant::now();
+                    match conn.request(&req) {
+                        Ok(v) => {
+                            local.push(t.elapsed().as_secs_f64());
+                            check_join(&v, p, &counters);
+                        }
+                        Err(_) => {
+                            counters.transport_errors.fetch_add(1, Ordering::Relaxed);
+                            conn = connect_retry(&target);
+                        }
+                    }
+                }
+                *latencies[c].lock().unwrap() = local;
+                barrier.wait(); // round end
+            }
+        }));
+    }
+
+    let mut round_stats: Vec<RoundStats> = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        stop_round.store(false, Ordering::Release);
+        barrier.wait(); // release the fleet
+        let t = Instant::now();
+        std::thread::sleep(Duration::from_secs_f64(round_secs));
+        stop_round.store(true, Ordering::Release);
+        barrier.wait(); // fleet done
+        let secs = t.elapsed().as_secs_f64();
+        let mut all: Vec<f64> = Vec::new();
+        for m in latencies.iter() {
+            all.extend(m.lock().unwrap().iter().copied());
+        }
+        let rs = RoundStats {
+            requests: all.len() as u64,
+            secs,
+            p50: stats::percentile(&all, 0.50),
+            p99: stats::percentile(&all, 0.99),
+            p999: stats::percentile(&all, 0.999),
+        };
+        eprintln!(
+            "round {round}: {} reqs in {:.2}s  ({:.0} rps)  p50={:.2}ms p99={:.2}ms p999={:.2}ms",
+            rs.requests,
+            rs.secs,
+            rs.requests as f64 / rs.secs,
+            rs.p50 * 1e3,
+            rs.p99 * 1e3,
+            rs.p999 * 1e3
+        );
+        round_stats.push(rs);
+    }
+    quit.store(true, Ordering::Release);
+    barrier.wait(); // release the fleet into the quit check
+    for h in handles {
+        let _ = h.join();
+    }
+
+    // ----- Final server-side stats, shutdown, spill-dir audit --------
+    let stat = admin.request(r#"{"op":"stat"}"#).expect("final stat");
+    let stat_body = stat.get("stat").expect("stat body");
+    let server_degraded = stat_body
+        .get("joins")
+        .and_then(|j| j.get("degraded"))
+        .and_then(|n| n.as_num())
+        .unwrap_or(0.0) as u64;
+    let cache_hits = stat_body
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(|n| n.as_num())
+        .unwrap_or(0.0) as u64;
+    drop(admin);
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    let orphaned_spills = std::fs::read_dir(&spill_dir)
+        .map(|d| d.count())
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    let total_requests: u64 = round_stats.iter().map(|r| r.requests).sum();
+    let cold_med = stats::median(&cold_secs);
+    let hot_med = stats::median(&hot_secs);
+    eprintln!(
+        "cold={:.2}ms hot={:.2}ms  degraded={server_degraded} cache_hits={cache_hits} \
+         transport_errors={} checksum_mismatches={} orphaned_spills={orphaned_spills}",
+        cold_med * 1e3,
+        hot_med * 1e3,
+        counters.transport_errors.load(Ordering::Relaxed),
+        counters.checksum_mismatches.load(Ordering::Relaxed),
+    );
+
+    // ----- BENCH_serve.json ------------------------------------------
+    let rounds_json: Vec<String> = round_stats
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            format!(
+                "    {{\"round\": {i}, \"requests\": {}, \"secs\": {:.3}, \"rps\": {:.1}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}}}",
+                r.requests,
+                r.secs,
+                r.requests as f64 / r.secs,
+                r.p50 * 1e3,
+                r.p99 * 1e3,
+                r.p999 * 1e3
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"meta\": {},\n  \"quick\": {quick},\n  \"clients\": {clients},\n  \
+         \"tenants\": {tenants},\n  \"total_requests\": {total_requests},\n  \
+         \"cold_ms\": {:.3},\n  \"hot_ms\": {:.3},\n  \"degraded\": {server_degraded},\n  \
+         \"cache_hits\": {cache_hits},\n  \"transport_errors\": {},\n  \
+         \"checksum_mismatches\": {},\n  \"join_errors\": {},\n  \
+         \"orphaned_spills\": {orphaned_spills},\n  \"rounds\": [\n{}\n  ]\n}}\n",
+        mmjoin_bench::harness::meta_json(),
+        cold_med * 1e3,
+        hot_med * 1e3,
+        counters.transport_errors.load(Ordering::Relaxed),
+        counters.checksum_mismatches.load(Ordering::Relaxed),
+        counters.join_errors.load(Ordering::Relaxed),
+        rounds_json.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        die(&format!("cannot write {out_path}: {e}"));
+    }
+    eprintln!("wrote {out_path}");
+
+    // ----- Ledger cells ----------------------------------------------
+    if let Some(path) = &ledger_path {
+        let workload = if quick { "quick" } else { "full" };
+        let cell = |name: &str, secs: Vec<f64>| SampleSet {
+            algorithm: name.to_string(),
+            workload: workload.to_string(),
+            kernel_mode: "auto".to_string(),
+            secs,
+        };
+        let samples = vec![
+            cell("serve_p50", round_stats.iter().map(|r| r.p50).collect()),
+            cell("serve_p99", round_stats.iter().map(|r| r.p99).collect()),
+            cell("serve_p999", round_stats.iter().map(|r| r.p999).collect()),
+            // Inverse throughput (seconds per request, fleet-wide) so
+            // "higher is worse" holds for every serve_* cell.
+            cell(
+                "serve_spr",
+                round_stats
+                    .iter()
+                    .map(|r| r.secs / (r.requests.max(1) as f64))
+                    .collect(),
+            ),
+            // cold/hot single-stream latencies stay out of the ledger:
+            // millisecond-scale and host-jitter-bound, they'd trip the
+            // sentinel across runs. The hot<cold gate below compares
+            // them within one run, where the jitter cancels.
+        ];
+        let entry = ledger::Entry::stamped("serve", opts.threads, samples);
+        match ledger::append(std::path::Path::new(path), &entry) {
+            Ok(()) => eprintln!("ledger: appended {} to {path}", entry.describe()),
+            Err(e) => die(&format!("cannot append to ledger {path}: {e}")),
+        }
+    }
+
+    // ----- The gate --------------------------------------------------
+    if check {
+        let mut fail = false;
+        let mut gate = |cond: bool, msg: &str| {
+            if !cond {
+                eprintln!("FAIL: {msg}");
+                fail = true;
+            }
+        };
+        gate(
+            counters.checksum_mismatches.load(Ordering::Relaxed) == 0,
+            "server results diverged from direct Join execution",
+        );
+        gate(
+            counters.join_errors.load(Ordering::Relaxed) == 0,
+            "joins errored under load (admission must degrade, not fail)",
+        );
+        gate(
+            counters.transport_errors.load(Ordering::Relaxed) == 0,
+            "connections died under load",
+        );
+        gate(total_requests > 0, "the fleet completed no requests");
+        gate(
+            clients >= 256,
+            "acceptance requires at least 256 concurrent clients",
+        );
+        gate(
+            hot_med < cold_med,
+            &format!(
+                "warmed cache ({:.2}ms) must beat the cold path ({:.2}ms)",
+                hot_med * 1e3,
+                cold_med * 1e3
+            ),
+        );
+        gate(cache_hits > 0, "the build-side cache was never hit");
+        gate(
+            addr.is_some() || server_degraded > 0,
+            "the starved tenant never degraded to SHHJ",
+        );
+        gate(orphaned_spills == 0, "spill files were orphaned");
+        if fail {
+            std::process::exit(1);
+        }
+        eprintln!("check passed");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn must_ok(v: &std::io::Result<mmjoin_util::jsonv::Value>) {
+    match v {
+        Ok(v) if v.get("ok").and_then(|b| b.as_bool()) == Some(true) => {}
+        other => panic!("request failed: {other:?}"),
+    }
+}
+
+fn connect_retry(addr: &str) -> Client {
+    for _ in 0..50 {
+        if let Ok(mut c) = Client::connect(addr) {
+            let _ = c.set_timeout(Some(Duration::from_secs(300)));
+            return c;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("cannot connect to {addr}");
+}
+
+/// Verify one join response against the locally computed ground truth.
+fn check_join(v: &mmjoin_util::jsonv::Value, p: &Pair, counters: &FleetCounters) {
+    if v.get("ok").and_then(|b| b.as_bool()) != Some(true) {
+        counters.join_errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if v.get("degraded").and_then(|b| b.as_bool()) == Some(true) {
+        counters.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    let matches = v.get("matches").and_then(|m| m.as_num()).unwrap_or(-1.0) as u64;
+    let checksum = v
+        .get("checksum")
+        .and_then(|c| c.as_str())
+        .and_then(|s| u64::from_str_radix(s, 16).ok());
+    if matches != p.expected_matches || checksum != Some(p.expected_checksum) {
+        counters.checksum_mismatches.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -80,12 +80,37 @@ pub use fault::{CancelToken, MemBudget};
 pub use mmjoin_util::kernels::KernelMode;
 pub use mmjoin_util::perf::CounterDelta;
 pub use mmjoin_util::pool::WorkerPhaseStat;
-pub use pipeline::{BuildSide, OperatorKind, Pipeline, PipelineResult};
+pub use pipeline::{BuildSide, BuildSideStats, OperatorKind, Pipeline, PipelineResult};
 pub use plan::{
     AlgorithmDescriptor, Family, Join, JoinConfigBuilder, JoinError, Partitioning, Scheduling,
     TableFlavor,
 };
 pub use stats::{JoinResult, PhaseStat, SpillCounters};
+
+/// The public join API in one import: everything an embedder — the
+/// `mmjoin-serve` front-end, an experiment harness, an application —
+/// needs to plan, configure, run, cache, and observe joins.
+///
+/// The service layer consumes *only* this module; an item it needs that
+/// isn't here is a missing-public-API bug to fix in this prelude, never
+/// a `pub(crate)` workaround (DESIGN.md §15).
+pub mod prelude {
+    pub use crate::config::{JoinConfig, ProfileConfig};
+    pub use crate::fault::{CancelToken, MemBudget};
+    pub use crate::observe;
+    pub use crate::pipeline::{
+        is_ported, BuildPhaseCounters, BuildSide, BuildSideStats, OperatorKind, Pipeline,
+        PipelineResult, PORTED,
+    };
+    pub use crate::plan::{
+        AlgorithmDescriptor, Family, Join, JoinConfigBuilder, JoinError, Partitioning, Scheduling,
+        TableFlavor,
+    };
+    pub use crate::stats::{JoinResult, PhaseStat, SpillCounters};
+    pub use crate::Algorithm;
+    pub use mmjoin_util::kernels::KernelMode;
+    pub use mmjoin_util::tuple::{Key, Payload, Placement, Relation, Tuple};
+}
 
 /// The thirteen join algorithms of the study.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]

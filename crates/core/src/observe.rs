@@ -15,7 +15,58 @@
 //! Native counters that were unavailable are emitted as JSON `null`,
 //! keeping the schema identical on hosts with and without PMU access.
 
+use crate::plan::JoinError;
 use crate::stats::{JoinResult, PhaseStat};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// the escaping rule every hand-rolled JSON artifact in the workspace
+/// uses, public so the service layer's wire frames share it.
+pub fn json_escape(s: &str) -> String {
+    esc(s)
+}
+
+/// Wire-serializable form of a [`JoinError`]: an object carrying the
+/// stable [`JoinError::code`] (the compatibility contract, DESIGN.md
+/// §15), the human-readable rendering, and the failing phase when the
+/// variant has one. `mmjoin-serve` embeds this verbatim in its error
+/// frames, so clients can match on `code` instead of parsing prose.
+pub fn error_json(e: &JoinError) -> String {
+    let mut out = format!(
+        "{{\"code\": \"{}\", \"message\": \"{}\"",
+        e.code(),
+        esc(&e.to_string())
+    );
+    if let Some(phase) = e.phase() {
+        out.push_str(&format!(", \"phase\": \"{}\"", esc(phase)));
+    }
+    match e {
+        JoinError::MemoryBudgetExceeded {
+            requested,
+            limit,
+            available,
+            ..
+        } => out.push_str(&format!(
+            ", \"requested\": {requested}, \"limit\": {limit}, \"available\": {available}"
+        )),
+        JoinError::Timedout { elapsed, .. } => out.push_str(&format!(
+            ", \"elapsed_ms\": {:.3}",
+            elapsed.as_secs_f64() * 1e3
+        )),
+        JoinError::InvalidConfig { field, value, .. } => {
+            out.push_str(&format!(
+                ", \"field\": \"{}\", \"value\": {value}",
+                esc(field)
+            ));
+        }
+        JoinError::PipelineUnsupported { algorithm }
+        | JoinError::DomainExceeded { algorithm, .. } => {
+            out.push_str(&format!(", \"algorithm\": \"{algorithm}\""));
+        }
+        _ => {}
+    }
+    out.push('}');
+    out
+}
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 fn esc(s: &str) -> String {

@@ -96,9 +96,48 @@ pub struct BuildSide {
     phases: Vec<PhaseStat>,
     radix_bits: Option<u32>,
     memory_bytes: usize,
+    /// Build tuples frozen into the side.
+    tuples: usize,
+    /// Process-wide allocation policy in effect when the side was built.
+    alloc_policy: String,
     /// Cost-model shape of one probe into this side.
     accesses_per_probe: f64,
     cpu_per_probe: f64,
+}
+
+/// Occupancy and provenance summary of a frozen [`BuildSide`] — what a
+/// service cache reports per entry without re-deriving it from the
+/// tables ([`BuildSide::stats`]).
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct BuildSideStats {
+    /// The driver the side was built for.
+    pub algorithm: Algorithm,
+    /// Build tuples frozen into the side.
+    pub tuples: usize,
+    /// Bytes resident in the frozen table(s).
+    pub bytes: usize,
+    /// Radix bits of a partitioned side (`None` for global tables).
+    pub radix_bits: Option<u32>,
+    /// Allocation policy the tables were built under ("portable",
+    /// "thp", ...; see `mmjoin_util::mem::policy_name`).
+    pub alloc_policy: String,
+    /// Per-phase construction counters, in phase order.
+    pub build_phases: Vec<BuildPhaseCounters>,
+}
+
+/// One build phase's counters inside [`BuildSideStats`].
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct BuildPhaseCounters {
+    /// Phase label ("partition", "build").
+    pub name: &'static str,
+    /// Wall-clock time of the phase.
+    pub wall: std::time::Duration,
+    /// Morsels executed.
+    pub tasks: u64,
+    /// Morsels claimed from a remote queue.
+    pub steals: u64,
 }
 
 enum BuildInner {
@@ -193,6 +232,30 @@ impl BuildSide {
     /// Phase stats of the build-side construction.
     pub fn build_phases(&self) -> &[PhaseStat] {
         &self.phases
+    }
+
+    /// Occupancy and provenance summary: tuples, resident bytes, the
+    /// allocation policy the tables were built under, and per-phase
+    /// construction counters. Everything a service cache needs to
+    /// report an entry without re-deriving it.
+    pub fn stats(&self) -> BuildSideStats {
+        BuildSideStats {
+            algorithm: self.algorithm,
+            tuples: self.tuples,
+            bytes: self.memory_bytes,
+            radix_bits: self.radix_bits,
+            alloc_policy: self.alloc_policy.clone(),
+            build_phases: self
+                .phases
+                .iter()
+                .map(|p| BuildPhaseCounters {
+                    name: p.name,
+                    wall: p.wall,
+                    tasks: p.exec.tasks,
+                    steals: p.exec.steals,
+                })
+                .collect(),
+        }
     }
 
     /// The operator roles this side contributes to a pipeline's probe
@@ -407,6 +470,8 @@ fn prepare_inner(
         phases: result.phases,
         radix_bits,
         memory_bytes,
+        tuples: r.len(),
+        alloc_policy: mmjoin_util::mem::policy_name(),
         accesses_per_probe: accesses,
         cpu_per_probe: cpu,
     }))

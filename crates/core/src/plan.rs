@@ -115,6 +115,43 @@ pub enum JoinError {
     },
 }
 
+impl JoinError {
+    /// Stable machine-readable error code.
+    ///
+    /// These strings are a **compatibility contract** (DESIGN.md §15):
+    /// they are what `mmjoin-serve` puts on the wire in error frames and
+    /// what `observe::error_json` serializes, so clients match on them.
+    /// Codes are only ever *added* (the enum is `#[non_exhaustive]`);
+    /// renaming or removing one is a breaking protocol change.
+    pub fn code(&self) -> &'static str {
+        match self {
+            JoinError::InvalidConfig { .. } => "invalid_config",
+            JoinError::PipelineUnsupported { .. } => "pipeline_unsupported",
+            JoinError::DomainExceeded { .. } => "domain_exceeded",
+            JoinError::UnknownAlgorithm(_) => "unknown_algorithm",
+            JoinError::WorkerPanicked { .. } => "worker_panicked",
+            JoinError::Timedout { .. } => "timedout",
+            JoinError::Cancelled { .. } => "cancelled",
+            JoinError::MemoryBudgetExceeded { .. } => "memory_budget_exceeded",
+            JoinError::Io { .. } => "io",
+            JoinError::SpillRecursionLimit { .. } => "spill_recursion_limit",
+        }
+    }
+
+    /// The phase a runtime failure hit, when the variant carries one
+    /// (`None` for plan-time errors like `InvalidConfig`).
+    pub fn phase(&self) -> Option<&'static str> {
+        match self {
+            JoinError::WorkerPanicked { phase, .. }
+            | JoinError::Timedout { phase, .. }
+            | JoinError::Cancelled { phase, .. }
+            | JoinError::MemoryBudgetExceeded { phase, .. }
+            | JoinError::Io { phase, .. } => Some(phase),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for JoinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -1,0 +1,58 @@
+//! A minimal blocking client for the serve protocol — one frame out,
+//! one frame in. Used by the integration tests, the load generator,
+//! and the `mmjoin serve` smoke path; real clients only need ~40 lines
+//! of any language that can write a 4-byte length prefix.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use mmjoin_util::jsonv::{self, Value};
+
+use crate::protocol::encode_frame;
+
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Bound every read so a wedged server fails a test instead of
+    /// hanging it.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Send one request frame.
+    pub fn send(&mut self, payload: &str) -> io::Result<()> {
+        self.stream.write_all(&encode_frame(payload))
+    }
+
+    /// Ship raw bytes verbatim — for tests poking at framing itself.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Read one response frame and parse it.
+    pub fn recv(&mut self) -> io::Result<Value> {
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len)?;
+        let n = u32::from_be_bytes(len) as usize;
+        let mut payload = vec![0u8; n];
+        self.stream.read_exact(&mut payload)?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+        jsonv::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// One request, one response.
+    pub fn request(&mut self, payload: &str) -> io::Result<Value> {
+        self.send(payload)?;
+        self.recv()
+    }
+}

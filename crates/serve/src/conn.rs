@@ -1,0 +1,173 @@
+//! Per-connection protocol state, shared by the Linux epoll reactor and
+//! the portable blocking fallback: frame reassembly in, response bytes
+//! out, and the in-flight cancel bookkeeping between them.
+//!
+//! `load`/`stat`/`flush` are answered inline (they are catalog/metadata
+//! work, microseconds); `join` is submitted to admission control and
+//! answered asynchronously through [`Shared::complete`], so one slow
+//! join never head-of-line-blocks the other requests multiplexed on the
+//! same connection.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mmjoin_core::prelude::CancelToken;
+
+use crate::admission::Job;
+use crate::protocol::{self, Frame, FrameReader, ProtoError, Request, MAX_FRAME};
+use crate::Shared;
+
+/// A connection may buffer at most this much un-sent response data
+/// before it is declared overloaded and closed (a reader this far
+/// behind is not coming back).
+const MAX_OUT_BUFFER: usize = 64 << 20;
+
+/// What [`ConnState::ingest`] tells the driver.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct IngestOutcome {
+    /// Buffers exceeded sane bounds; close the connection.
+    pub overloaded: bool,
+}
+
+pub(crate) struct ConnState {
+    id: u64,
+    reader: FrameReader,
+    out: Vec<u8>,
+    /// Bytes of `out` already written to the socket.
+    out_pos: usize,
+    /// Joins submitted but not yet completed: `(seq, cancel)`.
+    inflight: Vec<(u64, CancelToken)>,
+}
+
+impl ConnState {
+    pub(crate) fn new(id: u64) -> ConnState {
+        ConnState {
+            id,
+            reader: FrameReader::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            inflight: Vec::new(),
+        }
+    }
+
+    /// Feed freshly read bytes; parses and dispatches every complete
+    /// frame they finish.
+    pub(crate) fn ingest(&mut self, chunk: &[u8], shared: &Arc<Shared>) -> IngestOutcome {
+        self.reader.push(chunk);
+        while let Some(frame) = self.reader.next_frame() {
+            shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+            match frame {
+                Frame::Oversized(n) => {
+                    shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    self.enqueue_response(&protocol::error_response(
+                        None,
+                        &ProtoError::new(
+                            "bad_frame",
+                            format!("frame of {n} bytes exceeds the {MAX_FRAME}-byte cap"),
+                        ),
+                    ));
+                }
+                Frame::Payload(p) => self.handle_payload(&p, shared),
+            }
+        }
+        IngestOutcome {
+            overloaded: self.out.len() - self.out_pos > MAX_OUT_BUFFER
+                || self.reader.buffered() > 2 * MAX_FRAME,
+        }
+    }
+
+    fn handle_payload(&mut self, payload: &[u8], shared: &Arc<Shared>) {
+        let env = match protocol::parse_request(payload) {
+            Ok(env) => env,
+            Err(e) => {
+                // A request that failed to parse has no recoverable id;
+                // the error is correlated by order on the client side.
+                if e.code == "bad_frame" {
+                    shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                }
+                self.enqueue_response(&protocol::error_response(None, &e));
+                return;
+            }
+        };
+        match env.request {
+            Request::Load(spec) => {
+                let resp = match shared.catalog.load(&spec, shared.cfg.join_threads) {
+                    Ok(entry) => protocol::load_response(
+                        env.id,
+                        &entry.name,
+                        entry.rel.len(),
+                        entry.bytes(),
+                        entry.version,
+                    ),
+                    Err(e) => protocol::error_response(env.id, &e),
+                };
+                self.enqueue_response(&resp);
+            }
+            Request::Stat => {
+                let body = shared.stat_json();
+                self.enqueue_response(&protocol::stat_response(env.id, &body));
+            }
+            Request::Flush => {
+                let dropped = shared.cache.flush();
+                self.enqueue_response(&protocol::flush_response(env.id, dropped));
+            }
+            Request::Join(spec) => {
+                let now = Instant::now();
+                let seq = shared.next_seq.fetch_add(1, Ordering::Relaxed);
+                let cancel = CancelToken::new();
+                let expires = spec.deadline_ms.map(|ms| now + Duration::from_millis(ms));
+                let job = Job {
+                    conn: self.id,
+                    seq,
+                    id: env.id,
+                    tenant: env.tenant,
+                    spec,
+                    received: now,
+                    expires,
+                    cancel: cancel.clone(),
+                };
+                match shared.admission.submit(job) {
+                    Ok(()) => self.inflight.push((seq, cancel)),
+                    Err(e) => self.enqueue_response(&protocol::error_response(env.id, &e)),
+                }
+            }
+        }
+    }
+
+    /// Frame a rendered JSON payload onto the write queue.
+    pub(crate) fn enqueue_response(&mut self, payload: &str) {
+        // Compact the consumed prefix before it grows unbounded.
+        if self.out_pos > 0 && self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        } else if self.out_pos > 1 << 20 {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        self.out.extend_from_slice(&protocol::encode_frame(payload));
+    }
+
+    /// A join finished: release its cancel slot and queue the response.
+    pub(crate) fn complete(&mut self, seq: u64, payload: &str) {
+        self.inflight.retain(|(s, _)| *s != seq);
+        self.enqueue_response(payload);
+    }
+
+    /// Response bytes not yet written.
+    pub(crate) fn pending_out(&self) -> &[u8] {
+        &self.out[self.out_pos..]
+    }
+
+    pub(crate) fn consume_out(&mut self, n: usize) {
+        self.out_pos += n;
+        debug_assert!(self.out_pos <= self.out.len());
+    }
+
+    /// The connection is gone: stop every join still probing for it.
+    pub(crate) fn cancel_inflight(&mut self) {
+        for (_, cancel) in self.inflight.drain(..) {
+            cancel.cancel();
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! `mmjoin-serve`: an async multi-tenant join service over the
+//! `mmjoin_core::prelude` API (DESIGN.md §15).
+//!
+//! The front-end is a single-threaded epoll reactor over raw syscalls
+//! (the repo's no-libc idiom; see [`reactor`]) speaking a length-prefixed
+//! JSON protocol (see [`protocol`]). Joins are scheduled through an
+//! admission controller — bounded fair queues per tenant, per-tenant
+//! memory budgets carved from a global budget, degradation to the
+//! spilling hybrid hash join instead of rejection (see [`admission`] and
+//! [`engine`]) — and hot build sides are shared across tenants through a
+//! byte-bounded LRU over [`BuildSide::prepare`] outputs (see [`cache`]).
+//!
+//! ```no_run
+//! use mmjoin_serve::{Client, ServeConfig, Server};
+//!
+//! let server = Server::spawn(ServeConfig::default()).unwrap();
+//! let mut c = Client::connect(server.addr()).unwrap();
+//! c.request(r#"{"op":"load","name":"r","rows":100000,"kind":"build"}"#).unwrap();
+//! c.request(r#"{"op":"load","name":"s","rows":1000000,"kind":"probe_fk","domain":100000}"#)
+//!     .unwrap();
+//! let v = c.request(r#"{"op":"join","algo":"PRO","build":"r","probe":"s"}"#).unwrap();
+//! assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true));
+//! server.shutdown();
+//! ```
+//!
+//! [`BuildSide::prepare`]: mmjoin_core::prelude::BuildSide::prepare
+
+pub mod admission;
+pub mod cache;
+pub mod catalog;
+pub mod client;
+mod conn;
+pub mod engine;
+pub mod protocol;
+
+#[cfg(not(target_os = "linux"))]
+mod blocking;
+#[cfg(target_os = "linux")]
+mod reactor;
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mmjoin_core::prelude::observe;
+
+pub use client::Client;
+
+/// Server configuration. Knobs the protocol deliberately does **not**
+/// expose (budgets, thread counts, spill placement) live here — they
+/// are operator decisions, not per-request ones.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Runner threads executing admitted joins.
+    pub runners: usize,
+    /// Worker threads *inside* each join. Small by design: service
+    /// throughput comes from concurrent runners, not per-join fan-out.
+    pub join_threads: usize,
+    /// Global memory budget all tenants' reservations carve from.
+    pub global_budget_bytes: usize,
+    /// Budget carved for a tenant not listed in `tenant_budgets`.
+    pub default_tenant_budget_bytes: usize,
+    /// Pinned per-tenant budgets (clamped to the global budget).
+    pub tenant_budgets: Vec<(String, usize)>,
+    /// Bounded per-tenant queue depth; overflow rejects `queue_full`.
+    pub queue_depth: usize,
+    /// Build-side cache capacity (a server-owned carve, not tenant-billed).
+    pub cache_bytes: usize,
+    /// Parent directory for degraded joins' spill runs (`None` = system tmp).
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            runners: (cores / 2).clamp(2, 8),
+            join_threads: 2,
+            global_budget_bytes: 1 << 30,
+            default_tenant_budget_bytes: 256 << 20,
+            tenant_budgets: Vec::new(),
+            queue_depth: 64,
+            cache_bytes: 256 << 20,
+            spill_dir: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    pub fn with_runners(mut self, n: usize) -> Self {
+        self.runners = n.max(1);
+        self
+    }
+
+    pub fn with_join_threads(mut self, n: usize) -> Self {
+        self.join_threads = n.max(1);
+        self
+    }
+
+    pub fn with_global_budget(mut self, bytes: usize) -> Self {
+        self.global_budget_bytes = bytes;
+        self
+    }
+
+    pub fn with_default_tenant_budget(mut self, bytes: usize) -> Self {
+        self.default_tenant_budget_bytes = bytes;
+        self
+    }
+
+    /// Pin `tenant`'s budget carve (clamped to the global budget).
+    pub fn with_tenant_budget(mut self, tenant: impl Into<String>, bytes: usize) -> Self {
+        self.tenant_budgets.push((tenant.into(), bytes));
+        self
+    }
+
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Whole-server monotonic counters (rendered by `op:"stat"`).
+#[derive(Default)]
+pub(crate) struct ServerStats {
+    pub accepted: AtomicU64,
+    pub open: AtomicU64,
+    pub frames: AtomicU64,
+    pub bad_frames: AtomicU64,
+    pub bytes_out: AtomicU64,
+    pub joins_ok: AtomicU64,
+    pub joins_err: AtomicU64,
+    pub joins_degraded: AtomicU64,
+}
+
+/// Everything the front-end, runners, and `stat` share.
+pub(crate) struct Shared {
+    pub cfg: ServeConfig,
+    pub catalog: catalog::Catalog,
+    pub cache: cache::BuildCache,
+    pub admission: admission::Admission,
+    pub stats: ServerStats,
+    pub stop: AtomicBool,
+    pub started: Instant,
+    pub next_seq: AtomicU64,
+    /// Finished joins waiting for the reactor: `(conn, seq, payload)`.
+    #[cfg(target_os = "linux")]
+    pub completions: Mutex<Vec<(u64, u64, String)>>,
+    /// Write end of the reactor's self-wake pipe.
+    #[cfg(target_os = "linux")]
+    pub waker: Mutex<Option<std::os::unix::net::UnixStream>>,
+    /// Fallback front-end: per-connection completion channels.
+    #[cfg(not(target_os = "linux"))]
+    pub routes: Mutex<HashMap<u64, std::sync::mpsc::Sender<(u64, String)>>>,
+}
+
+impl Shared {
+    fn new(cfg: ServeConfig) -> Shared {
+        let pinned: HashMap<String, usize> = cfg.tenant_budgets.iter().cloned().collect();
+        let admission = admission::Admission::new(
+            cfg.global_budget_bytes,
+            cfg.default_tenant_budget_bytes,
+            pinned,
+            cfg.queue_depth,
+        );
+        Shared {
+            catalog: catalog::Catalog::new(),
+            cache: cache::BuildCache::new(cfg.cache_bytes),
+            admission,
+            stats: ServerStats::default(),
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+            next_seq: AtomicU64::new(1),
+            #[cfg(target_os = "linux")]
+            completions: Mutex::new(Vec::new()),
+            #[cfg(target_os = "linux")]
+            waker: Mutex::new(None),
+            #[cfg(not(target_os = "linux"))]
+            routes: Mutex::new(HashMap::new()),
+            cfg,
+        }
+    }
+
+    /// Route a finished join's response back to its connection.
+    pub(crate) fn complete(&self, conn: u64, seq: u64, payload: String) {
+        #[cfg(target_os = "linux")]
+        {
+            self.completions.lock().unwrap().push((conn, seq, payload));
+            if let Some(w) = self.waker.lock().unwrap().as_ref() {
+                use std::io::Write;
+                let _ = (&mut &*w).write(&[1u8]);
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let tx = self.routes.lock().unwrap().get(&conn).cloned();
+            if let Some(tx) = tx {
+                let _ = tx.send((seq, payload));
+            }
+        }
+    }
+
+    fn wake(&self) {
+        #[cfg(target_os = "linux")]
+        if let Some(w) = self.waker.lock().unwrap().as_ref() {
+            use std::io::Write;
+            let _ = (&mut &*w).write(&[1u8]);
+        }
+    }
+
+    /// The `op:"stat"` document body.
+    pub(crate) fn stat_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        out.push_str(&format!(
+            "\"uptime_ms\":{},\"connections\":{{\"accepted\":{},\"open\":{}}},\
+             \"frames\":{},\"bad_frames\":{},\"bytes_out\":{},\
+             \"joins\":{{\"ok\":{},\"err\":{},\"degraded\":{}}}",
+            self.started.elapsed().as_millis(),
+            self.stats.accepted.load(Ordering::Relaxed),
+            self.stats.open.load(Ordering::Relaxed),
+            self.stats.frames.load(Ordering::Relaxed),
+            self.stats.bad_frames.load(Ordering::Relaxed),
+            self.stats.bytes_out.load(Ordering::Relaxed),
+            self.stats.joins_ok.load(Ordering::Relaxed),
+            self.stats.joins_err.load(Ordering::Relaxed),
+            self.stats.joins_degraded.load(Ordering::Relaxed),
+        ));
+        let c = self.cache.snapshot();
+        out.push_str(&format!(
+            ",\"cache\":{{\"entries\":{},\"bytes\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}}",
+            c.entries, c.bytes, c.capacity, c.hits, c.misses, c.evictions
+        ));
+        out.push_str(&format!(
+            ",\"global_budget\":{{\"used\":{},\"limit\":{}}}",
+            self.admission.global_budget().used(),
+            self.admission.global_budget().limit()
+        ));
+        out.push_str(",\"tenants\":[");
+        for (i, t) in self.admission.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"queued\":{},\"budget\":{{\"used\":{},\"limit\":{}}},\
+                 \"admitted\":{},\"rejected\":{},\"completed\":{},\"errored\":{},\"degraded\":{}}}",
+                observe::json_escape(&t.name),
+                t.queued,
+                t.budget_used,
+                t.budget_limit,
+                t.admitted,
+                t.rejected,
+                t.completed,
+                t.errored,
+                t.degraded
+            ));
+        }
+        out.push_str("],\"catalog\":[");
+        for (i, e) in self.catalog.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"rows\":{},\"bytes\":{},\"version\":{},\"kind\":\"{}\"}}",
+                observe::json_escape(&e.name),
+                e.rel.len(),
+                e.bytes(),
+                e.version,
+                e.kind
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A running join service; dropping it without [`Server::shutdown`]
+/// detaches the threads (they stop when the process exits).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the front-end and the runner pool, return immediately.
+    pub fn spawn(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let runners = cfg.runners;
+        let shared = Arc::new(Shared::new(cfg));
+        let mut threads = Vec::with_capacity(runners + 1);
+        for i in 0..runners {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("mmjoin-serve-run{i}"))
+                    .spawn(move || runner_loop(sh))
+                    .expect("spawn runner"),
+            );
+        }
+        #[cfg(target_os = "linux")]
+        {
+            let r = reactor::Reactor::new(listener, Arc::clone(&shared))?;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mmjoin-serve-epoll".to_string())
+                    .spawn(move || r.run())
+                    .expect("spawn reactor"),
+            );
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mmjoin-serve-accept".to_string())
+                    .spawn(move || blocking::run(listener, sh))
+                    .expect("spawn acceptor"),
+            );
+        }
+        Ok(Server {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The same JSON body a `stat` request returns, for embedders and
+    /// the CLI's periodic status line.
+    pub fn stat_json(&self) -> String {
+        self.shared.stat_json()
+    }
+
+    /// Stop accepting, cancel queued work, join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.admission.stop();
+        self.shared.wake();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn runner_loop(shared: Arc<Shared>) {
+    while let Some(adm) = shared.admission.next() {
+        let payload = engine::execute(&shared, &adm);
+        shared.complete(adm.job.conn, adm.job.seq, payload);
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod alloc;
 pub mod checksum;
+pub mod jsonv;
 pub mod kernels;
 pub mod mem;
 pub mod perf;

@@ -5,6 +5,7 @@
 //!              [--zipf THETA] [--bits B] [--skew-handling] [--ledger FILE.jsonl]
 //! mmjoin race  --build 1000000 --probe 10000000     # all 13, leaderboard
 //! mmjoin tpch  --sf 0.2 [--threads N]               # Q19 with 4 joins
+//! mmjoin serve --addr 127.0.0.1:7788                # multi-tenant service
 //! ```
 
 use mmjoin::core::{observe, Algorithm, Join, JoinConfig, ProfileConfig};
@@ -84,7 +85,7 @@ impl Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: mmjoin <join|race|tpch> [options]");
+    eprintln!("usage: mmjoin <join|race|tpch|serve> [options]");
     eprintln!("  join --algo NAME --build N --probe N [--threads N] [--zipf T] [--bits B] [--skew-handling]");
     eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB] [--spill-dir DIR] [--no-spill]");
     eprintln!(
@@ -95,6 +96,9 @@ fn usage() -> ! {
     eprintln!("       [--deadline-ms MS] [--mem-limit-mb MB] [--spill-dir DIR] [--no-spill]");
     eprintln!("       [--alloc POLICY]");
     eprintln!("  tpch --sf F [--threads N]");
+    eprintln!("  serve [--addr HOST:PORT] [--runners N] [--join-threads N]");
+    eprintln!("        [--global-budget-mb MB] [--tenant-budget-mb MB] [--tenant NAME:MB ...]");
+    eprintln!("        [--queue-depth N] [--cache-mb MB] [--spill-dir DIR] [--stat-secs S]");
     eprintln!(
         "alloc policies: portable | mapped | thp | hugetlb, optionally \
          +firsttouch | +interleave | +bind:N (also via MMJOIN_ALLOC)"
@@ -374,6 +378,86 @@ fn main() {
                     res.probe_wall.as_secs_f64() * 1e3,
                     res.revenue
                 );
+            }
+        }
+        "serve" => {
+            args.check_known(
+                &[
+                    "addr",
+                    "runners",
+                    "join-threads",
+                    "global-budget-mb",
+                    "tenant-budget-mb",
+                    "tenant",
+                    "queue-depth",
+                    "cache-mb",
+                    "spill-dir",
+                    "stat-secs",
+                ],
+                &[],
+            );
+            let mib = 1024 * 1024;
+            let mut cfg = mmjoin::serve::ServeConfig::default();
+            if let Some(addr) = args.get_str("addr") {
+                cfg = cfg.with_addr(addr);
+            }
+            if args.get_str("runners").is_some() {
+                cfg = cfg.with_runners(args.get("runners", 0));
+            }
+            if args.get_str("join-threads").is_some() {
+                cfg = cfg.with_join_threads(args.get("join-threads", 0));
+            }
+            if args.get_str("global-budget-mb").is_some() {
+                let mb: usize = args.get("global-budget-mb", 0);
+                cfg = cfg.with_global_budget(mb.saturating_mul(mib));
+            }
+            if args.get_str("tenant-budget-mb").is_some() {
+                let mb: usize = args.get("tenant-budget-mb", 0);
+                cfg = cfg.with_default_tenant_budget(mb.saturating_mul(mib));
+            }
+            if args.get_str("queue-depth").is_some() {
+                cfg = cfg.with_queue_depth(args.get("queue-depth", 0));
+            }
+            if args.get_str("cache-mb").is_some() {
+                let mb: usize = args.get("cache-mb", 0);
+                cfg = cfg.with_cache_bytes(mb.saturating_mul(mib));
+            }
+            if let Some(dir) = args.get_str("spill-dir") {
+                cfg = cfg.with_spill_dir(dir);
+            }
+            // --tenant NAME:MB pins a per-tenant budget; repeatable.
+            for (k, v) in &args.map {
+                if k != "tenant" {
+                    continue;
+                }
+                let Some((name, mb)) = v.split_once(':') else {
+                    eprintln!("invalid value {v:?} for --tenant: expected NAME:MB");
+                    usage();
+                };
+                let Ok(mb) = mb.parse::<usize>() else {
+                    eprintln!("invalid value {v:?} for --tenant: expected NAME:MB");
+                    usage();
+                };
+                cfg = cfg.with_tenant_budget(name, mb.saturating_mul(mib));
+            }
+            let server = mmjoin::serve::Server::spawn(cfg).unwrap_or_else(|e| {
+                eprintln!("cannot start server: {e}");
+                std::process::exit(1);
+            });
+            println!("mmjoin-serve listening on {}", server.addr());
+            // No portable signal handling without libc: the server runs
+            // until the process is killed. Optionally print a stat line
+            // on an interval so operators can watch it breathe.
+            let stat_secs: u64 = args.get("stat-secs", 0);
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(if stat_secs > 0 {
+                    stat_secs
+                } else {
+                    3600
+                }));
+                if stat_secs > 0 {
+                    println!("{}", server.stat_json());
+                }
             }
         }
         _ => usage(),

@@ -14,6 +14,12 @@
 //! * [`memsim`] — the trace-driven cache/TLB simulator (Table 4).
 //! * [`tpch`] — the column-store TPC-H Q19 substrate.
 //! * [`util`] — tuples, aligned buffers, RNG, checksums.
+//! * [`serve`] — the async multi-tenant join service (`mmjoin serve`).
+//!
+//! Embedders that just want to run joins should import [`prelude`] —
+//! the consolidated public API (also available as
+//! `mmjoin_core::prelude` for crates that don't want the whole
+//! workspace).
 //!
 //! # Quickstart
 //!
@@ -38,11 +44,13 @@
 //! ```
 
 pub use mmjoin_core as core;
+pub use mmjoin_core::prelude;
 pub use mmjoin_datagen as datagen;
 pub use mmjoin_hashtable as hashtable;
 pub use mmjoin_memsim as memsim;
 pub use mmjoin_numamodel as numamodel;
 pub use mmjoin_partition as partition;
+pub use mmjoin_serve as serve;
 pub use mmjoin_sort as sort;
 pub use mmjoin_tpch as tpch;
 pub use mmjoin_util as util;

@@ -1,0 +1,310 @@
+//! Integration suite for the `mmjoin-serve` protocol (ISSUE 9 /
+//! DESIGN.md §15): multi-tenant admission behavior, deadline expiry,
+//! framing robustness, and build-side cache consistency — all through
+//! the public TCP surface, exactly as an external client would see it.
+
+use std::time::Duration;
+
+use mmjoin::serve::{Client, ServeConfig, Server};
+use mmjoin::util::jsonv::Value;
+
+fn client(server: &Server) -> Client {
+    let mut c = Client::connect(server.addr()).expect("connect");
+    c.set_timeout(Some(Duration::from_secs(120))).unwrap();
+    c
+}
+
+fn ok(v: &Value) -> bool {
+    v.get("ok").and_then(|b| b.as_bool()) == Some(true)
+}
+
+fn err_code(v: &Value) -> &str {
+    v.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(|c| c.as_str())
+        .unwrap_or("<no error code>")
+}
+
+fn checksum(v: &Value) -> &str {
+    v.get("checksum").and_then(|c| c.as_str()).unwrap_or("")
+}
+
+fn load_pair(c: &mut Client, build_rows: usize, probe_rows: usize) {
+    let v = c
+        .request(&format!(
+            r#"{{"op":"load","name":"r","rows":{build_rows},"kind":"build","seed":42}}"#
+        ))
+        .unwrap();
+    assert!(ok(&v), "load r failed: {v:?}");
+    let v = c
+        .request(&format!(
+            r#"{{"op":"load","name":"s","rows":{probe_rows},"kind":"probe_fk","domain":{build_rows},"seed":43}}"#
+        ))
+        .unwrap();
+    assert!(ok(&v), "load s failed: {v:?}");
+}
+
+#[test]
+fn load_join_stat_round_trip() {
+    let server = Server::spawn(ServeConfig::default().with_runners(2)).unwrap();
+    let mut c = client(&server);
+
+    load_pair(&mut c, 50_000, 200_000);
+    let v = c
+        .request(r#"{"op":"join","id":1,"algo":"PRO","build":"r","probe":"s"}"#)
+        .unwrap();
+    assert!(ok(&v), "join failed: {v:?}");
+    assert_eq!(v.get("id").and_then(|i| i.as_num()), Some(1.0));
+    assert_eq!(v.get("matches").and_then(|m| m.as_num()), Some(200_000.0));
+    assert!(!checksum(&v).is_empty());
+
+    let v = c.request(r#"{"op":"stat"}"#).unwrap();
+    assert!(ok(&v));
+    let stat = v.get("stat").expect("stat body");
+    let catalog = stat.get("catalog").and_then(|c| c.as_arr()).unwrap();
+    assert_eq!(catalog.len(), 2);
+    let joins_ok = stat
+        .get("joins")
+        .and_then(|j| j.get("ok"))
+        .and_then(|n| n.as_num())
+        .unwrap();
+    assert!(joins_ok >= 1.0);
+
+    // Unknown relations and algorithms come back typed, not as hangups.
+    let v = c
+        .request(r#"{"op":"join","algo":"PRO","build":"nope","probe":"s"}"#)
+        .unwrap();
+    assert_eq!(err_code(&v), "unknown_relation");
+    let v = c
+        .request(r#"{"op":"join","algo":"zzz","build":"r","probe":"s"}"#)
+        .unwrap();
+    assert_eq!(err_code(&v), "unknown_algorithm");
+
+    server.shutdown();
+}
+
+/// Two tenants, conflicting budgets: the starved one degrades to the
+/// spilling join (never an error), the funded one runs resident, and
+/// both compute the same result.
+#[test]
+fn conflicting_tenant_budgets_one_spills_one_resident() {
+    let server = Server::spawn(
+        ServeConfig::default()
+            .with_runners(2)
+            .with_tenant_budget("small", 6 << 20)
+            .with_tenant_budget("big", 512 << 20),
+    )
+    .unwrap();
+    let mut c = client(&server);
+    // Working-set estimate for PRO over (200k, 1M) tuples is ~21 MB:
+    // far above "small"'s 6 MiB carve, far below "big"'s 512 MiB.
+    load_pair(&mut c, 200_000, 1_000_000);
+
+    let small = c
+        .request(r#"{"op":"join","id":10,"tenant":"small","algo":"PRO","build":"r","probe":"s"}"#)
+        .unwrap();
+    let big = c
+        .request(r#"{"op":"join","id":11,"tenant":"big","algo":"PRO","build":"r","probe":"s"}"#)
+        .unwrap();
+
+    assert!(
+        ok(&small),
+        "starved tenant must degrade, not fail: {small:?}"
+    );
+    assert_eq!(small.get("degraded").and_then(|d| d.as_bool()), Some(true));
+    assert_eq!(small.get("algo").and_then(|a| a.as_str()), Some("SHHJ"));
+
+    assert!(ok(&big), "funded tenant failed: {big:?}");
+    assert_eq!(big.get("degraded").and_then(|d| d.as_bool()), Some(false));
+    assert_eq!(big.get("algo").and_then(|a| a.as_str()), Some("PRO"));
+
+    assert_eq!(small.get("matches").and_then(|m| m.as_num()), Some(1e6));
+    assert_eq!(big.get("matches").and_then(|m| m.as_num()), Some(1e6));
+    assert_eq!(checksum(&small), checksum(&big), "degraded result diverged");
+
+    // stat records the degradation against the right tenant.
+    let v = c.request(r#"{"op":"stat"}"#).unwrap();
+    let tenants = v
+        .get("stat")
+        .and_then(|s| s.get("tenants"))
+        .and_then(|t| t.as_arr())
+        .unwrap();
+    let find = |name: &str| {
+        tenants
+            .iter()
+            .find(|t| t.get("name").and_then(|n| n.as_str()) == Some(name))
+            .unwrap_or_else(|| panic!("tenant {name} missing from stat"))
+    };
+    assert_eq!(
+        find("small").get("degraded").and_then(|d| d.as_num()),
+        Some(1.0)
+    );
+    assert_eq!(
+        find("big").get("degraded").and_then(|d| d.as_num()),
+        Some(0.0)
+    );
+
+    server.shutdown();
+}
+
+/// A deadline that expires while the join is running comes back as the
+/// typed `timedout` error — and the connection keeps working.
+#[test]
+fn deadline_expiry_is_typed_and_connection_survives() {
+    let server = Server::spawn(ServeConfig::default().with_runners(2)).unwrap();
+    let mut c = client(&server);
+    load_pair(&mut c, 1_000_000, 4_000_000);
+
+    let v = c
+        .request(
+            r#"{"op":"join","id":20,"algo":"PRO","build":"r","probe":"s","deadline_ms":5,"cache":false}"#,
+        )
+        .unwrap();
+    assert!(!ok(&v), "a 5 ms deadline cannot fit this join: {v:?}");
+    assert_eq!(err_code(&v), "timedout");
+    assert_eq!(v.get("id").and_then(|i| i.as_num()), Some(20.0));
+
+    // Same socket, next request: alive and correct.
+    let v = c.request(r#"{"op":"stat"}"#).unwrap();
+    assert!(ok(&v));
+    let v = c
+        .request(r#"{"op":"join","id":21,"algo":"NOP","build":"r","probe":"s"}"#)
+        .unwrap();
+    assert!(ok(&v), "join after timeout failed: {v:?}");
+    assert_eq!(v.get("matches").and_then(|m| m.as_num()), Some(4e6));
+
+    server.shutdown();
+}
+
+/// Garbage payloads inside well-formed frames produce protocol errors;
+/// the server neither panics nor drops the connection.
+#[test]
+fn malformed_frames_get_protocol_errors_not_panics() {
+    let server = Server::spawn(ServeConfig::default().with_runners(1)).unwrap();
+    let mut c = client(&server);
+
+    // Not JSON at all.
+    let v = c.request(r#"{"op": <-- nope"#).unwrap();
+    assert_eq!(err_code(&v), "bad_frame");
+    // Valid JSON, wrong shape.
+    let v = c.request(r#"[1,2,3]"#).unwrap();
+    assert_eq!(err_code(&v), "bad_request");
+    // Valid object, unknown op.
+    let v = c.request(r#"{"op":"warp"}"#).unwrap();
+    assert_eq!(err_code(&v), "bad_request");
+    // Not UTF-8.
+    let mut frame = 4u32.to_be_bytes().to_vec();
+    frame.extend_from_slice(&[0xff, 0xfe, 0xfd, 0xfc]);
+    c.send_raw(&frame).unwrap();
+    let v = c.recv().unwrap();
+    assert_eq!(err_code(&v), "bad_frame");
+
+    // The same connection still serves real requests afterwards.
+    let v = c.request(r#"{"op":"stat"}"#).unwrap();
+    assert!(ok(&v), "connection should survive garbage: {v:?}");
+
+    // An oversized frame advertisement is answered (and the declared
+    // bytes are discarded to keep the stream framed); a fresh
+    // connection confirms the server itself is unharmed.
+    c.send_raw(&(u32::MAX).to_be_bytes()).unwrap();
+    let v = c.recv().unwrap();
+    assert_eq!(err_code(&v), "bad_frame");
+    drop(c);
+    let mut c2 = client(&server);
+    let v = c2.request(r#"{"op":"stat"}"#).unwrap();
+    assert!(ok(&v));
+
+    server.shutdown();
+}
+
+/// A cache hit must return byte-identical results to the cold run that
+/// populated it — and to the classic (uncached) driver.
+#[test]
+fn cached_build_side_matches_cold_run_checksums() {
+    let server = Server::spawn(ServeConfig::default().with_runners(2)).unwrap();
+    let mut c = client(&server);
+    load_pair(&mut c, 100_000, 400_000);
+
+    let v = c.request(r#"{"op":"flush"}"#).unwrap();
+    assert!(ok(&v));
+
+    let cold = c
+        .request(r#"{"op":"join","algo":"PRL","build":"r","probe":"s"}"#)
+        .unwrap();
+    assert!(ok(&cold), "cold join failed: {cold:?}");
+    assert_eq!(cold.get("cached").and_then(|b| b.as_bool()), Some(false));
+
+    let hot = c
+        .request(r#"{"op":"join","algo":"PRL","build":"r","probe":"s"}"#)
+        .unwrap();
+    assert!(ok(&hot), "hot join failed: {hot:?}");
+    assert_eq!(hot.get("cached").and_then(|b| b.as_bool()), Some(true));
+
+    let classic = c
+        .request(r#"{"op":"join","algo":"PRL","build":"r","probe":"s","cache":false}"#)
+        .unwrap();
+    assert!(ok(&classic));
+    assert_eq!(classic.get("cached").and_then(|b| b.as_bool()), Some(false));
+
+    assert_eq!(checksum(&cold), checksum(&hot));
+    assert_eq!(checksum(&cold), checksum(&classic));
+    assert_eq!(
+        cold.get("matches").and_then(|m| m.as_num()),
+        hot.get("matches").and_then(|m| m.as_num())
+    );
+
+    // Reloading the relation bumps its version: the stale cached side
+    // must not serve the new data.
+    let v = c
+        .request(r#"{"op":"load","name":"r","rows":100000,"kind":"build","seed":99}"#)
+        .unwrap();
+    assert!(ok(&v));
+    let reloaded = c
+        .request(r#"{"op":"join","algo":"PRL","build":"r","probe":"s"}"#)
+        .unwrap();
+    assert!(ok(&reloaded));
+    assert_eq!(
+        reloaded.get("cached").and_then(|b| b.as_bool()),
+        Some(false)
+    );
+
+    let v = c.request(r#"{"op":"stat"}"#).unwrap();
+    let cache = v.get("stat").and_then(|s| s.get("cache")).unwrap();
+    assert!(cache.get("hits").and_then(|h| h.as_num()).unwrap() >= 1.0);
+    assert!(cache.get("misses").and_then(|m| m.as_num()).unwrap() >= 2.0);
+
+    server.shutdown();
+}
+
+/// Queue overflow rejects synchronously with a typed error instead of
+/// buffering unbounded work.
+#[test]
+fn queue_overflow_is_a_typed_rejection() {
+    let server = Server::spawn(ServeConfig::default().with_runners(1).with_queue_depth(1)).unwrap();
+    let mut c = client(&server);
+    load_pair(&mut c, 500_000, 2_000_000);
+
+    // Fire-and-forget several joins; with one runner and depth 1, some
+    // must be rejected with queue_full while the rest complete.
+    for i in 0..6 {
+        c.send(&format!(
+            r#"{{"op":"join","id":{i},"algo":"PRO","build":"r","probe":"s"}}"#
+        ))
+        .unwrap();
+    }
+    let mut ok_count = 0;
+    let mut rejected = 0;
+    for _ in 0..6 {
+        let v = c.recv().unwrap();
+        if ok(&v) {
+            ok_count += 1;
+        } else {
+            assert_eq!(err_code(&v), "queue_full");
+            rejected += 1;
+        }
+    }
+    assert!(ok_count >= 1, "at least one join must be admitted");
+    assert!(rejected >= 1, "depth-1 queue must reject a burst of 6");
+
+    server.shutdown();
+}
