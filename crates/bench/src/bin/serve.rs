@@ -282,6 +282,7 @@ fn main() {
     }
 
     let mut round_stats: Vec<RoundStats> = Vec::with_capacity(rounds);
+    let mut pooled: Vec<f64> = Vec::new();
     for round in 0..rounds {
         stop_round.store(false, Ordering::Release);
         barrier.wait(); // release the fleet
@@ -294,12 +295,15 @@ fn main() {
         for m in latencies.iter() {
             all.extend(m.lock().unwrap().iter().copied());
         }
+        pooled.extend_from_slice(&all);
+        // One sort for all three points, not one per percentile.
+        let ps = stats::percentiles(&all, &[0.50, 0.99, 0.999]);
         let rs = RoundStats {
             requests: all.len() as u64,
             secs,
-            p50: stats::percentile(&all, 0.50),
-            p99: stats::percentile(&all, 0.99),
-            p999: stats::percentile(&all, 0.999),
+            p50: ps[0],
+            p99: ps[1],
+            p999: ps[2],
         };
         eprintln!(
             "round {round}: {} reqs in {:.2}s  ({:.0} rps)  p50={:.2}ms p99={:.2}ms p999={:.2}ms",
@@ -331,6 +335,16 @@ fn main() {
         .and_then(|c| c.get("hits"))
         .and_then(|n| n.as_num())
         .unwrap_or(0.0) as u64;
+    // Server-side telemetry view of the same run (streaming histograms).
+    let tel_overall = stat_body.get("telemetry").and_then(|t| t.get("overall"));
+    let tel_count = tel_overall
+        .and_then(|o| o.get("count"))
+        .and_then(|n| n.as_num())
+        .unwrap_or(-1.0) as i64;
+    let tel_p99_ms = tel_overall
+        .and_then(|o| o.get("p99_ms"))
+        .and_then(|n| n.as_num())
+        .unwrap_or(-1.0);
     drop(admin);
     if let Some(server) = server {
         server.shutdown();
@@ -463,6 +477,25 @@ fn main() {
             "the starved tenant never degraded to SHHJ",
         );
         gate(orphaned_spills == 0, "spill files were orphaned");
+        // Telemetry self-consistency (in-process server only: an
+        // external one may carry joins from before this run). The
+        // streaming-histogram count must reconcile exactly with joins
+        // sent — fleet requests plus the admin's cold/hot probes — and
+        // the telemetry p99 must agree with the bench's own
+        // client-side p99 up to histogram resolution + queue/transport
+        // skew (generous: half the value plus 10ms).
+        if addr.is_none() {
+            let joins_sent = total_requests as i64 + 2 * reps as i64;
+            gate(
+                tel_count == joins_sent,
+                &format!("telemetry join count {tel_count} != joins sent {joins_sent}"),
+            );
+            let bench_p99_ms = stats::percentiles(&pooled, &[0.99])[0] * 1e3;
+            gate(
+                tel_p99_ms >= 0.0 && (tel_p99_ms - bench_p99_ms).abs() <= 0.5 * bench_p99_ms + 10.0,
+                &format!("telemetry p99 {tel_p99_ms:.2}ms far from bench p99 {bench_p99_ms:.2}ms"),
+            );
+        }
         if fail {
             std::process::exit(1);
         }

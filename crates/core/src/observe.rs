@@ -254,6 +254,58 @@ pub fn chrome_trace(results: &[JoinResult]) -> String {
     out
 }
 
+/// One chrome-trace metadata event (`"ph": "M"`): `kind` is
+/// `"process_name"` or `"thread_name"`. The service's flight recorder
+/// composes its `trace` op output from these plus
+/// [`trace_complete_event`], so live traces and offline
+/// [`chrome_trace`] dumps load in the same viewer.
+pub fn trace_name_event(kind: &str, pid: u64, tid: u64, name: &str) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+         \"args\": {{\"name\": \"{}\"}}}}",
+        esc(kind),
+        esc(name)
+    )
+}
+
+/// One chrome-trace complete event (`"ph": "X"`). `ts_us`/`dur_us` are
+/// microseconds; `args_json` must be a well-formed JSON object.
+pub fn trace_complete_event(
+    name: &str,
+    cat: &str,
+    pid: u64,
+    tid: u64,
+    ts_us: f64,
+    dur_us: f64,
+    args_json: &str,
+) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {ts_us:.3}, \
+         \"dur\": {dur_us:.3}, \"pid\": {pid}, \"tid\": {tid}, \"args\": {args_json}}}",
+        esc(name),
+        esc(cat)
+    )
+}
+
+/// Compact rollup of one [`PhaseStat`] for per-query records: wall
+/// time, executor counters, spill/alloc counters, and the worker-summed
+/// perf counter deltas (`null` where unavailable) — everything except
+/// the per-worker span vector, which is too heavy to retain per query.
+pub fn phase_rollup_json(p: &PhaseStat) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"tasks\": {}, \"steals\": {}, \
+         \"idle_ms\": {:.3}, {}, {}, {}}}",
+        esc(p.name),
+        p.wall.as_secs_f64() * 1e3,
+        p.exec.tasks,
+        p.exec.steals,
+        p.exec.idle_ns as f64 / 1e6,
+        spill_json(p),
+        alloc_json(p),
+        counters_json(p)
+    )
+}
+
 fn phase_json(p: &PhaseStat) -> String {
     let workers: Vec<String> = p
         .workers
@@ -431,6 +483,24 @@ mod tests {
         let (ts, end) = phase_extent(&r.phases[1], 3_000);
         assert_eq!(ts, 3_000);
         assert_eq!(end, 3_000 + 5_000_000);
+    }
+
+    #[test]
+    fn event_builders_match_chrome_trace_shapes() {
+        let m = trace_name_event("thread_name", 1, 3, "tenant \"a\"");
+        assert!(m.contains("\"ph\": \"M\""));
+        assert!(m.contains("\"tid\": 3"));
+        assert!(m.contains("tenant \\\"a\\\""));
+        let x = trace_complete_event("PRO", "join", 1, 2, 10.5, 2000.0, "{\"cached\": true}");
+        assert!(x.contains("\"ph\": \"X\""));
+        assert!(x.contains("\"ts\": 10.500"));
+        assert!(x.contains("\"args\": {\"cached\": true}"));
+        let r = sample();
+        let j = phase_rollup_json(&r.phases[0]);
+        assert!(j.contains("\"name\": \"partition\""));
+        assert!(j.contains("\"bytes_spilled\": 4096"));
+        assert!(j.contains("\"cycles\": 123"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

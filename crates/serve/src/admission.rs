@@ -37,6 +37,9 @@ pub struct Job {
     /// Absolute expiry derived from `spec.deadline_ms` at receipt.
     pub expires: Option<Instant>,
     pub cancel: CancelToken,
+    /// Tenant queue length when this job was enqueued (set by
+    /// [`Admission::submit`]; telemetry's queue-depth-at-entry).
+    pub queue_depth: usize,
 }
 
 /// Monotonic per-tenant counters (atomics: bumped by runners without
@@ -159,7 +162,7 @@ impl Admission {
 
     /// Enqueue a job on its tenant's queue. Bounded: a full queue
     /// rejects synchronously with `queue_full`.
-    pub fn submit(&self, job: Job) -> Result<(), ProtoError> {
+    pub fn submit(&self, mut job: Job) -> Result<(), ProtoError> {
         let mut g = self.inner.lock().unwrap();
         if g.stopped {
             return Err(ProtoError::new("shutting_down", "server is shutting down"));
@@ -175,6 +178,7 @@ impl Admission {
             ));
         }
         t.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        job.queue_depth = t.queue.len();
         t.queue.push_back(job);
         g.queued += 1;
         drop(g);
@@ -273,6 +277,7 @@ mod tests {
             received: Instant::now(),
             expires: None,
             cancel: CancelToken::new(),
+            queue_depth: 0,
         }
     }
 
@@ -300,6 +305,19 @@ mod tests {
         let snap = adm.snapshot();
         assert_eq!(snap[0].rejected, 1);
         assert_eq!(snap[0].admitted, 2);
+    }
+
+    #[test]
+    fn submit_stamps_queue_depth_at_entry() {
+        let adm = Admission::new(1 << 30, 1 << 20, HashMap::new(), 16);
+        for i in 0..3 {
+            adm.submit(job("a", i)).unwrap();
+        }
+        let depths: Vec<usize> = (0..3)
+            .map(|_| adm.next().unwrap().job.queue_depth)
+            .collect();
+        // Each job saw exactly the jobs ahead of it.
+        assert_eq!(depths, vec![0, 1, 2]);
     }
 
     #[test]

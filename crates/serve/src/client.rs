@@ -55,4 +55,16 @@ impl Client {
         self.send(payload)?;
         self.recv()
     }
+
+    /// The server's Prometheus text exposition via the `metrics` wire
+    /// op (no HTTP endpoint needed).
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        let v = self.request(r#"{"op":"metrics"}"#)?;
+        v.get("text")
+            .and_then(|t| t.as_str())
+            .map(|s| s.to_string())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "metrics response lacks text")
+            })
+    }
 }

@@ -90,9 +90,12 @@ impl ConnState {
                 return;
             }
         };
+        let inline_started = Instant::now();
         match env.request {
             Request::Load(spec) => {
-                let resp = match shared.catalog.load(&spec, shared.cfg.join_threads) {
+                let result = shared.catalog.load(&spec, shared.cfg.join_threads);
+                let ok = result.is_ok();
+                let resp = match result {
                     Ok(entry) => protocol::load_response(
                         env.id,
                         &entry.name,
@@ -102,37 +105,81 @@ impl ConnState {
                     ),
                     Err(e) => protocol::error_response(env.id, &e),
                 };
+                self.record_op(shared, &env.tenant, "load", inline_started, ok);
                 self.enqueue_response(&resp);
             }
             Request::Stat => {
                 let body = shared.stat_json();
+                self.record_op(shared, &env.tenant, "stat", inline_started, true);
                 self.enqueue_response(&protocol::stat_response(env.id, &body));
             }
             Request::Flush => {
                 let dropped = shared.cache.flush();
+                self.record_op(shared, &env.tenant, "flush", inline_started, true);
                 self.enqueue_response(&protocol::flush_response(env.id, dropped));
+            }
+            Request::Trace(spec) => {
+                let (events, count, dropped) = shared.telemetry.render_trace(spec.max, spec.drain);
+                let capacity = shared.telemetry.config().flight_capacity;
+                self.record_op(shared, &env.tenant, "trace", inline_started, true);
+                self.enqueue_response(&protocol::trace_response(
+                    env.id, count, dropped, capacity, &events,
+                ));
+            }
+            Request::Metrics => {
+                let text = shared.metrics_text();
+                self.record_op(shared, &env.tenant, "metrics", inline_started, true);
+                self.enqueue_response(&protocol::metrics_response(env.id, &text));
             }
             Request::Join(spec) => {
                 let now = Instant::now();
                 let seq = shared.next_seq.fetch_add(1, Ordering::Relaxed);
                 let cancel = CancelToken::new();
                 let expires = spec.deadline_ms.map(|ms| now + Duration::from_millis(ms));
+                let algo = spec.algorithm.name();
                 let job = Job {
                     conn: self.id,
                     seq,
                     id: env.id,
-                    tenant: env.tenant,
+                    tenant: env.tenant.clone(),
                     spec,
                     received: now,
                     expires,
                     cancel: cancel.clone(),
+                    queue_depth: 0,
                 };
                 match shared.admission.submit(job) {
                     Ok(()) => self.inflight.push((seq, cancel)),
-                    Err(e) => self.enqueue_response(&protocol::error_response(env.id, &e)),
+                    Err(e) => {
+                        // Synchronous rejection still counts as a join
+                        // request in telemetry (the self-consistency
+                        // contract: every join answer is recorded).
+                        shared.telemetry.record_join(crate::telemetry::JoinFacts {
+                            seq,
+                            tenant: env.tenant,
+                            algo,
+                            ok: false,
+                            error_code: Some(e.code),
+                            total_ms: now.elapsed().as_secs_f64() * 1e3,
+                            queue_ms: 0.0,
+                            queue_depth: shared.cfg.queue_depth,
+                            cached: false,
+                            degraded: false,
+                            spill_bytes: 0,
+                            matches: 0,
+                            phases: Vec::new(),
+                        });
+                        self.enqueue_response(&protocol::error_response(env.id, &e));
+                    }
                 }
             }
         }
+    }
+
+    fn record_op(&self, shared: &Arc<Shared>, tenant: &str, op: &str, started: Instant, ok: bool) {
+        shared
+            .telemetry
+            .record_op(tenant, op, started.elapsed().as_nanos() as u64, ok);
     }
 
     /// Frame a rendered JSON payload onto the write queue.

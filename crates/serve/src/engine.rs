@@ -28,7 +28,11 @@ use crate::admission::Admitted;
 use crate::cache::CacheKey;
 use crate::catalog::CatalogEntry;
 use crate::protocol::{self, JoinOutcome, JoinSpec};
+use crate::telemetry::{JoinFacts, PhaseRollup};
 use crate::Shared;
+
+use mmjoin_core::prelude::observe;
+use mmjoin_core::prelude::PhaseStat;
 
 /// Below this grant SHHJ can't even hold its partition buffers; the
 /// degraded path never reserves less.
@@ -123,7 +127,20 @@ enum RunOutput {
         matches: u64,
         checksum: u64,
         cached: bool,
+        phases: Vec<PhaseStat>,
     },
+}
+
+/// Flight-recorder rollups of a run's phases (DESIGN.md §16).
+fn rollups(phases: &[PhaseStat]) -> Vec<PhaseRollup> {
+    phases
+        .iter()
+        .map(|p| PhaseRollup {
+            name: p.name,
+            wall_ms: p.wall.as_secs_f64() * 1e3,
+            args_json: observe::phase_rollup_json(p),
+        })
+        .collect()
 }
 
 fn run_resident(
@@ -156,6 +173,7 @@ fn run_resident(
             matches: out.matches,
             checksum: out.checksum,
             cached,
+            phases: out.phases,
         });
     }
     Join::new(spec.algorithm)
@@ -170,6 +188,26 @@ pub(crate) fn execute(shared: &Shared, adm: &Admitted) -> String {
     let started = Instant::now();
     let queue_ms = started.duration_since(job.received).as_secs_f64() * 1e3;
 
+    // Telemetry for a request that never produced a JoinOutcome: the
+    // requested algorithm, the typed error code, latency to now.
+    let record_err = |code: &'static str| {
+        shared.telemetry.record_join(JoinFacts {
+            seq: job.seq,
+            tenant: job.tenant.clone(),
+            algo: job.spec.algorithm.name(),
+            ok: false,
+            error_code: Some(code),
+            total_ms: job.received.elapsed().as_secs_f64() * 1e3,
+            queue_ms,
+            queue_depth: job.queue_depth,
+            cached: false,
+            degraded: false,
+            spill_bytes: 0,
+            matches: 0,
+            phases: Vec::new(),
+        });
+    };
+
     // Deadline already blown in the queue → typed timeout, nothing run.
     let remaining = match job.expires {
         Some(exp) => match exp.checked_duration_since(started) {
@@ -181,6 +219,7 @@ pub(crate) fn execute(shared: &Shared, adm: &Admitted) -> String {
                     elapsed: started.duration_since(job.received),
                     partial: Vec::new(),
                 };
+                record_err(err.code());
                 return protocol::join_error_response(job.id, &err);
             }
         },
@@ -194,6 +233,7 @@ pub(crate) fn execute(shared: &Shared, adm: &Admitted) -> String {
         (Ok(b), Ok(p)) => (b, p),
         (Err(e), _) | (_, Err(e)) => {
             adm.counters.errored.fetch_add(1, Ordering::Relaxed);
+            record_err(e.code);
             return protocol::error_response(job.id, &e);
         }
     };
@@ -244,24 +284,42 @@ pub(crate) fn execute(shared: &Shared, adm: &Admitted) -> String {
                 shared.stats.joins_degraded.fetch_add(1, Ordering::Relaxed);
             }
             shared.stats.joins_ok.fetch_add(1, Ordering::Relaxed);
-            let (matches, checksum, cached, spill_bytes) = match out {
+            let (matches, checksum, cached, spill_bytes, phases) = match out {
                 RunOutput::Classic(r) => {
-                    (r.matches, r.checksum, false, r.spill_totals().bytes_spilled)
+                    let spilled = r.spill_totals().bytes_spilled;
+                    (r.matches, r.checksum, false, spilled, rollups(&r.phases))
                 }
                 RunOutput::Pipelined {
                     matches,
                     checksum,
                     cached,
-                } => (matches, checksum, cached, 0),
+                    phases,
+                } => (matches, checksum, cached, 0, rollups(&phases)),
             };
+            let algorithm = if degraded {
+                Algorithm::Shhj
+            } else {
+                job.spec.algorithm
+            };
+            shared.telemetry.record_join(JoinFacts {
+                seq: job.seq,
+                tenant: job.tenant.clone(),
+                algo: algorithm.name(),
+                ok: true,
+                error_code: None,
+                total_ms: job.received.elapsed().as_secs_f64() * 1e3,
+                queue_ms,
+                queue_depth: job.queue_depth,
+                cached,
+                degraded,
+                spill_bytes,
+                matches,
+                phases,
+            });
             protocol::join_response(
                 job.id,
                 &JoinOutcome {
-                    algorithm: if degraded {
-                        Algorithm::Shhj
-                    } else {
-                        job.spec.algorithm
-                    },
+                    algorithm,
                     matches,
                     checksum,
                     wall_ms: started.elapsed().as_secs_f64() * 1e3,
@@ -275,6 +333,7 @@ pub(crate) fn execute(shared: &Shared, adm: &Admitted) -> String {
         Err(err) => {
             adm.counters.errored.fetch_add(1, Ordering::Relaxed);
             shared.stats.joins_err.fetch_add(1, Ordering::Relaxed);
+            record_err(err.code());
             protocol::join_error_response(job.id, &err)
         }
     }

@@ -32,6 +32,7 @@ pub mod client;
 mod conn;
 pub mod engine;
 pub mod protocol;
+pub mod telemetry;
 
 #[cfg(not(target_os = "linux"))]
 mod blocking;
@@ -74,6 +75,12 @@ pub struct ServeConfig {
     pub cache_bytes: usize,
     /// Parent directory for degraded joins' spill runs (`None` = system tmp).
     pub spill_dir: Option<PathBuf>,
+    /// Telemetry knobs: SLO windows, flight recorder, slow-query log,
+    /// regression watch (see [`telemetry::TelemetryConfig`]).
+    pub telemetry: telemetry::TelemetryConfig,
+    /// Serve a Prometheus text exposition over plain HTTP at this
+    /// address (`None` disables; the `metrics` wire op always works).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +98,8 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_bytes: 256 << 20,
             spill_dir: None,
+            telemetry: telemetry::TelemetryConfig::default(),
+            metrics_addr: None,
         }
     }
 }
@@ -141,6 +150,43 @@ impl ServeConfig {
         self.spill_dir = Some(dir.into());
         self
     }
+
+    /// Replace the whole telemetry configuration.
+    pub fn with_telemetry(mut self, t: telemetry::TelemetryConfig) -> Self {
+        self.telemetry = t;
+        self
+    }
+
+    /// SLO window length in seconds (`0` disables the background
+    /// sampler; windows then rotate only via [`Server::telemetry_tick`]).
+    pub fn with_slo_window_secs(mut self, secs: f64) -> Self {
+        self.telemetry.slo_window_secs = secs.max(0.0);
+        self
+    }
+
+    /// Log queries at or above this latency to the slow-query log.
+    pub fn with_slow_query_ms(mut self, ms: f64) -> Self {
+        self.telemetry.slow_query_ms = Some(ms.max(0.0));
+        self
+    }
+
+    /// Slow-query log destination (default is stderr).
+    pub fn with_slow_query_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.telemetry.slow_query_log = Some(path.into());
+        self
+    }
+
+    /// Flight-recorder capacity (older query records are dropped).
+    pub fn with_flight_capacity(mut self, n: usize) -> Self {
+        self.telemetry.flight_capacity = n.max(1);
+        self
+    }
+
+    /// Expose Prometheus metrics over HTTP at `addr` (port 0 works).
+    pub fn with_metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
 }
 
 /// Whole-server monotonic counters (rendered by `op:"stat"`).
@@ -163,6 +209,7 @@ pub(crate) struct Shared {
     pub cache: cache::BuildCache,
     pub admission: admission::Admission,
     pub stats: ServerStats,
+    pub telemetry: telemetry::Telemetry,
     pub stop: AtomicBool,
     pub started: Instant,
     pub next_seq: AtomicU64,
@@ -186,13 +233,17 @@ impl Shared {
             pinned,
             cfg.queue_depth,
         );
+        // Telemetry timestamps (chrome-trace `ts`) are relative to the
+        // same instant `uptime_ms` counts from.
+        let started = Instant::now();
         Shared {
             catalog: catalog::Catalog::new(),
             cache: cache::BuildCache::new(cfg.cache_bytes),
             admission,
             stats: ServerStats::default(),
+            telemetry: telemetry::Telemetry::new(cfg.telemetry.clone(), started),
             stop: AtomicBool::new(false),
-            started: Instant::now(),
+            started,
             next_seq: AtomicU64::new(1),
             #[cfg(target_os = "linux")]
             completions: Mutex::new(Vec::new()),
@@ -292,8 +343,16 @@ impl Shared {
                 e.kind
             ));
         }
-        out.push_str("]}");
+        out.push_str("],\"telemetry\":");
+        out.push_str(&self.telemetry.stat_fragment());
+        out.push('}');
         out
+    }
+
+    /// The Prometheus text exposition (also served over HTTP when
+    /// `metrics_addr` is configured).
+    pub(crate) fn metrics_text(&self) -> String {
+        self.telemetry.registry().expose_prometheus()
     }
 }
 
@@ -301,6 +360,7 @@ impl Shared {
 /// detaches the threads (they stop when the process exits).
 pub struct Server {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
@@ -310,9 +370,17 @@ impl Server {
     pub fn spawn(cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(a) => Some(TcpListener::bind(a)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let runners = cfg.runners;
         let shared = Arc::new(Shared::new(cfg));
-        let mut threads = Vec::with_capacity(runners + 1);
+        let mut threads = Vec::with_capacity(runners + 3);
         for i in 0..runners {
             let sh = Arc::clone(&shared);
             threads.push(
@@ -342,8 +410,27 @@ impl Server {
                     .expect("spawn acceptor"),
             );
         }
+        if shared.cfg.telemetry.slo_window_secs > 0.0 {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mmjoin-serve-slo".to_string())
+                    .spawn(move || sampler_loop(sh))
+                    .expect("spawn sampler"),
+            );
+        }
+        if let Some(l) = metrics_listener {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mmjoin-serve-metrics".to_string())
+                    .spawn(move || metrics_loop(l, sh))
+                    .expect("spawn metrics"),
+            );
+        }
         Ok(Server {
             addr,
+            metrics_addr,
             shared,
             threads,
         })
@@ -352,6 +439,25 @@ impl Server {
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The Prometheus HTTP endpoint's bound address, when configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The Prometheus text exposition (what the HTTP endpoint and the
+    /// `metrics` wire op serve).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
+    /// Close every tenant's live SLO window and run the regression
+    /// watch — what the background sampler does each `slo_window_secs`.
+    /// Public so tests (and embedders with their own clocks) can drive
+    /// window rotation deterministically.
+    pub fn telemetry_tick(&self) {
+        self.shared.telemetry.rotate_and_watch();
     }
 
     /// The same JSON body a `stat` request returns, for embedders and
@@ -375,5 +481,51 @@ fn runner_loop(shared: Arc<Shared>) {
     while let Some(adm) = shared.admission.next() {
         let payload = engine::execute(&shared, &adm);
         shared.complete(adm.job.conn, adm.job.seq, payload);
+    }
+}
+
+/// Background SLO sampler: rotate windows + run the regression watch
+/// every `slo_window_secs`, polling the stop flag at 50ms granularity.
+fn sampler_loop(shared: Arc<Shared>) {
+    let window = std::time::Duration::from_secs_f64(shared.cfg.telemetry.slo_window_secs);
+    let tick = std::time::Duration::from_millis(50);
+    let mut last = Instant::now();
+    while !shared.stop.load(Ordering::Acquire) {
+        std::thread::sleep(tick.min(window));
+        if last.elapsed() >= window {
+            shared.telemetry.rotate_and_watch();
+            last = Instant::now();
+        }
+    }
+}
+
+/// Minimal Prometheus scrape endpoint: every connection gets the text
+/// exposition as an `HTTP/1.0 200`, whatever it asked (the path is not
+/// inspected — this serves exactly one document).
+fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
+    use std::io::{Read, Write};
+    listener
+        .set_nonblocking(true)
+        .expect("metrics listener nonblocking");
+    let tick = std::time::Duration::from_millis(50);
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((mut sock, _)) => {
+                let _ = sock.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+                // Drain the request line + headers (best effort).
+                let mut buf = [0u8; 4096];
+                let _ = sock.read(&mut buf);
+                let body = shared.metrics_text();
+                let resp = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let _ = sock.write_all(resp.as_bytes());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(tick),
+            Err(_) => std::thread::sleep(tick),
+        }
     }
 }

@@ -62,6 +62,21 @@ pub enum Request {
     Stat,
     /// Drop every cached build side (used to force cold runs).
     Flush,
+    /// Drain (or peek at) the query flight recorder as chrome-trace
+    /// events (DESIGN.md §16; added post-§15 as an append-only op).
+    Trace(TraceSpec),
+    /// Prometheus text exposition of the metric registry (append-only
+    /// op, same contract as `trace`).
+    Metrics,
+}
+
+/// `op:"trace"` options.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSpec {
+    /// Return at most this many of the newest records (default: all).
+    pub max: Option<usize>,
+    /// Remove returned records from the recorder (default true).
+    pub drain: bool,
 }
 
 /// How `op:"load"` materializes a relation server-side. Relations are
@@ -168,6 +183,19 @@ pub fn parse_request(payload: &[u8]) -> Result<Envelope, ProtoError> {
         "join" => Request::Join(parse_join(&v)?),
         "stat" => Request::Stat,
         "flush" => Request::Flush,
+        "trace" => {
+            let drain = match v.get("drain") {
+                None => true,
+                Some(d) => d
+                    .as_bool()
+                    .ok_or_else(|| bad("field 'drain' must be a boolean"))?,
+            };
+            Request::Trace(TraceSpec {
+                max: opt_usize(&v, "max")?,
+                drain,
+            })
+        }
+        "metrics" => Request::Metrics,
         other => return Err(bad(format!("unknown op '{other}'"))),
     };
     Ok(Envelope {
@@ -357,6 +385,31 @@ pub fn stat_response(id: Option<f64>, body: &str) -> String {
     )
 }
 
+/// Successful `trace` — `events` is a pre-rendered chrome-trace event
+/// array (saving it verbatim yields a file chrome://tracing loads).
+pub fn trace_response(
+    id: Option<f64>,
+    count: usize,
+    dropped: u64,
+    capacity: usize,
+    events: &str,
+) -> String {
+    format!(
+        "{{{}\"ok\":true,\"op\":\"trace\",\"count\":{count},\"dropped\":{dropped},\
+         \"capacity\":{capacity},\"events\":{events}}}",
+        id_field(id)
+    )
+}
+
+/// Successful `metrics` — the Prometheus exposition as a JSON string.
+pub fn metrics_response(id: Option<f64>, text: &str) -> String {
+    format!(
+        "{{{}\"ok\":true,\"op\":\"metrics\",\"text\":\"{}\"}}",
+        id_field(id),
+        observe::json_escape(text)
+    )
+}
+
 // ---------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------
@@ -518,6 +571,34 @@ mod tests {
             }
             other => panic!("expected load, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_trace_and_metrics_ops() {
+        let env = parse_request(br#"{"op":"trace","max":16,"drain":false}"#).unwrap();
+        match env.request {
+            Request::Trace(t) => {
+                assert_eq!(t.max, Some(16));
+                assert!(!t.drain);
+            }
+            other => panic!("expected trace, got {other:?}"),
+        }
+        // Defaults: unbounded, draining.
+        match parse_request(br#"{"op":"trace"}"#).unwrap().request {
+            Request::Trace(t) => {
+                assert_eq!(t.max, None);
+                assert!(t.drain);
+            }
+            other => panic!("expected trace, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_request(br#"{"op":"metrics","id":3}"#)
+                .unwrap()
+                .request,
+            Request::Metrics
+        ));
+        let e = parse_request(br#"{"op":"trace","drain":7}"#).unwrap_err();
+        assert_eq!(e.code, "bad_request");
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod pool;
 pub mod rng;
 pub mod spill;
 pub mod stats;
+pub mod telemetry;
 pub mod timer;
 pub mod trace;
 pub mod tuple;

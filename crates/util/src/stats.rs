@@ -83,6 +83,32 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     }
 }
 
+/// Several percentiles of the same sample in one sort: `percentile`
+/// sorts a copy per call, so `p50/p99/p999` over a large latency vector
+/// paid three sorts. Returns estimates in the order of `ps`, using the
+/// same interpolation as [`percentile`].
+pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return vec![0.0; ps.len()];
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    ps.iter()
+        .map(|p| {
+            let p = p.clamp(0.0, 1.0);
+            let rank = p * (v.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                let frac = rank - lo as f64;
+                v[lo] * (1.0 - frac) + v[hi] * frac
+            }
+        })
+        .collect()
+}
+
 /// Bootstrap confidence interval for the median of `xs`: resample with
 /// replacement `iters` times, take the `(1-confidence)/2` percentiles of
 /// the resampled medians. Deterministic for a given `seed`, so two runs
@@ -300,6 +326,18 @@ mod tests {
         assert_eq!(percentile(&odd, 0.5), 20.0);
         assert_eq!(percentile(&[], 0.99), 0.0);
         assert_eq!(percentile(&[5.0], 0.999), 5.0);
+    }
+
+    #[test]
+    fn percentiles_agree_with_percentile() {
+        let xs = [4.0, 1.0, 3.0, 2.0, 9.5, 0.25, 7.0];
+        let ps = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let batch = percentiles(&xs, &ps);
+        for (p, got) in ps.iter().zip(batch.iter()) {
+            assert_eq!(*got, percentile(&xs, *p), "p={p}");
+        }
+        assert_eq!(percentiles(&[], &ps), vec![0.0; ps.len()]);
+        assert_eq!(percentiles(&xs, &[]), Vec::<f64>::new());
     }
 
     #[test]

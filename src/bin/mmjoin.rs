@@ -99,6 +99,8 @@ fn usage() -> ! {
     eprintln!("  serve [--addr HOST:PORT] [--runners N] [--join-threads N]");
     eprintln!("        [--global-budget-mb MB] [--tenant-budget-mb MB] [--tenant NAME:MB ...]");
     eprintln!("        [--queue-depth N] [--cache-mb MB] [--spill-dir DIR] [--stat-secs S]");
+    eprintln!("        [--metrics-addr HOST:PORT] [--slo-window-secs S]");
+    eprintln!("        [--slow-query-ms MS] [--slow-query-log FILE]");
     eprintln!(
         "alloc policies: portable | mapped | thp | hugetlb, optionally \
          +firsttouch | +interleave | +bind:N (also via MMJOIN_ALLOC)"
@@ -393,6 +395,10 @@ fn main() {
                     "cache-mb",
                     "spill-dir",
                     "stat-secs",
+                    "metrics-addr",
+                    "slo-window-secs",
+                    "slow-query-ms",
+                    "slow-query-log",
                 ],
                 &[],
             );
@@ -425,6 +431,18 @@ fn main() {
             if let Some(dir) = args.get_str("spill-dir") {
                 cfg = cfg.with_spill_dir(dir);
             }
+            if let Some(addr) = args.get_str("metrics-addr") {
+                cfg = cfg.with_metrics_addr(addr);
+            }
+            if args.get_str("slo-window-secs").is_some() {
+                cfg = cfg.with_slo_window_secs(args.get("slo-window-secs", 0.0));
+            }
+            if args.get_str("slow-query-ms").is_some() {
+                cfg = cfg.with_slow_query_ms(args.get("slow-query-ms", 0.0));
+            }
+            if let Some(path) = args.get_str("slow-query-log") {
+                cfg = cfg.with_slow_query_log(path);
+            }
             // --tenant NAME:MB pins a per-tenant budget; repeatable.
             for (k, v) in &args.map {
                 if k != "tenant" {
@@ -445,6 +463,9 @@ fn main() {
                 std::process::exit(1);
             });
             println!("mmjoin-serve listening on {}", server.addr());
+            if let Some(m) = server.metrics_addr() {
+                println!("mmjoin-serve metrics on http://{m}/metrics");
+            }
             // No portable signal handling without libc: the server runs
             // until the process is killed. Optionally print a stat line
             // on an interval so operators can watch it breathe.

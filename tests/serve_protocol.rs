@@ -29,6 +29,107 @@ fn checksum(v: &Value) -> &str {
     v.get("checksum").and_then(|c| c.as_str()).unwrap_or("")
 }
 
+/// Structural validation of a parsed `stat` body: every section the
+/// server promises, with the right JSON types. The payload already
+/// round-tripped through `jsonv::parse` to get here (the client parses
+/// every response frame), so passing this means the whole rendered
+/// document is well-formed JSON of the documented shape.
+fn validate_stat(stat: &Value) {
+    let n = |v: &Value, k: &str| {
+        v.get(k)
+            .and_then(|x| x.as_num())
+            .unwrap_or_else(|| panic!("stat missing number {k:?}: {v:?}"))
+    };
+    n(stat, "uptime_ms");
+    n(stat, "frames");
+    n(stat, "bad_frames");
+    n(stat, "bytes_out");
+    let conns = stat.get("connections").expect("connections");
+    n(conns, "accepted");
+    n(conns, "open");
+    let joins = stat.get("joins").expect("joins");
+    n(joins, "ok");
+    n(joins, "err");
+    n(joins, "degraded");
+    let cache = stat.get("cache").expect("cache");
+    for k in [
+        "entries",
+        "bytes",
+        "capacity",
+        "hits",
+        "misses",
+        "evictions",
+    ] {
+        n(cache, k);
+    }
+    let gb = stat.get("global_budget").expect("global_budget");
+    n(gb, "used");
+    n(gb, "limit");
+    for t in stat
+        .get("tenants")
+        .and_then(|t| t.as_arr())
+        .expect("tenants")
+    {
+        assert!(t.get("name").and_then(|s| s.as_str()).is_some());
+        for k in [
+            "queued",
+            "admitted",
+            "rejected",
+            "completed",
+            "errored",
+            "degraded",
+        ] {
+            n(t, k);
+        }
+    }
+    for e in stat
+        .get("catalog")
+        .and_then(|c| c.as_arr())
+        .expect("catalog")
+    {
+        assert!(e.get("name").and_then(|s| s.as_str()).is_some());
+        n(e, "rows");
+        n(e, "bytes");
+        n(e, "version");
+    }
+    // The telemetry section (DESIGN.md §16).
+    let tel = stat.get("telemetry").expect("telemetry");
+    n(tel, "window_secs");
+    let flight = tel.get("flight").expect("flight");
+    n(flight, "len");
+    n(flight, "capacity");
+    n(flight, "dropped");
+    for t in tel
+        .get("tenants")
+        .and_then(|t| t.as_arr())
+        .expect("slo tenants")
+    {
+        assert!(t.get("name").and_then(|s| s.as_str()).is_some());
+        n(t, "requests");
+        n(t, "error_rate");
+        n(t, "degraded_rate");
+        for view in ["rolling", "total"] {
+            let r = t.get(view).unwrap_or_else(|| panic!("missing {view}"));
+            n(r, "count");
+            n(r, "p50_ms");
+            n(r, "p99_ms");
+            n(r, "p999_ms");
+        }
+    }
+    let overall = tel.get("overall").expect("overall");
+    n(overall, "count");
+    n(overall, "p99_ms");
+    let watch = tel.get("watch").expect("watch");
+    let status = watch
+        .get("status")
+        .and_then(|s| s.as_str())
+        .expect("status");
+    assert!(status == "clean" || status == "regressed");
+    n(watch, "rotations");
+    n(watch, "flags_total");
+    assert!(watch.get("flags").and_then(|f| f.as_arr()).is_some());
+}
+
 fn load_pair(c: &mut Client, build_rows: usize, probe_rows: usize) {
     let v = c
         .request(&format!(
@@ -61,6 +162,10 @@ fn load_join_stat_round_trip() {
     let v = c.request(r#"{"op":"stat"}"#).unwrap();
     assert!(ok(&v));
     let stat = v.get("stat").expect("stat body");
+    validate_stat(stat);
+    // The embedder-facing export is the same document.
+    let direct = mmjoin::util::jsonv::parse(&server.stat_json()).expect("stat_json parses");
+    validate_stat(&direct);
     let catalog = stat.get("catalog").and_then(|c| c.as_arr()).unwrap();
     assert_eq!(catalog.len(), 2);
     let joins_ok = stat
@@ -124,6 +229,7 @@ fn conflicting_tenant_budgets_one_spills_one_resident() {
 
     // stat records the degradation against the right tenant.
     let v = c.request(r#"{"op":"stat"}"#).unwrap();
+    validate_stat(v.get("stat").expect("stat body"));
     let tenants = v
         .get("stat")
         .and_then(|s| s.get("tenants"))
@@ -167,6 +273,7 @@ fn deadline_expiry_is_typed_and_connection_survives() {
     // Same socket, next request: alive and correct.
     let v = c.request(r#"{"op":"stat"}"#).unwrap();
     assert!(ok(&v));
+    validate_stat(v.get("stat").expect("stat body"));
     let v = c
         .request(r#"{"op":"join","id":21,"algo":"NOP","build":"r","probe":"s"}"#)
         .unwrap();
@@ -202,6 +309,7 @@ fn malformed_frames_get_protocol_errors_not_panics() {
     // The same connection still serves real requests afterwards.
     let v = c.request(r#"{"op":"stat"}"#).unwrap();
     assert!(ok(&v), "connection should survive garbage: {v:?}");
+    validate_stat(v.get("stat").expect("stat body"));
 
     // An oversized frame advertisement is answered (and the declared
     // bytes are discarded to keep the stream framed); a fresh
@@ -269,6 +377,7 @@ fn cached_build_side_matches_cold_run_checksums() {
     );
 
     let v = c.request(r#"{"op":"stat"}"#).unwrap();
+    validate_stat(v.get("stat").expect("stat body"));
     let cache = v.get("stat").and_then(|s| s.get("cache")).unwrap();
     assert!(cache.get("hits").and_then(|h| h.as_num()).unwrap() >= 1.0);
     assert!(cache.get("misses").and_then(|m| m.as_num()).unwrap() >= 2.0);
